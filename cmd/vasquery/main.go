@@ -1,0 +1,91 @@
+// Command vasquery demonstrates the Fig. 3 architecture end to end: it
+// loads a dataset into the in-memory store, builds VAS samples of several
+// sizes offline, then answers interactive visualization queries within
+// latency budgets, printing which sample the planner served.
+//
+//	vasquery -n 200000 -sizes 100,1000,10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+
+	vas "repro"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 200_000, "dataset rows")
+		seed  = flag.Int64("seed", 42, "random seed")
+		sizes = flag.String("sizes", "100,1000,5000", "comma-separated sample sizes to prebuild")
+	)
+	flag.Parse()
+	var ks []int
+	for _, s := range strings.Split(*sizes, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || k <= 0 {
+			fmt.Fprintf(os.Stderr, "vasquery: bad size %q\n", s)
+			os.Exit(2)
+		}
+		ks = append(ks, k)
+	}
+
+	fmt.Printf("generating %d-row geolife-like dataset...\n", *n)
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: *n, Seed: *seed})
+
+	cat := vas.NewCatalog()
+	if err := cat.LoadTable("gps", d.Points); err != nil {
+		fail(err)
+	}
+	fmt.Printf("building VAS samples %v (offline preprocessing)...\n", ks)
+	start := time.Now()
+	if err := cat.BuildSamples("gps", d.Points, ks, true, vas.Options{Passes: 1}); err != nil {
+		fail(err)
+	}
+	fmt.Printf("samples built in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	bounds := vas.Rect{}
+	zoomed, err := vas.Zoom(geomBounds(d), geomBounds(d).Center(), 8)
+	if err != nil {
+		fail(err)
+	}
+	queries := []struct {
+		name     string
+		viewport vas.Rect
+		budget   time.Duration
+	}{
+		{"overview, interactive (2s)", bounds, 0},
+		{"overview, tight budget (1.6s)", bounds, 1600 * time.Millisecond},
+		{"zoom-in 8x, interactive", zoomed, 0},
+		{"overview, generous (30s)", bounds, 30 * time.Second},
+	}
+	for _, q := range queries {
+		res, err := cat.Query("gps", q.viewport, q.budget)
+		if err != nil {
+			fmt.Printf("%-32s -> error: %v\n", q.name, err)
+			continue
+		}
+		fmt.Printf("%-32s -> served %d-point sample, %d points in viewport, predicted viz time %s\n",
+			q.name, res.SampleSize, len(res.Points), res.PredictedTime.Round(time.Millisecond))
+	}
+
+	exact, err := cat.QueryExact("gps", bounds)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-32s -> %d points, predicted viz time %s (the problem VAS avoids)\n",
+		"exact full scan", len(exact.Points), exact.PredictedTime.Round(time.Millisecond))
+}
+
+func geomBounds(d *dataset.Dataset) vas.Rect { return d.Bounds() }
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "vasquery: %v\n", err)
+	os.Exit(1)
+}

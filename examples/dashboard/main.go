@@ -1,0 +1,75 @@
+// Dashboard demonstrates the Fig. 3 serving architecture: a visualization
+// front end issues queries with latency budgets; the catalog answers each
+// from the largest pre-built VAS sample that fits the budget, so every
+// interaction stays interactive regardless of base-table size.
+//
+//	go run ./examples/dashboard
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/dataset"
+
+	vas "repro"
+)
+
+func main() {
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 150_000, Seed: 11})
+
+	cat := vas.NewCatalog()
+	if err := cat.LoadTable("trips", d.Points); err != nil {
+		log.Fatal(err)
+	}
+	// Offline: one sample per latency class.
+	sizes := []int{200, 2_000, 8_000}
+	fmt.Printf("prebuilding VAS samples %v with density embedding...\n", sizes)
+	if err := cat.BuildSamples("trips", d.Points, sizes, true, vas.Options{Passes: 1}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A simulated user session: overview, zoom, pan, tighten the budget.
+	bounds := d.Bounds()
+	zoom8, err := vas.Zoom(bounds, bounds.Center(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zoom32, err := vas.Zoom(bounds, vas.Pt(116.4, 39.9), 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := []struct {
+		action   string
+		viewport vas.Rect
+		budget   time.Duration
+	}{
+		{"open dashboard (default 2s budget)", vas.Rect{}, 0},
+		{"zoom 8x into the city", zoom8, 0},
+		{"zoom 32x onto downtown", zoom32, 0},
+		{"scrub timeline (600ms budget)", zoom8, 600 * time.Millisecond},
+		{"export view (60s budget)", vas.Rect{}, time.Minute},
+	}
+	for _, step := range session {
+		res, err := cat.Query("trips", step.viewport, step.budget)
+		if err != nil {
+			fmt.Printf("%-38s -> %v\n", step.action, err)
+			continue
+		}
+		densityNote := ""
+		if res.Counts != nil {
+			densityNote = " (+density counts)"
+		}
+		fmt.Printf("%-38s -> sample K=%-6d  %6d pts in view  est. viz %8s%s\n",
+			step.action, res.SampleSize, len(res.Points),
+			res.PredictedTime.Round(time.Millisecond), densityNote)
+	}
+
+	exact, err := cat.QueryExact("trips", vas.Rect{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwithout sampling, the same overview needs %d points ≈ %s of viz time\n",
+		len(exact.Points), exact.PredictedTime.Round(time.Second))
+}

@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"repro/internal/geom"
+)
+
+// This file provides dataset persistence: a CSV text format (x,y[,value]
+// with an optional header) for interchange with external tools, and a
+// compact little-endian binary format for fast reloads of large generated
+// datasets.
+
+// WriteCSV writes d as CSV with header "x,y[,value]".
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	hasValues := d.Values != nil
+	header := []string{"x", "y"}
+	if hasValues {
+		header = append(header, "value")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for i, p := range d.Points {
+		rec[0] = strconv.FormatFloat(p.X, 'g', -1, 64)
+		rec[1] = strconv.FormatFloat(p.Y, 'g', -1, 64)
+		if hasValues {
+			rec[2] = strconv.FormatFloat(d.Values[i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset from CSV. The first row may be a header (any
+// row whose first field does not parse as a float is skipped when it is
+// row 0). Rows must have 2 or 3 fields; a third field populates Values.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+	d := &Dataset{Name: name}
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", row, err)
+		}
+		row++
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, need >= 2", row, len(rec))
+		}
+		x, errX := strconv.ParseFloat(rec[0], 64)
+		y, errY := strconv.ParseFloat(rec[1], 64)
+		if errX != nil || errY != nil {
+			if row == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("dataset: csv row %d: bad coordinates %q,%q", row, rec[0], rec[1])
+		}
+		d.Points = append(d.Points, geom.Pt(x, y))
+		if len(rec) >= 3 && rec[2] != "" {
+			v, err := strconv.ParseFloat(rec[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv row %d: bad value %q", row, rec[2])
+			}
+			d.Values = append(d.Values, v)
+		}
+	}
+	if d.Values != nil && len(d.Values) != len(d.Points) {
+		return nil, fmt.Errorf("dataset: csv mixes rows with and without values (%d values, %d points)", len(d.Values), len(d.Points))
+	}
+	return d, d.Validate()
+}
+
+// Binary format:
+//
+//	magic "VASD" | uint32 version | uint32 flags | uint64 n |
+//	n × (float64 x, float64 y) | [n × float64 value when flags&1]
+//
+// Everything little-endian.
+const (
+	binaryMagic   = "VASD"
+	binaryVersion = 1
+	flagHasValues = 1
+)
+
+// WriteBinary writes d in the compact binary format.
+func WriteBinary(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var flags uint32
+	if d.Values != nil {
+		flags |= flagHasValues
+	}
+	for _, v := range []uint32{binaryVersion, flags} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(d.Points))); err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	for _, p := range d.Points {
+		binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(p.Y))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	if d.Values != nil {
+		for _, v := range d.Values {
+			binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(v))
+			if _, err := bw.Write(buf[0:8]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary format.
+func ReadBinary(r io.Reader, name string) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: read magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var version, flags uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxPoints = 1 << 31 // refuse absurd headers rather than OOM
+	if n > maxPoints {
+		return nil, fmt.Errorf("dataset: header claims %d points, limit %d", n, maxPoints)
+	}
+	d := &Dataset{Name: name, Points: make([]geom.Point, n)}
+	buf := make([]byte, 16)
+	for i := range d.Points {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: point %d: %w", i, err)
+		}
+		d.Points[i] = geom.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8])),
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16])),
+		)
+	}
+	if flags&flagHasValues != 0 {
+		d.Values = make([]float64, n)
+		for i := range d.Values {
+			if _, err := io.ReadFull(br, buf[0:8]); err != nil {
+				return nil, fmt.Errorf("dataset: value %d: %w", i, err)
+			}
+			d.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8]))
+		}
+	}
+	return d, d.Validate()
+}
+
+// SaveFile writes d to path, choosing the format from the extension
+// (".csv" → CSV, anything else → binary).
+func SaveFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if hasCSVExt(path) {
+		if err := WriteCSV(f, d); err != nil {
+			return err
+		}
+	} else if err := WriteBinary(f, d); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path, choosing the format from the
+// extension.
+func LoadFile(path, name string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if hasCSVExt(path) {
+		return ReadCSV(f, name)
+	}
+	return ReadBinary(f, name)
+}
+
+func hasCSVExt(path string) bool {
+	return len(path) >= 4 && path[len(path)-4:] == ".csv"
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/kernel"
+	"repro/internal/loss"
+	"repro/internal/vas"
+)
+
+// This file implements the ablations DESIGN.md §4 calls out, beyond the
+// paper's own artifacts:
+//
+//   - ablation-eps: sensitivity of sample quality to the bandwidth ε
+//     around the paper's maxdist/100 heuristic (§III footnote 2 says a
+//     theory exists for choosing ε; the heuristic is what the paper runs).
+//   - ablation-kernel: the admissible κ̃ families (§III allows any convex
+//     decreasing proximity function).
+//   - ablation-passes: single-pass vs multi-pass Interchange vs the
+//     converged fixed point (the paper runs "until no replacement").
+
+func init() {
+	register("ablation-eps", runAblationEps)
+	register("ablation-kernel", runAblationKernel)
+	register("ablation-passes", runAblationPasses)
+}
+
+func runAblationEps(sc Scale) (*Report, error) {
+	d := geolife(sc)
+	base := geom.MaxPairwiseDist(d.Points)
+	r := &Report{
+		ID:      "ablation-eps",
+		Caption: "Bandwidth sensitivity: loss of a VAS sample vs epsilon (heuristic = maxdist/100)",
+		Columns: []string{"epsilon (x heuristic)", "epsilon", "objective", "log-loss-ratio"},
+	}
+	k := sc.SampleSizes[0] * 4
+	// The loss is always scored with the heuristic kernel so rows are
+	// comparable; only the *sampling* bandwidth varies.
+	evalKern := kernel.NewGaussian(base / kernel.DefaultBandwidthDivisor)
+	ev, err := loss.NewEvaluator(d.Points, loss.Options{Kernel: evalKern, Probes: sc.Probes, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	dLoss, err := ev.Evaluate(d.Points)
+	if err != nil {
+		return nil, err
+	}
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
+		eps := base / kernel.DefaultBandwidthDivisor * mult
+		kern := kernel.NewGaussian(eps)
+		ic := vas.NewInterchange(vas.Options{K: k, Kernel: kern, Variant: vas.ES})
+		vas.Converge(ic, d.Points, 2)
+		sLoss, err := ev.Evaluate(ic.Sample())
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(mult, eps, ic.RecomputeObjective(), loss.LogLossRatio(sLoss, dLoss))
+	}
+	r.Notes = append(r.Notes,
+		"expectation: quality is flat within ~2x of the heuristic and degrades at the extremes (too small = no repulsion signal; too large = structure below bandwidth is invisible)",
+	)
+	return r, nil
+}
+
+func runAblationKernel(sc Scale) (*Report, error) {
+	d := geolife(sc)
+	base := geom.MaxPairwiseDist(d.Points)
+	r := &Report{
+		ID:      "ablation-kernel",
+		Caption: "Kernel family ablation: Gaussian (paper) vs compact Epanechnikov/tricube",
+		Columns: []string{"kernel", "build time", "log-loss-ratio"},
+	}
+	k := sc.SampleSizes[0] * 4
+	evalKern := kernel.NewGaussian(base / kernel.DefaultBandwidthDivisor)
+	ev, err := loss.NewEvaluator(d.Points, loss.Options{Kernel: evalKern, Probes: sc.Probes, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	dLoss, err := ev.Evaluate(d.Points)
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range []kernel.Kind{kernel.Gaussian, kernel.Epanechnikov, kernel.Tricube} {
+		kern := kernel.New(kind, base/kernel.DefaultBandwidthDivisor)
+		start := time.Now()
+		ic := vas.NewInterchange(vas.Options{K: k, Kernel: kern, Variant: vas.ES})
+		vas.Converge(ic, d.Points, 2)
+		elapsed := time.Since(start)
+		sLoss, err := ev.Evaluate(ic.Sample())
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(kind.String(), elapsed, loss.LogLossRatio(sLoss, dLoss))
+	}
+	r.Notes = append(r.Notes,
+		"expectation: all admissible kernels land at similar loss (§III: any decreasing convex proximity function); compact kernels skip exp and prune exactly",
+	)
+	return r, nil
+}
+
+func runAblationPasses(sc Scale) (*Report, error) {
+	d := geolife(sc)
+	kern, err := dataKernel(d.Points)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:      "ablation-passes",
+		Caption: "Passes ablation: Interchange quality vs number of streaming passes",
+		Columns: []string{"passes", "objective", "swaps in last pass", "elapsed"},
+	}
+	k := sc.SampleSizes[0] * 4
+	for _, passes := range []int{1, 2, 4, 8} {
+		ic := vas.NewInterchange(vas.Options{K: k, Kernel: kern, Variant: vas.ES})
+		start := time.Now()
+		ran := vas.Converge(ic, d.Points, passes)
+		elapsed := time.Since(start)
+		r.AddRow(fmt.Sprintf("%d (ran %d)", passes, ran), ic.RecomputeObjective(), ic.PassSwaps(), elapsed)
+	}
+	r.Notes = append(r.Notes,
+		"expectation: the first pass captures most of the improvement (the paper's Fig. 9 observation); later passes polish toward the Theorem 3 fixed point",
+	)
+	return r, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationEps(t *testing.T) {
+	rep, err := Run("ablation-eps", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 multipliers", len(rep.Rows))
+	}
+	// The heuristic (1x) must not be beaten by the 4x extreme: structure
+	// below the bandwidth becomes invisible as epsilon grows.
+	var at1, at4 float64
+	for _, row := range rep.Rows {
+		switch row[0] {
+		case "1":
+			at1 = parseF(t, row[3])
+		case "4":
+			at4 = parseF(t, row[3])
+		}
+	}
+	if at4 < at1 {
+		t.Errorf("4x heuristic bandwidth (%v) beat the heuristic (%v)", at4, at1)
+	}
+}
+
+func TestAblationKernel(t *testing.T) {
+	rep, err := Run("ablation-kernel", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 kernels", len(rep.Rows))
+	}
+	// All admissible kernels must land within a factor-of-2 loss band of
+	// the Gaussian (§III: any convex decreasing proximity function works).
+	var gaussian float64
+	for _, row := range rep.Rows {
+		if row[0] == "gaussian" {
+			gaussian = parseF(t, row[2])
+		}
+	}
+	if gaussian == 0 {
+		t.Fatal("gaussian row missing")
+	}
+	for _, row := range rep.Rows {
+		ratio := parseF(t, row[2])
+		if ratio > gaussian*2 {
+			t.Errorf("%s loss %v far above gaussian %v", row[0], ratio, gaussian)
+		}
+	}
+}
+
+func TestAblationPasses(t *testing.T) {
+	rep, err := Run("ablation-passes", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 pass counts", len(rep.Rows))
+	}
+	// The objective is non-increasing in passes, and the last-pass swap
+	// count shrinks toward the fixed point.
+	prevObj := parseF(t, rep.Rows[0][1])
+	prevSwaps := parseF(t, rep.Rows[0][2])
+	for _, row := range rep.Rows[1:] {
+		obj := parseF(t, row[1])
+		swaps := parseF(t, row[2])
+		if obj > prevObj*(1+1e-9) {
+			t.Errorf("objective rose with more passes: %v -> %v (row %v)", prevObj, obj, row[0])
+		}
+		if swaps > prevSwaps {
+			t.Errorf("last-pass swaps rose with more passes: %v -> %v", prevSwaps, swaps)
+		}
+		prevObj, prevSwaps = obj, swaps
+		if !strings.Contains(row[0], "ran") {
+			t.Errorf("passes label %q missing ran count", row[0])
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+	"repro/internal/usersim"
+	"repro/internal/vas"
+)
+
+// This file regenerates Table I — the user study. Three tasks (regression,
+// density estimation, clustering), each a sweep of sampling method ×
+// sample size, scored by the simulated users of internal/usersim.
+
+func init() {
+	register("table1a", runTable1a)
+	register("table1b", runTable1b)
+	register("table1c", runTable1c)
+}
+
+// table1Methods is the method column order of Table I(a).
+var table1Methods = []sampling.Method{
+	sampling.MethodUniform,
+	sampling.MethodStratified,
+	sampling.MethodVAS,
+}
+
+// table1MethodsDensity adds the VAS+density column of Tables I(b,c).
+var table1MethodsDensity = append(append([]sampling.Method(nil), table1Methods...), sampling.MethodVASDensity)
+
+func runTable1a(sc Scale) (*Report, error) {
+	d := geolife(sc)
+	kern, err := dataKernel(d.Points)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:      "table1a",
+		Caption: "User success, regression task (paper Table I(a))",
+		Columns: []string{"sample size", "uniform", "stratified", "vas"},
+	}
+	sums := make(map[sampling.Method]float64)
+	for _, k := range sc.SampleSizes {
+		row := []interface{}{k}
+		for _, m := range table1Methods {
+			pts, ids, err := buildSample(m, d.Points, k, kern, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := usersim.Regression(d.Points, d.Values, pts, gatherValues(d.Values, ids),
+				usersim.Config{Trials: sc.Trials, Seed: sc.Seed + int64(k)})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Success)
+			sums[m] += res.Success
+		}
+		r.AddRow(row...)
+	}
+	avg := []interface{}{"average"}
+	for _, m := range table1Methods {
+		avg = append(avg, sums[m]/float64(len(sc.SampleSizes)))
+	}
+	r.AddRow(avg...)
+	r.Notes = append(r.Notes,
+		"paper shape: VAS dominates at every size (paper averages: uniform 0.319, stratified 0.378, VAS 0.734)",
+	)
+	return r, nil
+}
+
+func runTable1b(sc Scale) (*Report, error) {
+	d := geolife(sc)
+	kern, err := dataKernel(d.Points)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:      "table1b",
+		Caption: "User success, density-estimation task (paper Table I(b))",
+		Columns: []string{"sample size", "uniform", "stratified", "vas", "vas+density"},
+	}
+	sums := make(map[sampling.Method]float64)
+	for _, k := range sc.SampleSizes {
+		row := []interface{}{k}
+		for _, m := range table1MethodsDensity {
+			pts, ids, err := buildSample(m, d.Points, k, kern, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			var weights []int64
+			if m == sampling.MethodVASDensity {
+				ws, err := vas.DensityPass(pts, ids, d.Points)
+				if err != nil {
+					return nil, err
+				}
+				weights = ws.Counts
+			}
+			res, err := usersim.Density(d.Points, pts, weights,
+				usersim.Config{Trials: sc.Trials, Seed: sc.Seed + int64(k)})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Success)
+			sums[m] += res.Success
+		}
+		r.AddRow(row...)
+	}
+	avg := []interface{}{"average"}
+	for _, m := range table1MethodsDensity {
+		avg = append(avg, sums[m]/float64(len(sc.SampleSizes)))
+	}
+	r.AddRow(avg...)
+	r.Notes = append(r.Notes,
+		"paper shape: plain VAS is the worst column (it flattens density); VAS+density is the best (paper averages: 0.531/0.637/0.395/0.735)",
+	)
+	return r, nil
+}
+
+func runTable1c(sc Scale) (*Report, error) {
+	// The clustering study uses the dedicated Gaussian datasets, not
+	// Geolife (§VI-B1).
+	dsets := dataset.ClusterStudyDatasets(sc.DataN/2, sc.Seed)
+	r := &Report{
+		ID:      "table1c",
+		Caption: "User success, clustering task (paper Table I(c)); averaged over 4 Gaussian datasets",
+		Columns: []string{"sample size", "uniform", "stratified", "vas", "vas+density"},
+	}
+	sums := make(map[sampling.Method]float64)
+	for _, k := range sc.SampleSizes {
+		row := []interface{}{k}
+		for _, m := range table1MethodsDensity {
+			var total float64
+			for di, ds := range dsets {
+				kern, err := dataKernel(ds.Points)
+				if err != nil {
+					return nil, err
+				}
+				pts, ids, err := buildSample(m, ds.Points, k, kern, sc.Seed+int64(di))
+				if err != nil {
+					return nil, err
+				}
+				var weights []int64
+				if m == sampling.MethodVASDensity {
+					ws, err := vas.DensityPass(pts, ids, ds.Points)
+					if err != nil {
+						return nil, err
+					}
+					weights = ws.Counts
+				}
+				res, err := usersim.Clustering(pts, weights, ds.TrueClusters,
+					usersim.Config{Trials: sc.Trials / len(dsets), Seed: sc.Seed + int64(k*10+di)})
+				if err != nil {
+					return nil, err
+				}
+				total += res.Success
+			}
+			row = append(row, total/float64(len(dsets)))
+			sums[m] += total / float64(len(dsets))
+		}
+		r.AddRow(row...)
+	}
+	avg := []interface{}{"average"}
+	for _, m := range table1MethodsDensity {
+		avg = append(avg, sums[m]/float64(len(sc.SampleSizes)))
+	}
+	r.AddRow(avg...)
+	r.Notes = append(r.Notes,
+		"paper shape: VAS+density best, stratified worst (per-bin clumping distorts blob perception); paper averages: 0.821/0.561/0.722/0.887",
+		fmt.Sprintf("datasets: %d points each, ground truth 2/2/1/1 clusters", sc.DataN/2),
+	)
+	return r, nil
+}

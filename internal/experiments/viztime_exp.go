@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/viztime"
+)
+
+// This file regenerates Fig. 2 (visualization latency vs dataset size for
+// Tableau and MathGL) and Fig. 4 (latency vs sample size on Geolife and
+// SPLOM). Both figures exist to establish the premise that full-data
+// plotting is far beyond the interactive limit and that latency is linear
+// in the tuple count; the models are the DESIGN.md §3 substitution for the
+// two closed systems, and the fig2 report also includes this repository's
+// real renderer to verify the linearity premise on a live code path.
+
+func init() {
+	register("fig2", runFig2)
+	register("fig4", runFig4)
+}
+
+func runFig2(sc Scale) (*Report, error) {
+	r := &Report{
+		ID:      "fig2",
+		Caption: "Viz time vs dataset size (paper Fig. 2): Tableau & MathGL models, plus the real internal renderer",
+		Columns: []string{"rows", "tableau", "mathgl", "internal-renderer(measured)", "interactive(<=2s)?"},
+	}
+	sizes := []int{1_000_000, 10_000_000, 100_000_000, 500_000_000}
+	tab, mgl := viztime.Tableau(), viztime.MathGL()
+	meas := viztime.Measured{W: 256, H: 256}
+	for _, n := range sizes {
+		// Measure the real renderer at a scaled-down size (n/100) to keep
+		// the experiment fast, then report the linear extrapolation; the
+		// linearity check below validates the extrapolation.
+		mn := n / 100
+		measured := meas.Time(mn) * 100
+		r.AddRow(n, tab.Time(n), mgl.Time(n),
+			fmt.Sprintf("%v (extrapolated x100)", measured.Round(time.Millisecond)),
+			tab.Time(n) <= viztime.InteractiveLimit && mgl.Time(n) <= viztime.InteractiveLimit)
+	}
+	// Linearity check on the real renderer: the marginal per-tuple cost
+	// must be flat (the total includes a constant image-encode term, so
+	// total ratios understate the slope).
+	t1 := meas.Time(200_000)
+	t2 := meas.Time(400_000)
+	t3 := meas.Time(800_000)
+	m1 := float64(t2-t1) / 200_000
+	m2 := float64(t3-t2) / 400_000
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("real renderer linearity: marginal ns/tuple %.1f vs %.1f (ratio %.2f; ~1 = linear)", m1, m2, m2/m1),
+		fmt.Sprintf("max interactive tuples: tableau=%d mathgl=%d", viztime.MaxInteractiveTuples(tab), viztime.MaxInteractiveTuples(mgl)),
+		"paper shape: both systems exceed the 2s interactive limit at 1M rows and grow linearly to minutes at 50M+",
+	)
+	return r, nil
+}
+
+func runFig4(sc Scale) (*Report, error) {
+	r := &Report{
+		ID:      "fig4",
+		Caption: "Time to plot vs sample size (paper Fig. 4): Geolife & SPLOM under both system models",
+		Columns: []string{"sample", "tableau/geolife", "tableau/splom", "mathgl/geolife", "mathgl/splom"},
+	}
+	tab, mgl := viztime.Tableau(), viztime.MathGL()
+	sizes := []int{1_000_000, 5_000_000, 10_000_000, 50_000_000}
+	// The dataset does not change the per-tuple cost in either the paper's
+	// measurements or the linear model (both curves in Fig. 4 nearly
+	// coincide per system); a small constant-factor difference reflects
+	// SPLOM's five columns vs Geolife's three.
+	splomFetchFactor := 5.0 / 3.0
+	for _, n := range sizes {
+		tabSplom := tab.Startup + time.Duration(float64(n)*(float64(tab.PerFetch)*splomFetchFactor+float64(tab.PerDraw)))
+		mglSplom := mgl.Startup + time.Duration(float64(n)*(float64(mgl.PerFetch)*splomFetchFactor+float64(mgl.PerDraw)))
+		r.AddRow(n, tab.Time(n), tabSplom, mgl.Time(n), mglSplom)
+	}
+	r.Notes = append(r.Notes,
+		"paper shape: even 1M-tuple samples exceed the 2s interactive limit; growth is linear in sample size",
+	)
+	return r, nil
+}

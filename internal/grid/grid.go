@@ -1,0 +1,177 @@
+// Package grid implements a uniform spatial grid over a bounding rectangle.
+// It serves two roles in the reproduction:
+//
+//  1. the stratification bins of the stratified-sampling baseline (the paper
+//     uses a 316×316 grid for Fig. 1 and 100 bins for the user study), and
+//  2. an alternative locality index for the Interchange ES+Loc variant,
+//     used in the index ablation bench (DESIGN.md §4).
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Grid divides a bounding rectangle into Cols × Rows equal cells and stores
+// point/id pairs per cell. Points outside the bounds are clamped into the
+// border cells, which matches how stratified sampling treats boundary
+// tuples.
+type Grid struct {
+	bounds     geom.Rect
+	cols, rows int
+	cellW      float64
+	cellH      float64
+	cells      [][]Item
+	size       int
+}
+
+// Item is a stored point with payload id.
+type Item struct {
+	P  geom.Point
+	ID int
+}
+
+// New returns an empty grid with the given bounds and resolution. It panics
+// when cols or rows is not positive or when bounds is empty, since a
+// degenerate grid would silently put every point in one cell.
+func New(bounds geom.Rect, cols, rows int) *Grid {
+	if cols <= 0 || rows <= 0 {
+		panic(fmt.Sprintf("grid: resolution must be positive, got %dx%d", cols, rows))
+	}
+	if bounds.IsEmpty() {
+		panic("grid: empty bounds")
+	}
+	g := &Grid{
+		bounds: bounds,
+		cols:   cols,
+		rows:   rows,
+		cells:  make([][]Item, cols*rows),
+	}
+	g.cellW = bounds.Width() / float64(cols)
+	g.cellH = bounds.Height() / float64(rows)
+	// Degenerate axes (all points on a line) still need a positive step so
+	// CellOf stays well-defined.
+	if g.cellW == 0 {
+		g.cellW = 1
+	}
+	if g.cellH == 0 {
+		g.cellH = 1
+	}
+	return g
+}
+
+// Cols returns the number of columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// Rows returns the number of rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// Len returns the number of stored items.
+func (g *Grid) Len() int { return g.size }
+
+// Bounds returns the grid extent.
+func (g *Grid) Bounds() geom.Rect { return g.bounds }
+
+// CellOf returns the (col, row) cell indices for p, clamped to the grid.
+func (g *Grid) CellOf(p geom.Point) (int, int) {
+	c := int((p.X - g.bounds.MinX) / g.cellW)
+	r := int((p.Y - g.bounds.MinY) / g.cellH)
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	return c, r
+}
+
+// CellIndex returns the flat index of the cell containing p.
+func (g *Grid) CellIndex(p geom.Point) int {
+	c, r := g.CellOf(p)
+	return r*g.cols + c
+}
+
+// CellRect returns the rectangle covered by cell (col, row).
+func (g *Grid) CellRect(col, row int) geom.Rect {
+	return geom.Rect{
+		MinX: g.bounds.MinX + float64(col)*g.cellW,
+		MinY: g.bounds.MinY + float64(row)*g.cellH,
+		MaxX: g.bounds.MinX + float64(col+1)*g.cellW,
+		MaxY: g.bounds.MinY + float64(row+1)*g.cellH,
+	}
+}
+
+// Insert stores (p, id) in the cell containing p.
+func (g *Grid) Insert(p geom.Point, id int) {
+	i := g.CellIndex(p)
+	g.cells[i] = append(g.cells[i], Item{P: p, ID: id})
+	g.size++
+}
+
+// Delete removes one item equal to (p, id); it reports whether an item was
+// removed.
+func (g *Grid) Delete(p geom.Point, id int) bool {
+	i := g.CellIndex(p)
+	cell := g.cells[i]
+	for j, it := range cell {
+		if it.ID == id && it.P.Equal(p) {
+			cell[j] = cell[len(cell)-1]
+			g.cells[i] = cell[:len(cell)-1]
+			g.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Cell returns the items stored in cell (col, row). The returned slice is
+// owned by the grid and must not be modified.
+func (g *Grid) Cell(col, row int) []Item {
+	return g.cells[row*g.cols+col]
+}
+
+// Within appends every item within Euclidean distance radius of p to dst.
+// Only the cells overlapping the query disc's bounding box are scanned.
+func (g *Grid) Within(p geom.Point, radius float64, dst []Item) []Item {
+	r2 := radius * radius
+	c0, r0 := g.CellOf(geom.Pt(p.X-radius, p.Y-radius))
+	c1, r1 := g.CellOf(geom.Pt(p.X+radius, p.Y+radius))
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			for _, it := range g.cells[row*g.cols+col] {
+				if it.P.Dist2(p) <= r2 {
+					dst = append(dst, it)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Counts returns the per-cell item counts in row-major order. The
+// stratified baseline uses these to compute the most-balanced allocation.
+func (g *Grid) Counts() []int {
+	out := make([]int, len(g.cells))
+	for i, c := range g.cells {
+		out[i] = len(c)
+	}
+	return out
+}
+
+// NonEmptyCells returns the flat indices of cells holding at least one item.
+func (g *Grid) NonEmptyCells() []int {
+	var out []int
+	for i, c := range g.cells {
+		if len(c) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

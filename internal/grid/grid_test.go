@@ -1,0 +1,158 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func bounds10() geom.Rect { return geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10} }
+
+func TestCellOfClamping(t *testing.T) {
+	g := New(bounds10(), 5, 5)
+	cases := []struct {
+		p    geom.Point
+		c, r int
+	}{
+		{geom.Pt(0, 0), 0, 0},
+		{geom.Pt(9.99, 9.99), 4, 4},
+		{geom.Pt(10, 10), 4, 4}, // max boundary clamps into last cell
+		{geom.Pt(-5, 3), 0, 1},  // outside left clamps
+		{geom.Pt(15, 20), 4, 4}, // outside top-right clamps
+		{geom.Pt(4.999, 5.0), 2, 2},
+	}
+	for _, tc := range cases {
+		c, r := g.CellOf(tc.p)
+		if c != tc.c || r != tc.r {
+			t.Errorf("CellOf(%v) = (%d,%d), want (%d,%d)", tc.p, c, r, tc.c, tc.r)
+		}
+	}
+}
+
+func TestCellRectTilesBounds(t *testing.T) {
+	g := New(bounds10(), 4, 3)
+	// Every cell rect's centre maps back to that cell.
+	for row := 0; row < 3; row++ {
+		for col := 0; col < 4; col++ {
+			c := g.CellRect(col, row).Center()
+			gc, gr := g.CellOf(c)
+			if gc != col || gr != row {
+				t.Errorf("cell (%d,%d) centre %v maps to (%d,%d)", col, row, c, gc, gr)
+			}
+		}
+	}
+}
+
+func TestInsertDeleteLen(t *testing.T) {
+	g := New(bounds10(), 8, 8)
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 200)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		g.Insert(pts[i], i)
+	}
+	if g.Len() != 200 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.Delete(pts[7], 7) {
+		t.Fatal("delete failed")
+	}
+	if g.Delete(pts[7], 7) {
+		t.Fatal("double delete succeeded")
+	}
+	if g.Len() != 199 {
+		t.Errorf("Len = %d after delete", g.Len())
+	}
+	if g.Delete(geom.Pt(5, 5), 99999) {
+		t.Error("deleting a missing id succeeded")
+	}
+}
+
+func TestWithinMatchesBruteForce(t *testing.T) {
+	g := New(bounds10(), 7, 7)
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 400)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		g.Insert(pts[i], i)
+	}
+	for q := 0; q < 50; q++ {
+		c := geom.Pt(rng.Float64()*12-1, rng.Float64()*12-1)
+		radius := rng.Float64() * 4
+		var got []int
+		for _, it := range g.Within(c, radius, nil) {
+			got = append(got, it.ID)
+		}
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if p.Dist(c) <= radius {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Within(%v, %v): got %d, want %d", c, radius, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Within mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestCountsAndNonEmpty(t *testing.T) {
+	g := New(bounds10(), 2, 2)
+	g.Insert(geom.Pt(1, 1), 0)   // cell (0,0) -> idx 0
+	g.Insert(geom.Pt(9, 1), 1)   // cell (1,0) -> idx 1
+	g.Insert(geom.Pt(9, 9), 2)   // cell (1,1) -> idx 3
+	g.Insert(geom.Pt(9.5, 9), 3) // cell (1,1)
+	counts := g.Counts()
+	want := []int{1, 1, 0, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("Counts = %v, want %v", counts, want)
+		}
+	}
+	ne := g.NonEmptyCells()
+	if len(ne) != 3 || ne[0] != 0 || ne[1] != 1 || ne[2] != 3 {
+		t.Errorf("NonEmptyCells = %v", ne)
+	}
+}
+
+func TestDegenerateBounds(t *testing.T) {
+	// All points on a vertical line: grid must still work.
+	b := geom.Rect{MinX: 5, MinY: 0, MaxX: 5, MaxY: 10}
+	g := New(b, 4, 4)
+	g.Insert(geom.Pt(5, 2), 0)
+	g.Insert(geom.Pt(5, 9), 1)
+	if g.Len() != 2 {
+		t.Fatal("insert on degenerate bounds failed")
+	}
+	got := g.Within(geom.Pt(5, 2), 0.5, nil)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Errorf("Within on degenerate bounds = %v", got)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"zero cols", func() { New(bounds10(), 0, 5) }},
+		{"negative rows", func() { New(bounds10(), 5, -1) }},
+		{"empty bounds", func() { New(geom.EmptyRect(), 5, 5) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}

@@ -1,0 +1,251 @@
+// Package kdtree implements a static 2D k-d tree (Bentley 1975), the data
+// structure the paper prescribes for the density-embedding second pass
+// (§V): after VAS selects the sample, a k-d tree over the K sampled points
+// answers nearest-neighbour queries for each of the N dataset points in
+// O(log K), so the whole pass is O(N log K).
+//
+// The tree is built once from a point slice and is immutable afterwards,
+// which makes it trivially safe for concurrent reads.
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Tree is an immutable 2D k-d tree. Construct with Build.
+type Tree struct {
+	// Nodes are stored in a flat slice; node i has children at indices
+	// stored in left/right. -1 marks a missing child.
+	pts   []geom.Point
+	ids   []int
+	left  []int32
+	right []int32
+	root  int32
+}
+
+// Build constructs a balanced k-d tree over pts. The returned tree keeps
+// its own copy of the points. ids[i] is the payload returned for pts[i];
+// pass nil to use the index itself.
+func Build(pts []geom.Point, ids []int) *Tree {
+	n := len(pts)
+	t := &Tree{
+		pts:   make([]geom.Point, n),
+		ids:   make([]int, n),
+		left:  make([]int32, n),
+		right: make([]int32, n),
+		root:  -1,
+	}
+	copy(t.pts, pts)
+	if ids != nil {
+		if len(ids) != n {
+			panic("kdtree: ids length must match pts length")
+		}
+		copy(t.ids, ids)
+	} else {
+		for i := range t.ids {
+			t.ids[i] = i
+		}
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.root = t.build(idx, 0)
+	return t
+}
+
+// build recursively partitions idx around the median along the split axis
+// and returns the subtree root's index into the flat arrays.
+func (t *Tree) build(idx []int32, depth int) int32 {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := depth % 2
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := t.pts[idx[a]], t.pts[idx[b]]
+		if axis == 0 {
+			if pa.X != pb.X {
+				return pa.X < pb.X
+			}
+			return pa.Y < pb.Y
+		}
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return pa.X < pb.X
+	})
+	mid := len(idx) / 2
+	node := idx[mid]
+	t.left[node] = t.build(idx[:mid], depth+1)
+	t.right[node] = t.build(idx[mid+1:], depth+1)
+	return node
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Nearest returns the payload id and point of the stored point nearest to
+// q, along with the distance. ok is false for an empty tree.
+func (t *Tree) Nearest(q geom.Point) (id int, p geom.Point, dist float64, ok bool) {
+	if t.root < 0 {
+		return 0, geom.Point{}, 0, false
+	}
+	best := int32(-1)
+	bestD2 := math.Inf(1)
+	t.nearest(t.root, q, 0, &best, &bestD2)
+	return t.ids[best], t.pts[best], math.Sqrt(bestD2), true
+}
+
+func (t *Tree) nearest(node int32, q geom.Point, depth int, best *int32, bestD2 *float64) {
+	if node < 0 {
+		return
+	}
+	p := t.pts[node]
+	if d2 := p.Dist2(q); d2 < *bestD2 {
+		*bestD2 = d2
+		*best = node
+	}
+	axis := depth % 2
+	var diff float64
+	if axis == 0 {
+		diff = q.X - p.X
+	} else {
+		diff = q.Y - p.Y
+	}
+	near, far := t.left[node], t.right[node]
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.nearest(near, q, depth+1, best, bestD2)
+	if diff*diff < *bestD2 {
+		t.nearest(far, q, depth+1, best, bestD2)
+	}
+}
+
+// KNearest returns up to k stored items nearest to q in increasing distance
+// order.
+func (t *Tree) KNearest(q geom.Point, k int) []Neighbor {
+	if k <= 0 || t.root < 0 {
+		return nil
+	}
+	h := &maxHeap{}
+	t.knearest(t.root, q, 0, k, h)
+	out := make([]Neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		nb := h.pop()
+		nb.Dist = math.Sqrt(nb.Dist)
+		out[i] = nb
+	}
+	return out
+}
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	ID   int
+	P    geom.Point
+	Dist float64
+}
+
+// maxHeap keeps the k closest candidates with the farthest on top. Dist
+// holds squared distance during the search.
+type maxHeap struct{ a []Neighbor }
+
+func (h *maxHeap) Len() int { return len(h.a) }
+func (h *maxHeap) push(n Neighbor) {
+	h.a = append(h.a, n)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.a[parent].Dist >= h.a[i].Dist {
+			break
+		}
+		h.a[parent], h.a[i] = h.a[i], h.a[parent]
+		i = parent
+	}
+}
+func (h *maxHeap) pop() Neighbor {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.a) && h.a[l].Dist > h.a[largest].Dist {
+			largest = l
+		}
+		if r < len(h.a) && h.a[r].Dist > h.a[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.a[i], h.a[largest] = h.a[largest], h.a[i]
+		i = largest
+	}
+	return top
+}
+func (h *maxHeap) top() Neighbor { return h.a[0] }
+
+func (t *Tree) knearest(node int32, q geom.Point, depth, k int, h *maxHeap) {
+	if node < 0 {
+		return
+	}
+	p := t.pts[node]
+	d2 := p.Dist2(q)
+	if h.Len() < k {
+		h.push(Neighbor{ID: t.ids[node], P: p, Dist: d2})
+	} else if d2 < h.top().Dist {
+		h.pop()
+		h.push(Neighbor{ID: t.ids[node], P: p, Dist: d2})
+	}
+	axis := depth % 2
+	var diff float64
+	if axis == 0 {
+		diff = q.X - p.X
+	} else {
+		diff = q.Y - p.Y
+	}
+	near, far := t.left[node], t.right[node]
+	if diff > 0 {
+		near, far = far, near
+	}
+	t.knearest(near, q, depth+1, k, h)
+	if h.Len() < k || diff*diff < h.top().Dist {
+		t.knearest(far, q, depth+1, k, h)
+	}
+}
+
+// InRange appends to dst the items whose points fall inside r and returns
+// the extended slice.
+func (t *Tree) InRange(r geom.Rect, dst []Neighbor) []Neighbor {
+	return t.inRange(t.root, r, 0, dst)
+}
+
+func (t *Tree) inRange(node int32, r geom.Rect, depth int, dst []Neighbor) []Neighbor {
+	if node < 0 {
+		return dst
+	}
+	p := t.pts[node]
+	if r.Contains(p) {
+		dst = append(dst, Neighbor{ID: t.ids[node], P: p})
+	}
+	axis := depth % 2
+	var v, lo, hi float64
+	if axis == 0 {
+		v, lo, hi = p.X, r.MinX, r.MaxX
+	} else {
+		v, lo, hi = p.Y, r.MinY, r.MaxY
+	}
+	if lo <= v {
+		dst = t.inRange(t.left[node], r, depth+1, dst)
+	}
+	if hi >= v {
+		dst = t.inRange(t.right[node], r, depth+1, dst)
+	}
+	return dst
+}

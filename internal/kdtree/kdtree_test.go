@@ -1,0 +1,178 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.NormFloat64()*10, rng.NormFloat64()*10)
+	}
+	return pts
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	pts := randPoints(700, 1)
+	tr := Build(pts, nil)
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 200; q++ {
+		probe := geom.Pt(rng.NormFloat64()*12, rng.NormFloat64()*12)
+		id, p, d, ok := tr.Nearest(probe)
+		if !ok {
+			t.Fatal("Nearest not ok on non-empty tree")
+		}
+		// Brute force.
+		bestD := probe.Dist(pts[0])
+		for _, cand := range pts[1:] {
+			if dd := probe.Dist(cand); dd < bestD {
+				bestD = dd
+			}
+		}
+		if d > bestD+1e-9 {
+			t.Fatalf("Nearest dist %v, brute force %v", d, bestD)
+		}
+		if !pts[id].Equal(p) {
+			t.Fatal("returned point does not match returned id")
+		}
+	}
+}
+
+func TestNearestEmpty(t *testing.T) {
+	tr := Build(nil, nil)
+	if _, _, _, ok := tr.Nearest(geom.Pt(0, 0)); ok {
+		t.Error("empty tree Nearest should report !ok")
+	}
+	if tr.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+}
+
+func TestNearestSinglePoint(t *testing.T) {
+	tr := Build([]geom.Point{geom.Pt(3, 4)}, []int{99})
+	id, p, d, ok := tr.Nearest(geom.Pt(0, 0))
+	if !ok || id != 99 || !p.Equal(geom.Pt(3, 4)) || d != 5 {
+		t.Errorf("got id=%d p=%v d=%v ok=%v", id, p, d, ok)
+	}
+}
+
+func TestKNearestOrderAndCompleteness(t *testing.T) {
+	pts := randPoints(400, 3)
+	tr := Build(pts, nil)
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 60; q++ {
+		probe := geom.Pt(rng.NormFloat64()*12, rng.NormFloat64()*12)
+		k := 1 + rng.Intn(12)
+		got := tr.KNearest(probe, k)
+		if len(got) != k {
+			t.Fatalf("KNearest returned %d, want %d", len(got), k)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist-1e-12 {
+				t.Fatal("KNearest out of order")
+			}
+		}
+		dists := make([]float64, len(pts))
+		for i, p := range pts {
+			dists[i] = probe.Dist(p)
+		}
+		sort.Float64s(dists)
+		for i := 0; i < k; i++ {
+			if got[i].Dist > dists[i]+1e-9 {
+				t.Fatalf("rank %d dist %v, brute force %v", i, got[i].Dist, dists[i])
+			}
+		}
+	}
+}
+
+func TestKNearestMoreThanSize(t *testing.T) {
+	pts := randPoints(5, 5)
+	tr := Build(pts, nil)
+	got := tr.KNearest(geom.Pt(0, 0), 50)
+	if len(got) != 5 {
+		t.Errorf("got %d results, want all 5", len(got))
+	}
+	if tr.KNearest(geom.Pt(0, 0), 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestInRangeMatchesBruteForce(t *testing.T) {
+	pts := randPoints(500, 6)
+	tr := Build(pts, nil)
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 60; q++ {
+		r := geom.NewRect(
+			geom.Pt(rng.NormFloat64()*10, rng.NormFloat64()*10),
+			geom.Pt(rng.NormFloat64()*10, rng.NormFloat64()*10),
+		)
+		got := tr.InRange(r, nil)
+		var want int
+		for _, p := range pts {
+			if r.Contains(p) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("InRange(%v) = %d, want %d", r, len(got), want)
+		}
+		for _, nb := range got {
+			if !r.Contains(nb.P) {
+				t.Fatalf("InRange returned outside point %v", nb.P)
+			}
+		}
+	}
+}
+
+func TestCustomIDs(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
+	tr := Build(pts, []int{42, 77})
+	id, _, _, _ := tr.Nearest(geom.Pt(9, 0))
+	if id != 77 {
+		t.Errorf("id = %d, want 77", id)
+	}
+}
+
+func TestBuildPanicsOnIDMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on ids/pts length mismatch")
+		}
+	}()
+	Build(randPoints(3, 8), []int{1, 2})
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	// Many identical points must not break construction or search.
+	pts := make([]geom.Point, 64)
+	for i := range pts {
+		pts[i] = geom.Pt(1, 1)
+	}
+	pts = append(pts, geom.Pt(2, 2))
+	tr := Build(pts, nil)
+	id, _, d, ok := tr.Nearest(geom.Pt(2.1, 2.1))
+	if !ok || id != 64 || d > 0.2 {
+		t.Errorf("nearest among duplicates: id=%d d=%v", id, d)
+	}
+	got := tr.InRange(geom.RectAround(geom.Pt(1, 1), 0.1), nil)
+	if len(got) != 64 {
+		t.Errorf("InRange found %d duplicates, want 64", len(got))
+	}
+}
+
+func TestTreeIsImmutableCopy(t *testing.T) {
+	pts := randPoints(10, 9)
+	tr := Build(pts, nil)
+	// Mutating the caller's slice must not affect the tree.
+	orig := pts[0]
+	pts[0] = geom.Pt(9999, 9999)
+	id, p, _, _ := tr.Nearest(orig)
+	if !p.Equal(orig) && id == 0 {
+		t.Error("tree shares storage with caller slice")
+	}
+}

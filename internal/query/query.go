@@ -1,0 +1,217 @@
+// Package query is the data-reduction layer between the visualization tool
+// and the store — the role ScalaR plays in the paper's related work and
+// the deployment model of §II-D: a visualization request arrives with a
+// latency budget; the planner converts the budget into a tuple count using
+// the latency model, picks the largest registered sample that fits, scans
+// it with the request's viewport predicates, and returns the points to
+// render.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/store"
+	"repro/internal/viztime"
+)
+
+// ErrNoSampleFits is returned when even the smallest registered sample
+// exceeds the latency budget.
+var ErrNoSampleFits = errors.New("query: no sample fits the latency budget")
+
+// Request is one visualization query from the tool.
+type Request struct {
+	// Table is the base table the user is visualizing.
+	Table string
+	// XCol, YCol are the plotted columns.
+	XCol, YCol string
+	// Viewport restricts the plot to a zoom region; the zero Rect (empty)
+	// means the full extent.
+	Viewport geom.Rect
+	// Budget is the latency the tool is willing to spend; zero means the
+	// interactive limit (2s).
+	Budget time.Duration
+	// Exact forces a full-table scan, bypassing samples (the "100%
+	// sample" end of the §II-B tradeoff).
+	Exact bool
+}
+
+// Response is the planner's answer.
+type Response struct {
+	// Points are the tuples to render.
+	Points []geom.Point
+	// Values carries the sample's density counts when the chosen sample
+	// has density embedding, else nil.
+	Values []float64
+	// Sample is the metadata of the sample served, or the zero value for
+	// an exact scan.
+	Sample store.SampleMeta
+	// ExactScan is true when the base table was scanned.
+	ExactScan bool
+	// PredictedTime is the latency-model estimate for rendering Points.
+	PredictedTime time.Duration
+	// PlanTime is how long planning+scan took inside the engine.
+	PlanTime time.Duration
+}
+
+// Planner answers visualization requests against a store.
+type Planner struct {
+	st    *store.Store
+	model viztime.Model
+}
+
+// NewPlanner returns a planner using the latency model to convert budgets
+// to tuple counts.
+func NewPlanner(st *store.Store, model viztime.Model) *Planner {
+	return &Planner{st: st, model: model}
+}
+
+// Plan answers one request.
+func (pl *Planner) Plan(req Request) (*Response, error) {
+	start := time.Now()
+	if req.Table == "" || req.XCol == "" || req.YCol == "" {
+		return nil, errors.New("query: Table, XCol and YCol are required")
+	}
+	budget := req.Budget
+	if budget <= 0 {
+		budget = viztime.InteractiveLimit
+	}
+
+	if req.Exact {
+		base, err := pl.st.Table(req.Table)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := pl.scan(base, req.XCol, req.YCol, req.Viewport)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{
+			Points:        pts,
+			ExactScan:     true,
+			PredictedTime: pl.model.Time(len(pts)),
+			PlanTime:      time.Since(start),
+		}, nil
+	}
+
+	maxTuples := viztime.TuplesWithin(pl.model, budget)
+	chosen, err := pl.chooseSample(req, maxTuples)
+	if err != nil {
+		return nil, err
+	}
+	st, err := pl.st.Table(chosen.Table)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := pl.scan(st, chosen.XCol, chosen.YCol, req.Viewport)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		Points:        pts,
+		Sample:        chosen,
+		PredictedTime: pl.model.Time(len(pts)),
+		PlanTime:      time.Since(start),
+	}
+	if chosen.HasDensity {
+		rows, err := pl.viewportRows(st, chosen.XCol, chosen.YCol, req.Viewport)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := st.Gather("density", rows)
+		if err == nil {
+			resp.Values = vals
+		}
+	}
+	return resp, nil
+}
+
+// chooseSample picks the largest sample of the request's column pair whose
+// size fits the tuple budget. Samples are registered ascending by size.
+func (pl *Planner) chooseSample(req Request, maxTuples int) (store.SampleMeta, error) {
+	metas := pl.st.SamplesOf(req.Table)
+	if len(metas) == 0 {
+		return store.SampleMeta{}, fmt.Errorf("query: table %q has no registered samples", req.Table)
+	}
+	var best store.SampleMeta
+	found := false
+	for _, m := range metas {
+		if m.XCol != req.XCol || m.YCol != req.YCol {
+			continue
+		}
+		if m.Size <= maxTuples {
+			best = m
+			found = true
+		}
+	}
+	if !found {
+		return store.SampleMeta{}, fmt.Errorf("%w: budget admits %d tuples", ErrNoSampleFits, maxTuples)
+	}
+	return best, nil
+}
+
+func (pl *Planner) viewportRows(t *store.Table, xCol, yCol string, vp geom.Rect) ([]int, error) {
+	// Both the zero value (a degenerate point at the origin, the natural
+	// "unset" spelling for callers) and a properly empty rectangle mean
+	// "no viewport restriction".
+	if vp == (geom.Rect{}) || vp.IsEmpty() {
+		rows := make([]int, t.NumRows())
+		for i := range rows {
+			rows[i] = i
+		}
+		return rows, nil
+	}
+	return t.Scan([]store.Pred{
+		{Column: xCol, Min: vp.MinX, Max: vp.MaxX},
+		{Column: yCol, Min: vp.MinY, Max: vp.MaxY},
+	})
+}
+
+func (pl *Planner) scan(t *store.Table, xCol, yCol string, vp geom.Rect) ([]geom.Point, error) {
+	rows, err := pl.viewportRows(t, xCol, yCol, vp)
+	if err != nil {
+		return nil, err
+	}
+	return t.Points(xCol, yCol, rows)
+}
+
+// LoadSample materializes a sample as a store table named name with
+// columns (x, y[, density]) and registers its lineage. It is the bridge
+// the offline builder (cmd/vasgen, the vas façade) uses to publish samples
+// into the serving store.
+func LoadSample(st *store.Store, name string, meta store.SampleMeta, pts []geom.Point, density []int64) error {
+	cols := []string{"x", "y"}
+	if density != nil {
+		if len(density) != len(pts) {
+			return fmt.Errorf("query: %d density counts for %d points", len(density), len(pts))
+		}
+		cols = append(cols, "density")
+	}
+	t, err := st.CreateTable(name, cols...)
+	if err != nil {
+		return err
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	loadCols := [][]float64{xs, ys}
+	if density != nil {
+		ds := make([]float64, len(density))
+		for i, d := range density {
+			ds[i] = float64(d)
+		}
+		loadCols = append(loadCols, ds)
+	}
+	if err := t.BulkLoad(loadCols...); err != nil {
+		return err
+	}
+	meta.Table = name
+	meta.Size = len(pts)
+	meta.HasDensity = density != nil
+	return st.RegisterSample(meta)
+}

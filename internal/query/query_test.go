@@ -1,0 +1,184 @@
+package query
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/store"
+	"repro/internal/viztime"
+)
+
+// fixedModel makes latency exactly n microseconds per tuple with zero
+// startup, so tests can pick budgets that admit exact tuple counts.
+type fixedModel struct{}
+
+func (fixedModel) Name() string { return "fixed" }
+func (fixedModel) Time(n int) time.Duration {
+	return time.Duration(n) * time.Microsecond
+}
+
+func setup(t *testing.T) (*store.Store, *Planner) {
+	t.Helper()
+	st := store.New()
+	base, err := st.CreateTable("base", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 base points on a diagonal.
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i)
+	}
+	if err := base.BulkLoad(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	// Samples of sizes 10 and 50.
+	for _, size := range []int{10, 50} {
+		pts := make([]geom.Point, size)
+		for i := range pts {
+			pts[i] = geom.Pt(float64(i*100/size), float64(i*100/size))
+		}
+		name := names(size)
+		if err := LoadSample(st, name, store.SampleMeta{
+			Source: "base", Method: "vas", XCol: "x", YCol: "y",
+		}, pts, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, NewPlanner(st, fixedModel{})
+}
+
+func names(size int) string {
+	if size == 10 {
+		return "base_vas_10"
+	}
+	return "base_vas_50"
+}
+
+func TestPlannerPicksLargestFittingSample(t *testing.T) {
+	_, pl := setup(t)
+	// Budget admits 60 tuples -> the 50-point sample.
+	resp, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Budget: 60 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sample.Size != 50 {
+		t.Errorf("served sample size %d, want 50", resp.Sample.Size)
+	}
+	// Budget admits 20 tuples -> the 10-point sample.
+	resp, err = pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Budget: 20 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sample.Size != 10 {
+		t.Errorf("served sample size %d, want 10", resp.Sample.Size)
+	}
+}
+
+func TestPlannerBudgetTooSmall(t *testing.T) {
+	_, pl := setup(t)
+	_, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Budget: 5 * time.Microsecond})
+	if !errors.Is(err, ErrNoSampleFits) {
+		t.Errorf("err = %v, want ErrNoSampleFits", err)
+	}
+}
+
+func TestPlannerViewportFilter(t *testing.T) {
+	_, pl := setup(t)
+	vp := geom.Rect{MinX: 0, MinY: 0, MaxX: 30, MaxY: 30}
+	resp, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Viewport: vp, Budget: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range resp.Points {
+		if !vp.Contains(p) {
+			t.Fatalf("point %v outside viewport", p)
+		}
+	}
+	if len(resp.Points) == 0 {
+		t.Error("viewport scan returned nothing")
+	}
+}
+
+func TestPlannerExactScan(t *testing.T) {
+	_, pl := setup(t)
+	resp, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.ExactScan || len(resp.Points) != 100 {
+		t.Errorf("exact scan: exact=%v n=%d", resp.ExactScan, len(resp.Points))
+	}
+}
+
+func TestPlannerDefaultBudgetIsInteractive(t *testing.T) {
+	st := store.New()
+	base, _ := st.CreateTable("base", "x", "y")
+	base.BulkLoad([]float64{1}, []float64{1})
+	pts := []geom.Point{geom.Pt(1, 1)}
+	LoadSample(st, "s", store.SampleMeta{Source: "base", Method: "vas", XCol: "x", YCol: "y"}, pts, nil)
+	pl := NewPlanner(st, viztime.Tableau())
+	resp, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PredictedTime > viztime.InteractiveLimit {
+		t.Errorf("default budget exceeded the interactive limit: %v", resp.PredictedTime)
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	_, pl := setup(t)
+	if _, err := pl.Plan(Request{XCol: "x", YCol: "y"}); err == nil {
+		t.Error("missing table: want error")
+	}
+	if _, err := pl.Plan(Request{Table: "nope", XCol: "x", YCol: "y", Exact: true}); err == nil {
+		t.Error("unknown table: want error")
+	}
+	if _, err := pl.Plan(Request{Table: "base", XCol: "zz", YCol: "y", Exact: true}); err == nil {
+		t.Error("unknown column: want error")
+	}
+}
+
+func TestPlannerNoSamplesRegistered(t *testing.T) {
+	st := store.New()
+	base, _ := st.CreateTable("lonely", "x", "y")
+	base.BulkLoad([]float64{1}, []float64{2})
+	pl := NewPlanner(st, fixedModel{})
+	if _, err := pl.Plan(Request{Table: "lonely", XCol: "x", YCol: "y"}); err == nil {
+		t.Error("no samples: want error")
+	}
+}
+
+func TestLoadSampleWithDensity(t *testing.T) {
+	st := store.New()
+	base, _ := st.CreateTable("base", "x", "y")
+	base.BulkLoad([]float64{0, 10}, []float64{0, 10})
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)}
+	counts := []int64{7, 3}
+	if err := LoadSample(st, "ws", store.SampleMeta{
+		Source: "base", Method: "vas", XCol: "x", YCol: "y",
+	}, pts, counts); err != nil {
+		t.Fatal(err)
+	}
+	metas := st.SamplesOf("base")
+	if len(metas) != 1 || !metas[0].HasDensity || metas[0].Size != 2 {
+		t.Fatalf("meta = %+v", metas)
+	}
+	pl := NewPlanner(st, fixedModel{})
+	resp, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Budget: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Values) != 2 || resp.Values[0] != 7 {
+		t.Errorf("density values = %v", resp.Values)
+	}
+	// Mismatched counts are rejected.
+	if err := LoadSample(st, "bad", store.SampleMeta{Source: "base", XCol: "x", YCol: "y"}, pts, []int64{1}); err == nil {
+		t.Error("count length mismatch: want error")
+	}
+}

@@ -1,0 +1,505 @@
+// Package rtree implements an in-memory R-tree over 2D points with
+// quadratic-split node overflow handling (Guttman 1984). The VAS Interchange
+// algorithm uses it to exploit the locality of the proximity function
+// (paper §IV-B): when a new data point arrives, only sample points within
+// the kernel's support radius contribute non-negligibly to the
+// responsibility updates, and the R-tree finds exactly those points.
+//
+// The tree stores points with an opaque integer payload (the sample-slot
+// id), supports insertion, deletion by (point, id), axis-aligned range
+// search, radius search, and k-nearest-neighbour search.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+const (
+	// MaxEntries is the node capacity M. 16 keeps nodes cache-friendly
+	// for the sample sizes the paper uses (100 .. 1M).
+	MaxEntries = 16
+	// MinEntries is the minimum fill m = M/4 per Guttman's guidance.
+	MinEntries = MaxEntries / 4
+)
+
+// Item is a stored point with its payload id.
+type Item struct {
+	P  geom.Point
+	ID int
+}
+
+type node struct {
+	bounds   geom.Rect
+	leaf     bool
+	items    []Item  // populated when leaf
+	children []*node // populated when !leaf
+}
+
+func newNode(leaf bool) *node {
+	n := &node{bounds: geom.EmptyRect(), leaf: leaf}
+	if leaf {
+		n.items = make([]Item, 0, MaxEntries+1)
+	} else {
+		n.children = make([]*node, 0, MaxEntries+1)
+	}
+	return n
+}
+
+func (n *node) entryCount() int {
+	if n.leaf {
+		return len(n.items)
+	}
+	return len(n.children)
+}
+
+func (n *node) recomputeBounds() {
+	b := geom.EmptyRect()
+	if n.leaf {
+		for _, it := range n.items {
+			b = b.UnionPoint(it.P)
+		}
+	} else {
+		for _, c := range n.children {
+			b = b.Union(c.bounds)
+		}
+	}
+	n.bounds = b
+}
+
+// Tree is an R-tree over 2D points. The zero value is not usable; construct
+// with New. Tree is not safe for concurrent mutation.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty R-tree.
+func New() *Tree {
+	return &Tree{root: newNode(true)}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the bounding rectangle of all stored points.
+func (t *Tree) Bounds() geom.Rect { return t.root.bounds }
+
+// Insert adds the point p with payload id. Duplicates (same point and id)
+// are stored independently.
+func (t *Tree) Insert(p geom.Point, id int) {
+	it := Item{P: p, ID: id}
+	path := t.pathToLeaf(t.root, p)
+	leaf := path[len(path)-1]
+	leaf.items = append(leaf.items, it)
+	leaf.bounds = leaf.bounds.UnionPoint(p)
+	t.size++
+	t.splitUpward(path)
+}
+
+// pathToLeaf returns the root..leaf path chosen for inserting p, adjusting
+// bounds along the way.
+func (t *Tree) pathToLeaf(n *node, p geom.Point) []*node {
+	path := []*node{n}
+	cur := n
+	for !cur.leaf {
+		cur.bounds = cur.bounds.UnionPoint(p)
+		var best *node
+		bestEnl := math.Inf(1)
+		bestArea := math.Inf(1)
+		target := geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+		for _, c := range cur.children {
+			enl := c.bounds.Enlargement(target)
+			area := c.bounds.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = c, enl, area
+			}
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	cur.bounds = cur.bounds.UnionPoint(p)
+	return path
+}
+
+// splitUpward splits overflowing nodes from the end of the insert path
+// toward the root. The path carries the parents, so no searching is needed.
+func (t *Tree) splitUpward(path []*node) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if n.entryCount() <= MaxEntries {
+			return
+		}
+		left, right := splitNode(n)
+		if i == 0 {
+			// n is the root: grow the tree.
+			newRoot := newNode(false)
+			newRoot.children = append(newRoot.children, left, right)
+			newRoot.recomputeBounds()
+			t.root = newRoot
+			return
+		}
+		parent := path[i-1]
+		for j, c := range parent.children {
+			if c == n {
+				parent.children[j] = left
+				break
+			}
+		}
+		parent.children = append(parent.children, right)
+		parent.recomputeBounds()
+	}
+}
+
+// splitNode partitions an overflowing node into two using Guttman's
+// quadratic split: pick the pair of entries wasting the most area as seeds,
+// then assign each remaining entry to the group needing least enlargement.
+func splitNode(n *node) (*node, *node) {
+	if n.leaf {
+		a, b := quadraticSplitItems(n.items)
+		left, right := newNode(true), newNode(true)
+		left.items, right.items = a, b
+		left.recomputeBounds()
+		right.recomputeBounds()
+		return left, right
+	}
+	a, b := quadraticSplitChildren(n.children)
+	left, right := newNode(false), newNode(false)
+	left.children, right.children = a, b
+	left.recomputeBounds()
+	right.recomputeBounds()
+	return left, right
+}
+
+func itemRect(it Item) geom.Rect {
+	return geom.Rect{MinX: it.P.X, MinY: it.P.Y, MaxX: it.P.X, MaxY: it.P.Y}
+}
+
+func quadraticSplitItems(items []Item) ([]Item, []Item) {
+	seedA, seedB := pickSeeds(len(items), func(i int) geom.Rect { return itemRect(items[i]) })
+	ga := []Item{items[seedA]}
+	gb := []Item{items[seedB]}
+	ra, rb := itemRect(items[seedA]), itemRect(items[seedB])
+	for i, it := range items {
+		if i == seedA || i == seedB {
+			continue
+		}
+		// Force minimum fill.
+		remaining := len(items) - i - 1 // not exact but conservative
+		_ = remaining
+		switch {
+		case len(ga) >= MaxEntries-MinEntries+1:
+			gb = append(gb, it)
+			rb = rb.UnionPoint(it.P)
+		case len(gb) >= MaxEntries-MinEntries+1:
+			ga = append(ga, it)
+			ra = ra.UnionPoint(it.P)
+		default:
+			da := ra.Enlargement(itemRect(it))
+			db := rb.Enlargement(itemRect(it))
+			if da < db || (da == db && ra.Area() <= rb.Area()) {
+				ga = append(ga, it)
+				ra = ra.UnionPoint(it.P)
+			} else {
+				gb = append(gb, it)
+				rb = rb.UnionPoint(it.P)
+			}
+		}
+	}
+	return ga, gb
+}
+
+func quadraticSplitChildren(children []*node) ([]*node, []*node) {
+	seedA, seedB := pickSeeds(len(children), func(i int) geom.Rect { return children[i].bounds })
+	ga := []*node{children[seedA]}
+	gb := []*node{children[seedB]}
+	ra, rb := children[seedA].bounds, children[seedB].bounds
+	for i, c := range children {
+		if i == seedA || i == seedB {
+			continue
+		}
+		switch {
+		case len(ga) >= MaxEntries-MinEntries+1:
+			gb = append(gb, c)
+			rb = rb.Union(c.bounds)
+		case len(gb) >= MaxEntries-MinEntries+1:
+			ga = append(ga, c)
+			ra = ra.Union(c.bounds)
+		default:
+			da := ra.Enlargement(c.bounds)
+			db := rb.Enlargement(c.bounds)
+			if da < db || (da == db && ra.Area() <= rb.Area()) {
+				ga = append(ga, c)
+				ra = ra.Union(c.bounds)
+			} else {
+				gb = append(gb, c)
+				rb = rb.Union(c.bounds)
+			}
+		}
+	}
+	return ga, gb
+}
+
+// pickSeeds returns the indices of the two rectangles that waste the most
+// area when paired.
+func pickSeeds(n int, rect func(int) geom.Rect) (int, int) {
+	bestWaste := math.Inf(-1)
+	a, b := 0, 1
+	for i := 0; i < n; i++ {
+		ri := rect(i)
+		for j := i + 1; j < n; j++ {
+			rj := rect(j)
+			waste := ri.Union(rj).Area() - ri.Area() - rj.Area()
+			if waste > bestWaste {
+				bestWaste, a, b = waste, i, j
+			}
+		}
+	}
+	return a, b
+}
+
+// Delete removes one item equal to (p, id). It reports whether an item was
+// found and removed. Underflowing nodes are handled by re-inserting their
+// remaining entries (the standard condense-tree approach). Only the
+// root-to-leaf deletion path is touched, so a delete costs O(depth·M) plus
+// any orphan re-insertions.
+func (t *Tree) Delete(p geom.Point, id int) bool {
+	path := make([]*node, 0, 8)
+	leaf, idx := t.findLeafPath(t.root, p, id, &path)
+	if leaf == nil {
+		return false
+	}
+	leaf.items = append(leaf.items[:idx], leaf.items[idx+1:]...)
+	t.size--
+	t.condense(path)
+	return true
+}
+
+// findLeafPath locates the leaf holding (p, id) and records the root..leaf
+// path into *path.
+func (t *Tree) findLeafPath(n *node, p geom.Point, id int, path *[]*node) (*node, int) {
+	if !n.bounds.Contains(p) {
+		return nil, -1
+	}
+	*path = append(*path, n)
+	if n.leaf {
+		for i, it := range n.items {
+			if it.ID == id && it.P.Equal(p) {
+				return n, i
+			}
+		}
+		*path = (*path)[:len(*path)-1]
+		return nil, -1
+	}
+	for _, c := range n.children {
+		if leaf, i := t.findLeafPath(c, p, id, path); leaf != nil {
+			return leaf, i
+		}
+	}
+	*path = (*path)[:len(*path)-1]
+	return nil, -1
+}
+
+// condense rebalances after a deletion along the recorded path: non-root
+// nodes that underflow are detached and their entries re-inserted; the
+// bounds of the surviving ancestors are refreshed bottom-up.
+func (t *Tree) condense(path []*node) {
+	var orphans []Item
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		if n.entryCount() < MinEntries {
+			parent := path[i-1]
+			for j, c := range parent.children {
+				if c == n {
+					parent.children = append(parent.children[:j], parent.children[j+1:]...)
+					break
+				}
+			}
+			orphans = append(orphans, collectItems(n)...)
+			continue
+		}
+		n.recomputeBounds()
+	}
+	t.root.recomputeBounds()
+	// Root with a single internal child shrinks the tree.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if t.root.entryCount() == 0 && !t.root.leaf {
+		t.root = newNode(true)
+	}
+	t.size -= len(orphans)
+	for _, it := range orphans {
+		t.Insert(it.P, it.ID)
+	}
+}
+
+func collectItems(n *node) []Item {
+	if n.leaf {
+		out := make([]Item, len(n.items))
+		copy(out, n.items)
+		return out
+	}
+	var out []Item
+	for _, c := range n.children {
+		out = append(out, collectItems(c)...)
+	}
+	return out
+}
+
+// Search appends to dst every stored item whose point lies inside r and
+// returns the extended slice.
+func (t *Tree) Search(r geom.Rect, dst []Item) []Item {
+	return searchNode(t.root, r, dst)
+}
+
+func searchNode(n *node, r geom.Rect, dst []Item) []Item {
+	if !n.bounds.Intersects(r) {
+		return dst
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if r.Contains(it.P) {
+				dst = append(dst, it)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = searchNode(c, r, dst)
+	}
+	return dst
+}
+
+// Within appends every item within Euclidean distance radius of p to dst.
+// This is the query Interchange ES+Loc issues per scanned data point.
+func (t *Tree) Within(p geom.Point, radius float64, dst []Item) []Item {
+	box := geom.RectAround(p, radius)
+	r2 := radius * radius
+	return withinNode(t.root, p, box, r2, dst)
+}
+
+func withinNode(n *node, p geom.Point, box geom.Rect, r2 float64, dst []Item) []Item {
+	if !n.bounds.Intersects(box) {
+		return dst
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.P.Dist2(p) <= r2 {
+				dst = append(dst, it)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = withinNode(c, p, box, r2, dst)
+	}
+	return dst
+}
+
+// nnEntry is a priority-queue element for best-first kNN search.
+type nnEntry struct {
+	dist float64
+	node *node
+	item Item
+	leaf bool
+}
+
+type nnQueue []nnEntry
+
+func (q nnQueue) Len() int            { return len(q) }
+func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnEntry)) }
+func (q *nnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Nearest returns the k items nearest to p in increasing distance order
+// using best-first search. It returns fewer than k items when the tree
+// holds fewer.
+func (t *Tree) Nearest(p geom.Point, k int) []Item {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	q := &nnQueue{}
+	heap.Push(q, nnEntry{dist: t.root.bounds.DistToPoint(p), node: t.root})
+	out := make([]Item, 0, k)
+	for q.Len() > 0 && len(out) < k {
+		e := heap.Pop(q).(nnEntry)
+		if e.leaf {
+			out = append(out, e.item)
+			continue
+		}
+		n := e.node
+		if n.leaf {
+			for _, it := range n.items {
+				heap.Push(q, nnEntry{dist: it.P.Dist(p), item: it, leaf: true})
+			}
+			continue
+		}
+		for _, c := range n.children {
+			heap.Push(q, nnEntry{dist: c.bounds.DistToPoint(p), node: c})
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the tree and returns an
+// error describing the first violation found. It is used by tests and
+// property checks.
+func (t *Tree) Validate() error {
+	count, err := validateNode(t.root, t.root)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: size mismatch: counted %d, recorded %d", count, t.size)
+	}
+	return nil
+}
+
+func validateNode(n, root *node) (int, error) {
+	if n != root && n.entryCount() < MinEntries {
+		return 0, fmt.Errorf("rtree: node underflow: %d < %d", n.entryCount(), MinEntries)
+	}
+	if n.entryCount() > MaxEntries {
+		return 0, fmt.Errorf("rtree: node overflow: %d > %d", n.entryCount(), MaxEntries)
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if !n.bounds.Contains(it.P) {
+				return 0, fmt.Errorf("rtree: item %v outside leaf bounds %v", it.P, n.bounds)
+			}
+		}
+		return len(n.items), nil
+	}
+	total := 0
+	for _, c := range n.children {
+		if !n.bounds.ContainsRect(c.bounds) {
+			return 0, fmt.Errorf("rtree: child bounds %v outside parent %v", c.bounds, n.bounds)
+		}
+		sub, err := validateNode(c, root)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}
+
+// Depth returns the height of the tree (1 for a single leaf).
+func (t *Tree) Depth() int {
+	d := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,302 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return pts
+}
+
+func TestInsertAndLen(t *testing.T) {
+	tr := New()
+	pts := randPoints(500, 1)
+	for i, p := range pts {
+		tr.Insert(p, i)
+		if tr.Len() != i+1 {
+			t.Fatalf("Len = %d after %d inserts", tr.Len(), i+1)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("500 points should split the root; depth = %d", tr.Depth())
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	tr := New()
+	pts := randPoints(1000, 2)
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 50; q++ {
+		r := geom.NewRect(
+			geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			geom.Pt(rng.Float64()*100, rng.Float64()*100),
+		)
+		got := idsOf(tr.Search(r, nil))
+		var want []int
+		for i, p := range pts {
+			if r.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(want)
+		if !equalInts(got, want) {
+			t.Fatalf("query %v: got %d ids, want %d", r, len(got), len(want))
+		}
+	}
+}
+
+func TestWithinMatchesBruteForce(t *testing.T) {
+	tr := New()
+	pts := randPoints(800, 4)
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 50; q++ {
+		c := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		radius := rng.Float64() * 20
+		got := idsOf(tr.Within(c, radius, nil))
+		var want []int
+		for i, p := range pts {
+			if p.Dist(c) <= radius {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(want)
+		if !equalInts(got, want) {
+			t.Fatalf("within(%v, %v): got %v, want %v", c, radius, got, want)
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	tr := New()
+	pts := randPoints(600, 6)
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 50; q++ {
+		c := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		k := 1 + rng.Intn(10)
+		got := tr.Nearest(c, k)
+		if len(got) != k {
+			t.Fatalf("Nearest returned %d, want %d", len(got), k)
+		}
+		// Distances must be non-decreasing.
+		for i := 1; i < len(got); i++ {
+			if got[i].P.Dist(c) < got[i-1].P.Dist(c)-1e-12 {
+				t.Fatal("kNN results out of order")
+			}
+		}
+		// k-th distance must equal brute-force k-th distance.
+		dists := make([]float64, len(pts))
+		for i, p := range pts {
+			dists[i] = p.Dist(c)
+		}
+		sort.Float64s(dists)
+		if gd := got[k-1].P.Dist(c); gd > dists[k-1]+1e-9 {
+			t.Fatalf("kth nearest dist %v, brute force %v", gd, dists[k-1])
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	tr := New()
+	if res := tr.Nearest(geom.Pt(0, 0), 3); res != nil {
+		t.Error("empty tree should return nil")
+	}
+	tr.Insert(geom.Pt(1, 1), 7)
+	if res := tr.Nearest(geom.Pt(0, 0), 5); len(res) != 1 || res[0].ID != 7 {
+		t.Errorf("k>size: got %v", res)
+	}
+	if res := tr.Nearest(geom.Pt(0, 0), 0); res != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	pts := randPoints(400, 8)
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	// Delete every third point.
+	deleted := map[int]bool{}
+	for i := 0; i < len(pts); i += 3 {
+		if !tr.Delete(pts[i], i) {
+			t.Fatalf("Delete(%v, %d) failed", pts[i], i)
+		}
+		deleted[i] = true
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("after deleting %d: %v", i, err)
+		}
+	}
+	if tr.Len() != len(pts)-len(deleted) {
+		t.Errorf("Len = %d, want %d", tr.Len(), len(pts)-len(deleted))
+	}
+	// Deleted items are gone; the rest remain findable.
+	all := idsOf(tr.Search(tr.Bounds(), nil))
+	for _, id := range all {
+		if deleted[id] {
+			t.Fatalf("deleted id %d still present", id)
+		}
+	}
+	if len(all) != tr.Len() {
+		t.Errorf("search found %d, Len says %d", len(all), tr.Len())
+	}
+	// Deleting a missing item reports false.
+	if tr.Delete(geom.Pt(-999, -999), 12345) {
+		t.Error("deleting a missing item returned true")
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := New()
+	pts := randPoints(150, 9)
+	for i, p := range pts {
+		tr.Insert(p, i)
+	}
+	for i, p := range pts {
+		if !tr.Delete(p, i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	// The tree must be reusable.
+	tr.Insert(geom.Pt(1, 2), 0)
+	if got := tr.Nearest(geom.Pt(0, 0), 1); len(got) != 1 {
+		t.Fatal("reuse after emptying failed")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr := New()
+	p := geom.Pt(5, 5)
+	for i := 0; i < 40; i++ {
+		tr.Insert(p, i)
+	}
+	if tr.Len() != 40 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Within(p, 0.001, nil)
+	if len(got) != 40 {
+		t.Errorf("Within found %d duplicates, want 40", len(got))
+	}
+	// Delete one specific id among duplicates.
+	if !tr.Delete(p, 17) {
+		t.Fatal("delete duplicate id 17 failed")
+	}
+	for _, it := range tr.Within(p, 0.001, nil) {
+		if it.ID == 17 {
+			t.Fatal("id 17 still present")
+		}
+	}
+}
+
+func TestRandomizedInsertDeleteInvariant(t *testing.T) {
+	// Fuzz-style: random interleaving of inserts and deletes, validating
+	// structure throughout and checking contents against a reference map.
+	rng := rand.New(rand.NewSource(10))
+	tr := New()
+	type item struct {
+		p  geom.Point
+		id int
+	}
+	var live []item
+	nextID := 0
+	for op := 0; op < 3000; op++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			p := geom.Pt(rng.Float64()*50, rng.Float64()*50)
+			tr.Insert(p, nextID)
+			live = append(live, item{p, nextID})
+			nextID++
+		} else {
+			j := rng.Intn(len(live))
+			it := live[j]
+			if !tr.Delete(it.p, it.id) {
+				t.Fatalf("op %d: delete of live item failed", op)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%250 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("op %d: Len=%d, live=%d", op, tr.Len(), len(live))
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := idsOf(tr.Search(geom.Rect{MinX: -1, MinY: -1, MaxX: 51, MaxY: 51}, nil))
+	want := make([]int, len(live))
+	for i, it := range live {
+		want[i] = it.id
+	}
+	sort.Ints(want)
+	if !equalInts(got, want) {
+		t.Fatalf("final contents mismatch: %d vs %d items", len(got), len(want))
+	}
+}
+
+func TestBoundsTracking(t *testing.T) {
+	tr := New()
+	if !tr.Bounds().IsEmpty() {
+		t.Error("empty tree should have empty bounds")
+	}
+	tr.Insert(geom.Pt(1, 2), 0)
+	tr.Insert(geom.Pt(-3, 8), 1)
+	b := tr.Bounds()
+	want := geom.Rect{MinX: -3, MinY: 2, MaxX: 1, MaxY: 8}
+	if b != want {
+		t.Errorf("Bounds = %v, want %v", b, want)
+	}
+}
+
+func idsOf(items []Item) []int {
+	ids := make([]int, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

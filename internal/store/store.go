@@ -1,0 +1,304 @@
+// Package store implements the RDBMS substrate of the Fig. 3 architecture:
+// an in-memory column store holding the base tables and the pre-generated
+// sample tables that VAS maintains ("the sample(s) can be maintained by the
+// same RDBMS", §II-B). It supports typed float64 columns, append and bulk
+// load, predicate scans over column ranges, and a catalog that records
+// sample lineage (source table, method, size) so the query layer can pick
+// the right sample for a latency budget.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// ErrNotFound is returned when a table or column does not exist.
+var ErrNotFound = errors.New("store: not found")
+
+// Table is a named collection of equal-length float64 columns.
+type Table struct {
+	name    string
+	colName []string
+	colIdx  map[string]int
+	cols    [][]float64
+	n       int
+}
+
+// NewTable creates a table with the given column names. It returns an
+// error when names are empty or duplicated.
+func NewTable(name string, columns ...string) (*Table, error) {
+	if name == "" {
+		return nil, errors.New("store: table name must be non-empty")
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("store: table %q needs at least one column", name)
+	}
+	t := &Table{
+		name:    name,
+		colName: append([]string(nil), columns...),
+		colIdx:  make(map[string]int, len(columns)),
+		cols:    make([][]float64, len(columns)),
+	}
+	for i, c := range columns {
+		if c == "" {
+			return nil, fmt.Errorf("store: table %q column %d has empty name", name, i)
+		}
+		if _, dup := t.colIdx[c]; dup {
+			return nil, fmt.Errorf("store: table %q has duplicate column %q", name, c)
+		}
+		t.colIdx[c] = i
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string { return append([]string(nil), t.colName...) }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.n }
+
+// Append adds one row; values must match the column count.
+func (t *Table) Append(values ...float64) error {
+	if len(values) != len(t.cols) {
+		return fmt.Errorf("store: table %q: %d values for %d columns", t.name, len(values), len(t.cols))
+	}
+	for i, v := range values {
+		t.cols[i] = append(t.cols[i], v)
+	}
+	t.n++
+	return nil
+}
+
+// BulkLoad replaces the table contents with the given parallel column
+// slices (copied). Column order must match the schema.
+func (t *Table) BulkLoad(cols ...[]float64) error {
+	if len(cols) != len(t.cols) {
+		return fmt.Errorf("store: table %q: %d columns for %d-column schema", t.name, len(cols), len(t.cols))
+	}
+	n := -1
+	for i, c := range cols {
+		if n == -1 {
+			n = len(c)
+		} else if len(c) != n {
+			return fmt.Errorf("store: table %q: column %q has %d rows, expected %d", t.name, t.colName[i], len(c), n)
+		}
+	}
+	for i, c := range cols {
+		t.cols[i] = append(t.cols[i][:0], c...)
+	}
+	t.n = n
+	return nil
+}
+
+// Column returns a read-only view of the named column.
+func (t *Table) Column(name string) ([]float64, error) {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return nil, fmt.Errorf("store: table %q column %q: %w", t.name, name, ErrNotFound)
+	}
+	return t.cols[i], nil
+}
+
+// Pred is a conjunctive range predicate over columns: for each named
+// column, the row value must be within [Min, Max]. This is the predicate
+// shape visualization tools emit — axis ranges of the current viewport.
+type Pred struct {
+	Column   string
+	Min, Max float64
+}
+
+// Scan returns the indices of rows satisfying all predicates. A nil or
+// empty predicate list selects every row.
+func (t *Table) Scan(preds []Pred) ([]int, error) {
+	cols := make([][]float64, len(preds))
+	for i, p := range preds {
+		c, err := t.Column(p.Column)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	var out []int
+rows:
+	for r := 0; r < t.n; r++ {
+		for i, p := range preds {
+			v := cols[i][r]
+			if v < p.Min || v > p.Max {
+				continue rows
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Points projects two columns into geometry points for the given row set
+// (nil rows = all rows).
+func (t *Table) Points(xCol, yCol string, rows []int) ([]geom.Point, error) {
+	xs, err := t.Column(xCol)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := t.Column(yCol)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		pts := make([]geom.Point, t.n)
+		for i := range pts {
+			pts[i] = geom.Pt(xs[i], ys[i])
+		}
+		return pts, nil
+	}
+	pts := make([]geom.Point, len(rows))
+	for i, r := range rows {
+		if r < 0 || r >= t.n {
+			return nil, fmt.Errorf("store: table %q: row %d out of range [0,%d)", t.name, r, t.n)
+		}
+		pts[i] = geom.Pt(xs[r], ys[r])
+	}
+	return pts, nil
+}
+
+// Gather returns the values of one column at the given rows.
+func (t *Table) Gather(col string, rows []int) ([]float64, error) {
+	c, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		if r < 0 || r >= t.n {
+			return nil, fmt.Errorf("store: table %q: row %d out of range [0,%d)", t.name, r, t.n)
+		}
+		out[i] = c[r]
+	}
+	return out, nil
+}
+
+// SampleMeta records the lineage of a sample table in the catalog.
+type SampleMeta struct {
+	// Table is the sample table's name.
+	Table string
+	// Source is the base table the sample was drawn from.
+	Source string
+	// Method is the sampling method ("vas", "uniform", ...).
+	Method string
+	// XCol, YCol are the indexed column pair the sample was built on.
+	XCol, YCol string
+	// Size is the number of sample rows.
+	Size int
+	// HasDensity reports whether the sample carries a §V count column.
+	HasDensity bool
+}
+
+// Store is a catalog of base tables and sample tables. Safe for concurrent
+// use.
+type Store struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	samples map[string][]SampleMeta // source table -> its samples
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		tables:  make(map[string]*Table),
+		samples: make(map[string][]SampleMeta),
+	}
+}
+
+// CreateTable registers a new table. It fails when the name is taken.
+func (s *Store) CreateTable(name string, columns ...string) (*Table, error) {
+	t, err := NewTable(name, columns...)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tables[name]; exists {
+		return nil, fmt.Errorf("store: table %q already exists", name)
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("store: table %q: %w", name, ErrNotFound)
+	}
+	return t, nil
+}
+
+// DropTable removes a table and any sample metadata pointing at it.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("store: table %q: %w", name, ErrNotFound)
+	}
+	delete(s.tables, name)
+	delete(s.samples, name)
+	for src, metas := range s.samples {
+		kept := metas[:0]
+		for _, m := range metas {
+			if m.Table != name {
+				kept = append(kept, m)
+			}
+		}
+		s.samples[src] = kept
+	}
+	return nil
+}
+
+// TableNames returns all table names sorted.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterSample attaches sample metadata to its source table. The sample
+// table itself must already exist in the store.
+func (s *Store) RegisterSample(meta SampleMeta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[meta.Table]; !ok {
+		return fmt.Errorf("store: sample table %q: %w", meta.Table, ErrNotFound)
+	}
+	if _, ok := s.tables[meta.Source]; !ok {
+		return fmt.Errorf("store: source table %q: %w", meta.Source, ErrNotFound)
+	}
+	if meta.Size <= 0 {
+		return fmt.Errorf("store: sample %q has non-positive size %d", meta.Table, meta.Size)
+	}
+	s.samples[meta.Source] = append(s.samples[meta.Source], meta)
+	sort.Slice(s.samples[meta.Source], func(a, b int) bool {
+		return s.samples[meta.Source][a].Size < s.samples[meta.Source][b].Size
+	})
+	return nil
+}
+
+// SamplesOf returns the registered samples of a source table, ascending by
+// size.
+func (s *Store) SamplesOf(source string) []SampleMeta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]SampleMeta(nil), s.samples[source]...)
+}

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("", "x"); err == nil {
+		t.Error("empty name: want error")
+	}
+	if _, err := NewTable("t"); err == nil {
+		t.Error("no columns: want error")
+	}
+	if _, err := NewTable("t", "x", "x"); err == nil {
+		t.Error("duplicate column: want error")
+	}
+	if _, err := NewTable("t", "x", ""); err == nil {
+		t.Error("empty column name: want error")
+	}
+}
+
+func TestAppendAndColumn(t *testing.T) {
+	tb, err := NewTable("pts", "x", "y", "alt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(4, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(1, 2); err == nil {
+		t.Error("wrong arity: want error")
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	alt, err := tb.Column("alt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt[0] != 3 || alt[1] != 6 {
+		t.Errorf("alt = %v", alt)
+	}
+	if _, err := tb.Column("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing column error = %v", err)
+	}
+	cols := tb.Columns()
+	if len(cols) != 3 || cols[0] != "x" || cols[2] != "alt" {
+		t.Errorf("Columns = %v", cols)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	tb, _ := NewTable("t", "x", "y")
+	if err := tb.BulkLoad([]float64{1, 2, 3}, []float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	if err := tb.BulkLoad([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("ragged columns: want error")
+	}
+	if err := tb.BulkLoad([]float64{1}); err == nil {
+		t.Error("wrong column count: want error")
+	}
+	// BulkLoad replaces contents.
+	if err := tb.BulkLoad([]float64{9}, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Errorf("NumRows after reload = %d", tb.NumRows())
+	}
+}
+
+func TestScanPredicates(t *testing.T) {
+	tb, _ := NewTable("t", "x", "y")
+	if err := tb.BulkLoad(
+		[]float64{0, 1, 2, 3, 4, 5},
+		[]float64{5, 4, 3, 2, 1, 0},
+	); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tb.Scan([]Pred{{Column: "x", Min: 1, Max: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0] != 1 || rows[2] != 3 {
+		t.Errorf("rows = %v", rows)
+	}
+	// Conjunction.
+	rows, err = tb.Scan([]Pred{
+		{Column: "x", Min: 1, Max: 4},
+		{Column: "y", Min: 2, Max: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0] != 2 || rows[1] != 3 {
+		t.Errorf("conjunction rows = %v", rows)
+	}
+	// No predicates = all rows.
+	rows, err = tb.Scan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Errorf("all rows = %v", rows)
+	}
+	if _, err := tb.Scan([]Pred{{Column: "zzz"}}); err == nil {
+		t.Error("bad predicate column: want error")
+	}
+}
+
+func TestPointsAndGather(t *testing.T) {
+	tb, _ := NewTable("t", "x", "y", "v")
+	if err := tb.BulkLoad([]float64{1, 2}, []float64{3, 4}, []float64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := tb.Points("x", "y", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || !pts[1].Equal(geom.Pt(2, 4)) {
+		t.Errorf("pts = %v", pts)
+	}
+	pts, err = tb.Points("x", "y", []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || !pts[0].Equal(geom.Pt(2, 4)) {
+		t.Errorf("subset pts = %v", pts)
+	}
+	if _, err := tb.Points("x", "y", []int{5}); err == nil {
+		t.Error("row out of range: want error")
+	}
+	vals, err := tb.Gather("v", []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 20 || vals[1] != 10 {
+		t.Errorf("gather = %v", vals)
+	}
+	if _, err := tb.Gather("v", []int{-1}); err == nil {
+		t.Error("negative row: want error")
+	}
+}
+
+func TestStoreCatalog(t *testing.T) {
+	s := New()
+	if _, err := s.CreateTable("base", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("base", "x"); err == nil {
+		t.Error("duplicate table: want error")
+	}
+	if _, err := s.Table("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing table error = %v", err)
+	}
+	for _, name := range []string{"s1", "s2", "s3"} {
+		if _, err := s.CreateTable(name, "x", "y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Register out of size order; SamplesOf must sort ascending.
+	for _, m := range []SampleMeta{
+		{Table: "s2", Source: "base", Method: "vas", XCol: "x", YCol: "y", Size: 1000},
+		{Table: "s1", Source: "base", Method: "vas", XCol: "x", YCol: "y", Size: 10},
+		{Table: "s3", Source: "base", Method: "vas", XCol: "x", YCol: "y", Size: 100000},
+	} {
+		if err := s.RegisterSample(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metas := s.SamplesOf("base")
+	if len(metas) != 3 || metas[0].Size != 10 || metas[2].Size != 100000 {
+		t.Errorf("SamplesOf = %+v", metas)
+	}
+	// Registration validation.
+	if err := s.RegisterSample(SampleMeta{Table: "ghost", Source: "base", Size: 5}); err == nil {
+		t.Error("missing sample table: want error")
+	}
+	if err := s.RegisterSample(SampleMeta{Table: "s1", Source: "ghost", Size: 5}); err == nil {
+		t.Error("missing source: want error")
+	}
+	if err := s.RegisterSample(SampleMeta{Table: "s1", Source: "base", Size: 0}); err == nil {
+		t.Error("zero size: want error")
+	}
+	names := s.TableNames()
+	if len(names) != 4 || names[0] != "base" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	s := New()
+	s.CreateTable("base", "x", "y")
+	s.CreateTable("samp", "x", "y")
+	s.RegisterSample(SampleMeta{Table: "samp", Source: "base", Method: "vas", Size: 10})
+	// Dropping the sample table removes its catalog entry.
+	if err := s.DropTable("samp"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SamplesOf("base"); len(got) != 0 {
+		t.Errorf("sample meta survived drop: %+v", got)
+	}
+	if err := s.DropTable("samp"); err == nil {
+		t.Error("double drop: want error")
+	}
+	// Dropping the source removes its sample list.
+	s.CreateTable("samp2", "x", "y")
+	s.RegisterSample(SampleMeta{Table: "samp2", Source: "base", Method: "vas", Size: 10})
+	if err := s.DropTable("base"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SamplesOf("base"); len(got) != 0 {
+		t.Error("source drop left sample metadata")
+	}
+}
+
+func TestStoreConcurrentReads(t *testing.T) {
+	s := New()
+	tb, _ := s.CreateTable("base", "x", "y")
+	tb.BulkLoad([]float64{1, 2, 3}, []float64{4, 5, 6})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := s.Table("base"); err != nil {
+					t.Error(err)
+					return
+				}
+				s.TableNames()
+				s.SamplesOf("base")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,224 @@
+package usersim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func studyData(n int, seed int64) ([]geom.Point, []float64) {
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: n, Seed: seed})
+	return d.Points, d.Values
+}
+
+// noiselessCfg removes worker noise so tests probe the mechanism itself.
+func noiselessCfg(trials int, seed int64) Config {
+	c := DefaultConfig(seed)
+	c.Trials = trials
+	c.NoiseProb = 0
+	return c
+}
+
+func TestRegressionFullDataIsNearPerfect(t *testing.T) {
+	data, values := studyData(5000, 1)
+	res, err := Regression(data, values, data, values, noiselessCfg(100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success < 0.9 {
+		t.Errorf("full-data regression success %.3f, want >= 0.9", res.Success)
+	}
+	if res.Abstained > 0.02 {
+		t.Errorf("full-data abstain rate %.3f", res.Abstained)
+	}
+}
+
+func TestRegressionTinyUniformSampleIsPoor(t *testing.T) {
+	data, values := studyData(20000, 3)
+	// A 20-point uniform sample leaves most zoom regions empty.
+	rng := rand.New(rand.NewSource(4))
+	var sPts []geom.Point
+	var sVals []float64
+	for i := 0; i < 20; i++ {
+		j := rng.Intn(len(data))
+		sPts = append(sPts, data[j])
+		sVals = append(sVals, values[j])
+	}
+	res, err := Regression(data, values, sPts, sVals, noiselessCfg(100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Regression(data, values, data, values, noiselessCfg(100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success >= full.Success {
+		t.Errorf("tiny sample (%.3f) should underperform full data (%.3f)", res.Success, full.Success)
+	}
+	if res.Abstained == 0 {
+		t.Error("tiny sample should force abstentions")
+	}
+}
+
+func TestRegressionDeterministic(t *testing.T) {
+	data, values := studyData(3000, 6)
+	a, err := Regression(data, values, data[:300], values[:300], noiselessCfg(50, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Regression(data, values, data[:300], values[:300], noiselessCfg(50, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Success != b.Success || a.Abstained != b.Abstained {
+		t.Error("same seed produced different study outcomes")
+	}
+}
+
+func TestRegressionValidation(t *testing.T) {
+	data, values := studyData(100, 8)
+	if _, err := Regression(nil, nil, data, values, DefaultConfig(1)); err == nil {
+		t.Error("empty dataset: want error")
+	}
+	if _, err := Regression(data, values[:50], data, values, DefaultConfig(1)); err == nil {
+		t.Error("values mismatch: want error")
+	}
+	if _, err := Regression(data, values, data[:10], values[:5], DefaultConfig(1)); err == nil {
+		t.Error("sample mismatch: want error")
+	}
+}
+
+func TestDensityWeightsBeatFlatSample(t *testing.T) {
+	// Mechanism check for Table I(b): on a flat (VAS-like) sample, adding
+	// the §V counts must improve density-estimation success.
+	rng := rand.New(rand.NewSource(9))
+	var data []geom.Point
+	// Strong density contrast: a hot blob plus thin background.
+	for i := 0; i < 18000; i++ {
+		data = append(data, geom.Pt(rng.NormFloat64()*0.4, rng.NormFloat64()*0.4))
+	}
+	for i := 0; i < 2000; i++ {
+		data = append(data, geom.Pt(rng.Float64()*16-8, rng.Float64()*16-8))
+	}
+	// A deliberately flat sample: a uniform grid over the extent — the
+	// worst case for density perception, as §V argues. Fine enough that
+	// deep-zoom views still hold several grid points per quadrant.
+	var sample []geom.Point
+	for x := -8.0; x <= 8; x += 0.25 {
+		for y := -8.0; y <= 8; y += 0.25 {
+			sample = append(sample, geom.Pt(x, y))
+		}
+	}
+	// True counts for the grid sample.
+	weights := make([]int64, len(sample))
+	for _, p := range data {
+		best, bestD := 0, p.Dist2(sample[0])
+		for j := 1; j < len(sample); j++ {
+			if d := p.Dist2(sample[j]); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		weights[best]++
+	}
+	flat, err := Density(data, sample, nil, noiselessCfg(150, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Density(data, sample, weights, noiselessCfg(150, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Success <= flat.Success {
+		t.Errorf("density embedding did not help: flat %.3f, weighted %.3f", flat.Success, weighted.Success)
+	}
+}
+
+func TestDensityValidation(t *testing.T) {
+	data, _ := studyData(100, 11)
+	if _, err := Density(nil, data, nil, DefaultConfig(1)); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := Density(data, nil, nil, DefaultConfig(1)); err == nil {
+		t.Error("empty sample: want error")
+	}
+	if _, err := Density(data, data[:10], []int64{1}, DefaultConfig(1)); err == nil {
+		t.Error("weights mismatch: want error")
+	}
+}
+
+func TestCountClustersTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var sample []geom.Point
+	for i := 0; i < 300; i++ {
+		sample = append(sample, geom.Pt(-5+rng.NormFloat64(), rng.NormFloat64()))
+		sample = append(sample, geom.Pt(5+rng.NormFloat64(), rng.NormFloat64()))
+	}
+	if got := CountClusters(sample, nil, 48, 0.25); got != 2 {
+		t.Errorf("CountClusters = %d, want 2", got)
+	}
+}
+
+func TestCountClustersOneBlob(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var sample []geom.Point
+	for i := 0; i < 600; i++ {
+		sample = append(sample, geom.Pt(rng.NormFloat64(), rng.NormFloat64()))
+	}
+	if got := CountClusters(sample, nil, 48, 0.25); got != 1 {
+		t.Errorf("CountClusters = %d, want 1", got)
+	}
+}
+
+func TestCountClustersDegenerate(t *testing.T) {
+	if got := CountClusters(nil, nil, 48, 0.25); got != 0 {
+		t.Errorf("empty sample clusters = %d", got)
+	}
+	one := []geom.Point{geom.Pt(1, 1)}
+	if got := CountClusters(one, nil, 32, 0.25); got != 1 {
+		t.Errorf("single point clusters = %d", got)
+	}
+}
+
+func TestClusteringStudySeparatedGaussians(t *testing.T) {
+	sets := dataset.ClusterStudyDatasets(20000, 14)
+	sep := sets[0] // two well-separated Gaussians
+	// A healthy uniform sample should let users count 2 clusters.
+	rng := rand.New(rand.NewSource(15))
+	var sample []geom.Point
+	for i := 0; i < 2000; i++ {
+		sample = append(sample, sep.Points[rng.Intn(sep.Len())])
+	}
+	res, err := Clustering(sample, nil, sep.TrueClusters, noiselessCfg(60, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success < 0.7 {
+		t.Errorf("separated-Gaussians clustering success %.3f, want >= 0.7", res.Success)
+	}
+}
+
+func TestClusteringValidation(t *testing.T) {
+	if _, err := Clustering(nil, nil, 2, DefaultConfig(1)); err == nil {
+		t.Error("empty sample: want error")
+	}
+	if _, err := Clustering([]geom.Point{{X: 1, Y: 1}}, []int64{1, 2}, 1, DefaultConfig(1)); err == nil {
+		t.Error("weights mismatch: want error")
+	}
+}
+
+func TestNoiseCapsSuccess(t *testing.T) {
+	// With 100% noise, regression success collapses to the guess rate.
+	data, values := studyData(3000, 17)
+	cfg := DefaultConfig(18)
+	cfg.Trials = 400
+	cfg.NoiseProb = 1
+	res, err := Regression(data, values, data, values, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success > 0.4 {
+		t.Errorf("all-noise success %.3f, want ≈0.25", res.Success)
+	}
+}

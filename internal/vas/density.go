@@ -1,0 +1,132 @@
+package vas
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+// This file implements the density-embedding extension of §V: VAS alone
+// flattens density (it spreads points out), so for density-estimation and
+// clustering tasks the paper attaches a counter to every sampled point and,
+// in a second pass over the dataset, increments the counter of the nearest
+// sampled point. The counts are then encoded visually (dot size or jitter).
+
+// WeightedSample is a sample whose points carry the density counts of the
+// dataset regions they represent. Count[i] is the number of dataset points
+// whose nearest sample point is Points[i] (every sample point counts itself
+// via the pass, so counts sum to the dataset size).
+type WeightedSample struct {
+	Points []geom.Point
+	IDs    []int
+	Counts []int64
+}
+
+// Len returns the number of sample points.
+func (w *WeightedSample) Len() int { return len(w.Points) }
+
+// TotalCount returns the sum of all counts, which equals the number of
+// dataset points streamed through the density pass.
+func (w *WeightedSample) TotalCount() int64 {
+	var t int64
+	for _, c := range w.Counts {
+		t += c
+	}
+	return t
+}
+
+// MaxCount returns the largest per-point count, used to normalize visual
+// encodings.
+func (w *WeightedSample) MaxCount() int64 {
+	var m int64
+	for _, c := range w.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// DensityPass performs the §V second pass: for every dataset point it finds
+// the nearest sample point with a k-d tree (O(log K) per point, O(N log K)
+// total) and increments that sample point's counter.
+//
+// sample and ids must be parallel slices as returned by Interchange.Sample
+// and Interchange.SampleIDs; ids may be nil when the caller does not track
+// dataset indices.
+func DensityPass(sample []geom.Point, ids []int, data []geom.Point) (*WeightedSample, error) {
+	if len(sample) == 0 {
+		return nil, errors.New("vas: density pass needs a non-empty sample")
+	}
+	if ids != nil && len(ids) != len(sample) {
+		return nil, fmt.Errorf("vas: ids length %d != sample length %d", len(ids), len(sample))
+	}
+	t := kdtree.Build(sample, nil)
+	counts := make([]int64, len(sample))
+	for _, p := range data {
+		i, _, _, ok := t.Nearest(p)
+		if !ok {
+			break // unreachable: tree is non-empty
+		}
+		counts[i]++
+	}
+	ws := &WeightedSample{
+		Points: append([]geom.Point(nil), sample...),
+		Counts: counts,
+	}
+	if ids != nil {
+		ws.IDs = append([]int(nil), ids...)
+	}
+	return ws, nil
+}
+
+// DensityPassStream is DensityPass for callers that cannot materialize the
+// dataset: it returns an accumulator with an Add method and a Finish method
+// producing the WeightedSample. This mirrors how the paper describes the
+// pass — "while scanning the dataset once more" — and is what cmd/vasgen
+// uses for CSV streams.
+type DensityAccumulator struct {
+	tree   *kdtree.Tree
+	sample []geom.Point
+	ids    []int
+	counts []int64
+	n      int64
+}
+
+// NewDensityAccumulator prepares a streaming density pass over the sample.
+func NewDensityAccumulator(sample []geom.Point, ids []int) (*DensityAccumulator, error) {
+	if len(sample) == 0 {
+		return nil, errors.New("vas: density pass needs a non-empty sample")
+	}
+	if ids != nil && len(ids) != len(sample) {
+		return nil, fmt.Errorf("vas: ids length %d != sample length %d", len(ids), len(sample))
+	}
+	return &DensityAccumulator{
+		tree:   kdtree.Build(sample, nil),
+		sample: append([]geom.Point(nil), sample...),
+		ids:    append([]int(nil), ids...),
+		counts: make([]int64, len(sample)),
+	}, nil
+}
+
+// Add routes one dataset point to its nearest sample point.
+func (d *DensityAccumulator) Add(p geom.Point) {
+	i, _, _, _ := d.tree.Nearest(p)
+	d.counts[i]++
+	d.n++
+}
+
+// Seen returns how many dataset points have been added.
+func (d *DensityAccumulator) Seen() int64 { return d.n }
+
+// Finish returns the weighted sample. The accumulator remains usable; the
+// returned counts are a snapshot.
+func (d *DensityAccumulator) Finish() *WeightedSample {
+	return &WeightedSample{
+		Points: append([]geom.Point(nil), d.sample...),
+		IDs:    append([]int(nil), d.ids...),
+		Counts: append([]int64(nil), d.counts...),
+	}
+}

@@ -1,0 +1,181 @@
+package vas
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/rtree"
+)
+
+// locIndex abstracts the spatial index that the ESLoc variant uses to find
+// the sample points within the kernel support of an incoming point. Two
+// implementations exist: the R-tree the paper prescribes and a uniform grid
+// for the index ablation (DESIGN.md §4).
+type locIndex interface {
+	insert(p geom.Point, slot int)
+	remove(p geom.Point, slot int)
+	// within appends the slot and squared distance of every indexed point
+	// within radius of p.
+	within(p geom.Point, radius float64, dst []slotDist) []slotDist
+}
+
+// slotDist is one locality-query hit: the sample slot and its squared
+// distance to the query point, so the kernel evaluation can reuse the
+// distance the index already computed.
+type slotDist struct {
+	slot int
+	d2   float64
+}
+
+// rtreeIndex adapts internal/rtree to locIndex.
+type rtreeIndex struct {
+	t       *rtree.Tree
+	scratch []rtree.Item
+}
+
+func newRTreeIndex() *rtreeIndex { return &rtreeIndex{t: rtree.New()} }
+
+func (ix *rtreeIndex) insert(p geom.Point, slot int) { ix.t.Insert(p, slot) }
+func (ix *rtreeIndex) remove(p geom.Point, slot int) { ix.t.Delete(p, slot) }
+
+func (ix *rtreeIndex) within(p geom.Point, radius float64, dst []slotDist) []slotDist {
+	ix.scratch = ix.scratch[:0]
+	ix.scratch = ix.t.Within(p, radius, ix.scratch)
+	for _, it := range ix.scratch {
+		dst = append(dst, slotDist{slot: it.ID, d2: it.P.Dist2(p)})
+	}
+	return dst
+}
+
+// gridIndex adapts internal/grid to locIndex.
+type gridIndex struct {
+	g       *grid.Grid
+	scratch []grid.Item
+}
+
+// newGridIndex sizes the grid so an average cell is on the order of the
+// sample density: √K cells per side keeps expected per-cell occupancy O(1).
+func newGridIndex(bounds geom.Rect, k int) *gridIndex {
+	side := int(math.Sqrt(float64(k)))
+	if side < 4 {
+		side = 4
+	}
+	return &gridIndex{g: grid.New(bounds, side, side)}
+}
+
+func (ix *gridIndex) insert(p geom.Point, slot int) { ix.g.Insert(p, slot) }
+func (ix *gridIndex) remove(p geom.Point, slot int) { ix.g.Delete(p, slot) }
+
+func (ix *gridIndex) within(p geom.Point, radius float64, dst []slotDist) []slotDist {
+	ix.scratch = ix.scratch[:0]
+	ix.scratch = ix.g.Within(p, radius, ix.scratch)
+	for _, it := range ix.scratch {
+		dst = append(dst, slotDist{slot: it.ID, d2: it.P.Dist2(p)})
+	}
+	return dst
+}
+
+// slotHeap is an indexed max-heap over slot responsibilities. It supports
+// push, remove-by-slot, key update, and max lookup in O(log n), which keeps
+// the Shrink step sublinear for the ESLoc variant: without it, finding the
+// max-responsibility element would rescan all K slots and erase the benefit
+// of locality-pruned updates.
+type slotHeap struct {
+	slots []int     // heap order -> slot
+	pos   []int     // slot -> heap position, -1 when absent
+	key   []float64 // slot -> responsibility
+}
+
+func newSlotHeap(capSlots int) *slotHeap {
+	h := &slotHeap{
+		slots: make([]int, 0, capSlots),
+		pos:   make([]int, capSlots),
+		key:   make([]float64, capSlots),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *slotHeap) len() int { return len(h.slots) }
+
+func (h *slotHeap) push(slot int, key float64) {
+	h.key[slot] = key
+	h.pos[slot] = len(h.slots)
+	h.slots = append(h.slots, slot)
+	h.siftUp(len(h.slots) - 1)
+}
+
+// maxSlot returns the slot with the largest key. It panics on an empty
+// heap, which would indicate a bookkeeping bug in Interchange.
+func (h *slotHeap) maxSlot() int { return h.slots[0] }
+
+func (h *slotHeap) remove(slot int) {
+	i := h.pos[slot]
+	if i < 0 {
+		return
+	}
+	last := len(h.slots) - 1
+	h.swap(i, last)
+	h.slots = h.slots[:last]
+	h.pos[slot] = -1
+	if i < last {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+}
+
+// update changes slot's key and restores heap order. Calling update for a
+// slot not in the heap is a no-op, which lets Interchange blindly update
+// neighbours that may include the entry being removed.
+func (h *slotHeap) update(slot int, key float64) {
+	i := h.pos[slot]
+	if i < 0 {
+		return
+	}
+	old := h.key[slot]
+	h.key[slot] = key
+	if key > old {
+		h.siftUp(i)
+	} else if key < old {
+		h.siftDown(i)
+	}
+}
+
+func (h *slotHeap) swap(i, j int) {
+	h.slots[i], h.slots[j] = h.slots[j], h.slots[i]
+	h.pos[h.slots[i]] = i
+	h.pos[h.slots[j]] = j
+}
+
+func (h *slotHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.key[h.slots[parent]] >= h.key[h.slots[i]] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *slotHeap) siftDown(i int) {
+	n := len(h.slots)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.key[h.slots[l]] > h.key[h.slots[largest]] {
+			largest = l
+		}
+		if r < n && h.key[h.slots[r]] > h.key[h.slots[largest]] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.swap(i, largest)
+		i = largest
+	}
+}

@@ -1,0 +1,153 @@
+package vas
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/kernel"
+)
+
+// This file implements the paper's Mixed Integer Program formulation of
+// VAS (referenced in §VI-D and detailed in the technical report) as an
+// exporter: WriteMIP emits the instance in CPLEX LP format, the lingua
+// franca GLPK and every other MIP solver reads. The in-repo exact solver
+// (exact.go) covers Table II offline; the exporter lets anyone hand the
+// same instances to an external solver to cross-check.
+//
+// Formulation. Binary x_i marks point i selected; binary y_ij (i<j) marks
+// the pair (i,j) jointly selected:
+//
+//	min  Σ_{i<j} κ̃(p_i, p_j) · y_ij
+//	s.t. Σ_i x_i = K
+//	     y_ij ≥ x_i + x_j − 1      (pair activation)
+//	     x ∈ {0,1}ⁿ, y ∈ [0,1]     (y relaxes to binary at optimum)
+//
+// Since κ̃ ≥ 0 and we minimize, each y_ij sits at max(0, x_i+x_j−1) in any
+// optimal solution, so the relaxation of y is exact.
+
+// MIPOptions configures WriteMIP.
+type MIPOptions struct {
+	// K is the sample size (required, 0 < K <= len(points)).
+	K int
+	// Kernel supplies κ̃ (required).
+	Kernel kernel.Func
+	// SkipNegligible omits objective terms below NegligibleThreshold,
+	// shrinking the model the same way the locality speed-up prunes
+	// pairs. Off by default for bit-exact instances.
+	SkipNegligible bool
+	// NegligibleThreshold is the cutoff when SkipNegligible is set;
+	// 0 means 1e-7 (the paper's negligibility scale).
+	NegligibleThreshold float64
+}
+
+// WriteMIP writes the VAS instance over pts as an LP-format MIP. The
+// variable names are x0..x{n-1} and y{i}_{j} with i<j.
+func WriteMIP(w io.Writer, pts []geom.Point, opt MIPOptions) error {
+	n := len(pts)
+	if n == 0 {
+		return errors.New("vas: WriteMIP needs points")
+	}
+	if opt.K <= 0 || opt.K > n {
+		return fmt.Errorf("vas: WriteMIP needs 0 < K <= N, got K=%d N=%d", opt.K, n)
+	}
+	if opt.Kernel.Bandwidth() <= 0 {
+		return errors.New("vas: MIPOptions.Kernel is unset")
+	}
+	threshold := 0.0
+	if opt.SkipNegligible {
+		threshold = opt.NegligibleThreshold
+		if threshold <= 0 {
+			threshold = 1e-7
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "\\ VAS instance: N=%d K=%d kernel=%s\n", n, opt.K, opt.Kernel)
+	fmt.Fprintln(bw, "Minimize")
+	fmt.Fprint(bw, " obj:")
+	terms := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := opt.Kernel.Pair(pts[i], pts[j])
+			if c <= threshold {
+				continue
+			}
+			if terms > 0 && terms%8 == 0 {
+				fmt.Fprint(bw, "\n     ")
+			}
+			fmt.Fprintf(bw, " + %.12g y%d_%d", c, i, j)
+			terms++
+		}
+	}
+	if terms == 0 {
+		// All pairs negligible: any K-subset is optimal, but the model
+		// still needs a well-formed objective.
+		fmt.Fprint(bw, " 0 x0")
+	}
+	fmt.Fprintln(bw)
+
+	fmt.Fprintln(bw, "Subject To")
+	fmt.Fprint(bw, " card:")
+	for i := 0; i < n; i++ {
+		if i > 0 && i%16 == 0 {
+			fmt.Fprint(bw, "\n     ")
+		}
+		fmt.Fprintf(bw, " + x%d", i)
+	}
+	fmt.Fprintf(bw, " = %d\n", opt.K)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := opt.Kernel.Pair(pts[i], pts[j])
+			if c <= threshold {
+				continue
+			}
+			fmt.Fprintf(bw, " act%d_%d: y%d_%d - x%d - x%d >= -1\n", i, j, i, j, i, j)
+		}
+	}
+
+	fmt.Fprintln(bw, "Bounds")
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := opt.Kernel.Pair(pts[i], pts[j])
+			if c <= threshold {
+				continue
+			}
+			fmt.Fprintf(bw, " 0 <= y%d_%d <= 1\n", i, j)
+		}
+	}
+
+	fmt.Fprintln(bw, "Binary")
+	for i := 0; i < n; i++ {
+		if i > 0 && i%16 == 0 {
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, " x%d", i)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+// MIPObjective evaluates the MIP objective for a 0/1 selection vector,
+// used by tests to confirm the exporter and the in-repo solvers agree on
+// the same instance.
+func MIPObjective(pts []geom.Point, kern kernel.Func, selected []bool) (float64, error) {
+	if len(selected) != len(pts) {
+		return 0, fmt.Errorf("vas: selection length %d != %d points", len(selected), len(pts))
+	}
+	var obj float64
+	for i := 0; i < len(pts); i++ {
+		if !selected[i] {
+			continue
+		}
+		for j := i + 1; j < len(pts); j++ {
+			if selected[j] {
+				obj += kern.Pair(pts[i], pts[j])
+			}
+		}
+	}
+	return obj, nil
+}

@@ -1,0 +1,103 @@
+package vas
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestWriteMIPWellFormed(t *testing.T) {
+	pts := clusteredPoints(8, 1)
+	kern := kernel.NewGaussian(0.8)
+	var b strings.Builder
+	if err := WriteMIP(&b, pts, MIPOptions{K: 3, Kernel: kern}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Minimize", "Subject To", "card:", "Binary", "End", "= 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q", want)
+		}
+	}
+	// All n(n-1)/2 = 28 pair variables and activation rows present.
+	if got := strings.Count(out, "act"); got != 28 {
+		t.Errorf("activation constraints = %d, want 28", got)
+	}
+	// Every x variable declared binary.
+	for i := 0; i < 8; i++ {
+		if !strings.Contains(out, "x"+string(rune('0'+i))) {
+			t.Errorf("missing variable x%d", i)
+		}
+	}
+}
+
+func TestWriteMIPSkipNegligible(t *testing.T) {
+	// Two tight pairs far apart: cross-pair terms are negligible.
+	pts := clusteredPoints(12, 2)
+	kern := kernel.NewGaussian(0.05)
+	var full, pruned strings.Builder
+	if err := WriteMIP(&full, pts, MIPOptions{K: 4, Kernel: kern}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMIP(&pruned, pts, MIPOptions{K: 4, Kernel: kern, SkipNegligible: true}); err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Len() >= full.Len() {
+		t.Errorf("pruned model (%d bytes) not smaller than full (%d)", pruned.Len(), full.Len())
+	}
+}
+
+func TestWriteMIPValidation(t *testing.T) {
+	kern := kernel.NewGaussian(1)
+	var b strings.Builder
+	if err := WriteMIP(&b, nil, MIPOptions{K: 1, Kernel: kern}); err == nil {
+		t.Error("no points: want error")
+	}
+	pts := clusteredPoints(4, 3)
+	if err := WriteMIP(&b, pts, MIPOptions{K: 0, Kernel: kern}); err == nil {
+		t.Error("K=0: want error")
+	}
+	if err := WriteMIP(&b, pts, MIPOptions{K: 9, Kernel: kern}); err == nil {
+		t.Error("K>N: want error")
+	}
+	if err := WriteMIP(&b, pts, MIPOptions{K: 2}); err == nil {
+		t.Error("unset kernel: want error")
+	}
+}
+
+// TestMIPObjectiveAgreesWithSolvers checks the three views of the same
+// instance agree: the MIP objective for the exact solver's selection, the
+// solver's reported objective, and the reference Objective().
+func TestMIPObjectiveAgreesWithSolvers(t *testing.T) {
+	pts := clusteredPoints(20, 4)
+	kern := kernel.NewGaussian(0.6)
+	res, err := SolveExact(context.Background(), pts, ExactOptions{K: 6, Kernel: kern})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected := make([]bool, len(pts))
+	for _, i := range res.Indices {
+		selected[i] = true
+	}
+	mipObj, err := MIPObjective(pts, kern, selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mipObj-res.Objective) > 1e-9*(1+res.Objective) {
+		t.Errorf("MIP objective %v vs solver %v", mipObj, res.Objective)
+	}
+	refObj := Objective(kern, gatherPts(pts, res.Indices))
+	if math.Abs(mipObj-refObj) > 1e-9*(1+refObj) {
+		t.Errorf("MIP objective %v vs reference %v", mipObj, refObj)
+	}
+}
+
+func TestMIPObjectiveValidation(t *testing.T) {
+	pts := clusteredPoints(4, 5)
+	if _, err := MIPObjective(pts, kernel.NewGaussian(1), []bool{true}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}

@@ -1,0 +1,401 @@
+// Package vas (module repro) is the public API of this repository: a Go
+// implementation of Visualization-Aware Sampling (Park, Cafarella,
+// Mozafari — ICDE 2016). VAS selects a K-point subset of a large 2D
+// dataset that preserves the visual fidelity of scatter and map plots at
+// arbitrary zoom, by minimizing a visualization-driven loss instead of the
+// aggregation-oriented criteria of uniform or stratified sampling.
+//
+// Basic usage:
+//
+//	sample, err := vas.Build(points, vas.Options{K: 10_000})
+//	// plot sample.Points instead of points
+//
+// For density-estimation or clustering workloads, attach the §V density
+// embedding and render dots sized by count:
+//
+//	ws, err := sample.DensityEmbed(points)
+//
+// The package also exposes the baselines (Uniform, Stratified), the loss
+// metric the samples optimize (EvaluateLoss), PNG rendering, and a small
+// latency-bound serving layer (Catalog) mirroring the paper's Fig. 3
+// architecture. Internal packages contain the substrates: the Interchange
+// algorithm and exact solver (internal/vas), spatial indexes
+// (internal/rtree, internal/kdtree, internal/grid), the loss evaluator
+// (internal/loss), dataset generators (internal/dataset), rendering
+// (internal/render), the store/query engine (internal/store,
+// internal/query) and the full experiment harness (internal/experiments).
+package vas
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/kernel"
+	"repro/internal/loss"
+	"repro/internal/query"
+	"repro/internal/render"
+	"repro/internal/sampling"
+	"repro/internal/store"
+	core "repro/internal/vas"
+	"repro/internal/viztime"
+)
+
+// Point is a 2D data point (X = longitude / x-axis column, Y = latitude /
+// y-axis column).
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle used for viewports and zoom regions.
+type Rect = geom.Rect
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Options configures Build.
+type Options struct {
+	// K is the sample size (required, positive).
+	K int
+	// Epsilon is the kernel bandwidth ε; 0 derives it from the data via
+	// the paper's heuristic (max pairwise distance / 100).
+	Epsilon float64
+	// Kernel names the proximity family: "gaussian" (default, the
+	// paper's), "epanechnikov", or "tricube".
+	Kernel string
+	// Variant names the Interchange implementation: "es" (default),
+	// "no-es", or "es+loc".
+	Variant string
+	// Passes is how many times Build streams the data through
+	// Interchange; 0 means 2. More passes converge closer to the
+	// fixed point (Theorem 3); convergence stops passes early.
+	Passes int
+}
+
+// Sample is a VAS sample: the selected points, their indices into the
+// input, and the achieved optimization objective.
+type Sample struct {
+	// Points are the selected points.
+	Points []Point
+	// IDs are indices into the dataset passed to Build, parallel to
+	// Points.
+	IDs []int
+	// Objective is Σ_{i<j} κ̃ over the sample — the quantity VAS
+	// minimizes; comparable across samples of the same K and kernel.
+	Objective float64
+	// Passes is how many passes Interchange ran.
+	Passes int
+
+	kern kernel.Func
+}
+
+// Kernel returns the proximity function the sample was built with, for
+// use with EvaluateLoss.
+func (s *Sample) Kernel() kernel.Func { return s.kern }
+
+// Build runs the Interchange algorithm over points and returns the VAS
+// sample. Build streams the data Passes times (default 2) and stops early
+// at the Interchange fixed point.
+func Build(points []Point, opt Options) (*Sample, error) {
+	if opt.K <= 0 {
+		return nil, fmt.Errorf("vas: Options.K must be positive, got %d", opt.K)
+	}
+	if len(points) == 0 {
+		return nil, errors.New("vas: empty dataset")
+	}
+	kern, err := resolveKernel(points, opt)
+	if err != nil {
+		return nil, err
+	}
+	variant := core.ES
+	if opt.Variant != "" {
+		variant, err = core.ParseVariant(opt.Variant)
+		if err != nil {
+			return nil, err
+		}
+	}
+	passes := opt.Passes
+	if passes <= 0 {
+		passes = 2
+	}
+	if opt.K >= len(points) {
+		ids := make([]int, len(points))
+		for i := range ids {
+			ids[i] = i
+		}
+		return &Sample{
+			Points:    append([]Point(nil), points...),
+			IDs:       ids,
+			Objective: core.Objective(kern, points),
+			kern:      kern,
+		}, nil
+	}
+	ic := core.NewInterchange(core.Options{K: opt.K, Kernel: kern, Variant: variant})
+	ran := core.Converge(ic, points, passes)
+	return &Sample{
+		Points:    ic.Sample(),
+		IDs:       ic.SampleIDs(),
+		Objective: ic.RecomputeObjective(),
+		Passes:    ran,
+		kern:      kern,
+	}, nil
+}
+
+func resolveKernel(points []Point, opt Options) (kernel.Func, error) {
+	kind := kernel.Gaussian
+	if opt.Kernel != "" {
+		var err error
+		kind, err = kernel.ParseKind(opt.Kernel)
+		if err != nil {
+			return kernel.Func{}, err
+		}
+	}
+	if opt.Epsilon > 0 {
+		return kernel.New(kind, opt.Epsilon), nil
+	}
+	return kernel.FromData(kind, points)
+}
+
+// WeightedSample is a sample with §V density counts: Counts[i] is the
+// number of dataset points represented by Points[i]. Render these with
+// dot sizes or jitter proportional to the count.
+type WeightedSample = core.WeightedSample
+
+// DensityEmbed runs the second pass of §V over data (normally the same
+// slice passed to Build) and returns the weighted sample.
+func (s *Sample) DensityEmbed(data []Point) (*WeightedSample, error) {
+	return core.DensityPass(s.Points, s.IDs, data)
+}
+
+// Uniform draws a uniform random sample of size k (reservoir, one pass).
+func Uniform(points []Point, k int, seed int64) (pts []Point, ids []int, err error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("vas: k must be positive, got %d", k)
+	}
+	if len(points) == 0 {
+		return nil, nil, errors.New("vas: empty dataset")
+	}
+	r := sampling.NewReservoir(k, seed)
+	sampling.Run(r, points)
+	return r.Sample(), r.SampleIDs(), nil
+}
+
+// Stratified draws a grid-stratified sample of size k over bins×bins
+// cells with the most-balanced allocation.
+func Stratified(points []Point, k, bins int, seed int64) (pts []Point, ids []int, err error) {
+	if k <= 0 || bins <= 0 {
+		return nil, nil, fmt.Errorf("vas: k and bins must be positive, got k=%d bins=%d", k, bins)
+	}
+	if len(points) == 0 {
+		return nil, nil, errors.New("vas: empty dataset")
+	}
+	s := sampling.NewStratifiedSquare(k, geom.Bounds(points), bins, seed)
+	sampling.Run(s, points)
+	return s.Sample(), s.SampleIDs(), nil
+}
+
+// LossReport scores a sample against its dataset with the paper's loss.
+type LossReport struct {
+	// MedianLoss is the median Monte Carlo point loss of the sample.
+	MedianLoss float64
+	// LogLossRatio is log10(Loss(sample)/Loss(dataset)); 0 is perfect.
+	LogLossRatio float64
+	// Covered is the fraction of probes with non-negligible kernel mass.
+	Covered float64
+}
+
+// EvaluateLoss computes the Eq. 1 loss of sample relative to data using
+// the paper's Monte Carlo procedure (probes default to 1000; seed fixes
+// them). A kernel bandwidth of 0 uses the data heuristic.
+func EvaluateLoss(data, sample []Point, epsilon float64, probes int, seed int64) (LossReport, error) {
+	var kern kernel.Func
+	var err error
+	if epsilon > 0 {
+		kern = kernel.New(kernel.Gaussian, epsilon)
+	} else {
+		kern, err = kernel.FromData(kernel.Gaussian, data)
+		if err != nil {
+			return LossReport{}, err
+		}
+	}
+	ev, err := loss.NewEvaluator(data, loss.Options{Kernel: kern, Probes: probes, Seed: seed})
+	if err != nil {
+		return LossReport{}, err
+	}
+	ratio, sRes, _, err := ev.EvaluateRatio(sample, data)
+	if err != nil {
+		return LossReport{}, err
+	}
+	return LossReport{MedianLoss: sRes.MedianLoss, LogLossRatio: ratio, Covered: sRes.Covered}, nil
+}
+
+// RenderPNG rasterizes points over the viewport (use the zero Rect for
+// the data extent) at w×h pixels and writes a PNG.
+func RenderPNG(out io.Writer, points []Point, viewport Rect, w, h int) error {
+	if viewport == (Rect{}) || viewport.IsEmpty() {
+		viewport = geom.Bounds(points)
+	}
+	if viewport.IsEmpty() {
+		return errors.New("vas: nothing to render")
+	}
+	viewport = padViewport(viewport)
+	r := render.NewRaster(viewport, w, h)
+	r.Plot(points)
+	return r.WritePNG(out)
+}
+
+// RenderWeightedPNG renders a density-embedded sample with dot areas
+// proportional to counts (§V's visual encoding).
+func RenderWeightedPNG(out io.Writer, ws *WeightedSample, viewport Rect, w, h int) error {
+	if ws == nil || len(ws.Points) == 0 {
+		return errors.New("vas: nothing to render")
+	}
+	if viewport == (Rect{}) || viewport.IsEmpty() {
+		viewport = geom.Bounds(ws.Points)
+	}
+	viewport = padViewport(viewport)
+	r := render.NewRaster(viewport, w, h)
+	if _, err := r.PlotWeighted(ws.Points, ws.Counts, 0); err != nil {
+		return err
+	}
+	return r.WritePNG(out)
+}
+
+// RenderMapPNG renders a value-colored map plot (Fig. 1 style): values
+// (e.g. altitude) are encoded as color.
+func RenderMapPNG(out io.Writer, points []Point, values []float64, viewport Rect, w, h int) error {
+	if len(points) == 0 {
+		return errors.New("vas: nothing to render")
+	}
+	if viewport == (Rect{}) || viewport.IsEmpty() {
+		viewport = geom.Bounds(points)
+	}
+	viewport = padViewport(viewport)
+	m := render.NewMapPlot(viewport, w, h)
+	if err := m.Plot(points, values); err != nil {
+		return err
+	}
+	return m.WritePNG(out)
+}
+
+// Zoom returns a viewport showing 1/factor of each axis of bounds centred
+// on c (clamped inside bounds).
+func Zoom(bounds Rect, c Point, factor float64) (Rect, error) {
+	return render.ZoomViewport(bounds, c, factor)
+}
+
+// padViewport adds a 2% margin so boundary points are visible.
+func padViewport(v Rect) Rect {
+	px, py := v.Width()*0.02, v.Height()*0.02
+	if px == 0 {
+		px = 1
+	}
+	if py == 0 {
+		py = 1
+	}
+	return Rect{MinX: v.MinX - px, MinY: v.MinY - py, MaxX: v.MaxX + px, MaxY: v.MaxY + py}
+}
+
+// Catalog is the Fig. 3 serving layer: it stores a base table plus
+// pre-built samples of several sizes and answers visualization queries
+// within a latency budget by picking the largest sample that fits.
+type Catalog struct {
+	st      *store.Store
+	planner *query.Planner
+}
+
+// NewCatalog returns an empty catalog using the paper's Tableau latency
+// model to convert budgets to tuple counts. (The model is pluggable in
+// internal/query for other deployments.)
+func NewCatalog() *Catalog {
+	st := store.New()
+	return &Catalog{st: st, planner: query.NewPlanner(st, viztime.Tableau())}
+}
+
+// LoadTable registers a base table named name with columns x and y.
+func (c *Catalog) LoadTable(name string, points []Point) error {
+	t, err := c.st.CreateTable(name, "x", "y")
+	if err != nil {
+		return err
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	return t.BulkLoad(xs, ys)
+}
+
+// BuildSamples builds and registers VAS samples of each size for the
+// named table, optionally with density embedding. This is the offline
+// preprocessing step of §II-D.
+func (c *Catalog) BuildSamples(table string, points []Point, sizes []int, withDensity bool, opt Options) error {
+	for _, k := range sizes {
+		opt.K = k
+		s, err := Build(points, opt)
+		if err != nil {
+			return fmt.Errorf("vas: building %d-point sample for %q: %w", k, table, err)
+		}
+		var counts []int64
+		if withDensity {
+			ws, err := s.DensityEmbed(points)
+			if err != nil {
+				return err
+			}
+			counts = ws.Counts
+		}
+		name := fmt.Sprintf("%s_vas_%d", table, k)
+		meta := store.SampleMeta{Source: table, Method: "vas", XCol: "x", YCol: "y"}
+		if err := query.LoadSample(c.st, name, meta, s.Points, counts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryResult is the answer to a visualization query.
+type QueryResult struct {
+	// Points are the tuples to plot.
+	Points []Point
+	// Counts carries density weights when the served sample has them.
+	Counts []float64
+	// SampleSize is the size of the served sample (0 for an exact scan).
+	SampleSize int
+	// PredictedTime is the latency-model estimate for this answer.
+	PredictedTime time.Duration
+}
+
+// Query answers a visualization request over table within the latency
+// budget (0 means the 2s interactive limit), restricted to viewport (zero
+// Rect = full extent).
+func (c *Catalog) Query(table string, viewport Rect, budget time.Duration) (*QueryResult, error) {
+	resp, err := c.planner.Plan(query.Request{
+		Table: table, XCol: "x", YCol: "y",
+		Viewport: viewport, Budget: budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{
+		Points:        resp.Points,
+		Counts:        resp.Values,
+		SampleSize:    resp.Sample.Size,
+		PredictedTime: resp.PredictedTime,
+	}, nil
+}
+
+// QueryExact bypasses samples and scans the base table.
+func (c *Catalog) QueryExact(table string, viewport Rect) (*QueryResult, error) {
+	resp, err := c.planner.Plan(query.Request{
+		Table: table, XCol: "x", YCol: "y",
+		Viewport: viewport, Exact: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{
+		Points:        resp.Points,
+		PredictedTime: resp.PredictedTime,
+	}, nil
+}

@@ -1,0 +1,310 @@
+package vas_test
+
+import (
+	"bytes"
+	"image/png"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+
+	vas "repro"
+)
+
+func skewedData(n int, seed int64) []vas.Point {
+	return dataset.GeolifeLike(dataset.GeolifeOptions{N: n, Seed: seed}).Points
+}
+
+func TestBuildBasics(t *testing.T) {
+	data := skewedData(5000, 1)
+	s, err := vas.Build(data, vas.Options{K: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 200 || len(s.IDs) != 200 {
+		t.Fatalf("sample size %d/%d ids", len(s.Points), len(s.IDs))
+	}
+	for i, id := range s.IDs {
+		if !data[id].Equal(s.Points[i]) {
+			t.Fatalf("ids not parallel to points at %d", i)
+		}
+	}
+	if s.Objective <= 0 {
+		t.Errorf("objective = %v", s.Objective)
+	}
+	if s.Kernel().Bandwidth() <= 0 {
+		t.Error("kernel not exposed")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	data := skewedData(100, 2)
+	if _, err := vas.Build(data, vas.Options{K: 0}); err == nil {
+		t.Error("K=0: want error")
+	}
+	if _, err := vas.Build(nil, vas.Options{K: 5}); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := vas.Build(data, vas.Options{K: 5, Kernel: "cosine"}); err == nil {
+		t.Error("bad kernel: want error")
+	}
+	if _, err := vas.Build(data, vas.Options{K: 5, Variant: "quantum"}); err == nil {
+		t.Error("bad variant: want error")
+	}
+}
+
+func TestBuildKGreaterThanN(t *testing.T) {
+	data := skewedData(50, 3)
+	s, err := vas.Build(data, vas.Options{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 50 {
+		t.Errorf("K>N should return everything, got %d", len(s.Points))
+	}
+}
+
+func TestBuildVariantsProduceComparableQuality(t *testing.T) {
+	data := skewedData(3000, 4)
+	var objs []float64
+	for _, variant := range []string{"es", "no-es", "es+loc"} {
+		s, err := vas.Build(data, vas.Options{K: 50, Variant: variant, Passes: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		objs = append(objs, s.Objective)
+	}
+	// es and no-es implement the same rule exactly.
+	if diff := objs[0] - objs[1]; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("es %v vs no-es %v", objs[0], objs[1])
+	}
+	// es+loc may truncate kernel tails but must stay close.
+	if objs[2] > objs[0]*1.05+1e-9 {
+		t.Errorf("es+loc objective %v far above es %v", objs[2], objs[0])
+	}
+}
+
+func TestBuildBeatsBaselinesOnLoss(t *testing.T) {
+	data := skewedData(30000, 5)
+	const k = 300
+	s, err := vas.Build(data, vas.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, _, err := vas.Uniform(data, k, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vasLoss, err := vas.EvaluateLoss(data, s.Points, 0, 500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniLoss, err := vas.EvaluateLoss(data, uni, 0, 500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vasLoss.LogLossRatio >= uniLoss.LogLossRatio {
+		t.Errorf("VAS ratio %v not below uniform %v", vasLoss.LogLossRatio, uniLoss.LogLossRatio)
+	}
+}
+
+func TestUniformAndStratified(t *testing.T) {
+	data := skewedData(2000, 7)
+	uni, ids, err := vas.Uniform(data, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uni) != 100 || len(ids) != 100 {
+		t.Fatalf("uniform returned %d/%d", len(uni), len(ids))
+	}
+	strat, sids, err := vas.Stratified(data, 100, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strat) != 100 || len(sids) != 100 {
+		t.Fatalf("stratified returned %d/%d", len(strat), len(sids))
+	}
+	if _, _, err := vas.Uniform(nil, 10, 1); err == nil {
+		t.Error("uniform empty data: want error")
+	}
+	if _, _, err := vas.Stratified(data, 0, 10, 1); err == nil {
+		t.Error("stratified k=0: want error")
+	}
+}
+
+func TestDensityEmbed(t *testing.T) {
+	data := skewedData(8000, 8)
+	s, err := vas.Build(data, vas.Options{K: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := s.DensityEmbed(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.TotalCount() != int64(len(data)) {
+		t.Errorf("counts sum %d, want %d", ws.TotalCount(), len(data))
+	}
+}
+
+func TestRenderPNGRoundTrips(t *testing.T) {
+	data := skewedData(2000, 9)
+	var buf bytes.Buffer
+	if err := vas.RenderPNG(&buf, data, vas.Rect{}, 120, 90); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 120 || img.Bounds().Dy() != 90 {
+		t.Errorf("bounds %v", img.Bounds())
+	}
+	// Weighted render.
+	s, err := vas.Build(data, vas.Options{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := s.DensityEmbed(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := vas.RenderWeightedPNG(&buf, ws, vas.Rect{}, 80, 80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Map plot.
+	values := make([]float64, len(data))
+	rng := rand.New(rand.NewSource(10))
+	for i := range values {
+		values[i] = rng.Float64() * 100
+	}
+	buf.Reset()
+	if err := vas.RenderMapPNG(&buf, data, values, vas.Rect{}, 80, 80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Error paths.
+	if err := vas.RenderPNG(&buf, nil, vas.Rect{}, 10, 10); err == nil {
+		t.Error("empty render: want error")
+	}
+	if err := vas.RenderWeightedPNG(&buf, nil, vas.Rect{}, 10, 10); err == nil {
+		t.Error("nil weighted render: want error")
+	}
+}
+
+func TestZoomFacade(t *testing.T) {
+	bounds := vas.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	vp, err := vas.Zoom(bounds, vas.Pt(50, 50), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.Width() != 10 || vp.Height() != 10 {
+		t.Errorf("viewport %v", vp)
+	}
+	if _, err := vas.Zoom(bounds, vas.Pt(50, 50), 0.1); err == nil {
+		t.Error("zoom < 1: want error")
+	}
+}
+
+func TestCatalogEndToEnd(t *testing.T) {
+	data := skewedData(20000, 11)
+	cat := vas.NewCatalog()
+	if err := cat.LoadTable("gps", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.BuildSamples("gps", data, []int{50, 500}, true, vas.Options{Passes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Interactive query serves the largest fitting sample.
+	res, err := cat.Query("gps", vas.Rect{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize != 500 {
+		t.Errorf("served K=%d, want 500", res.SampleSize)
+	}
+	if res.PredictedTime > 2*time.Second {
+		t.Errorf("predicted time %v exceeds interactive limit", res.PredictedTime)
+	}
+	if res.Counts == nil {
+		t.Error("density counts missing from a with-density catalog")
+	}
+	// Tight budget falls back to the small sample.
+	res, err = cat.Query("gps", vas.Rect{}, 1600*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize != 500 && res.SampleSize != 50 {
+		t.Errorf("unexpected sample size %d", res.SampleSize)
+	}
+	// Viewport-restricted query returns only in-view points.
+	bounds := boundsOf(data)
+	zoomVP, err := vas.Zoom(bounds, bounds.Center(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = cat.Query("gps", zoomVP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if !zoomVP.Contains(p) {
+			t.Fatalf("point %v outside viewport", p)
+		}
+	}
+	// Exact scan returns the base table.
+	exact, err := cat.QueryExact("gps", vas.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Points) != len(data) {
+		t.Errorf("exact scan returned %d of %d", len(exact.Points), len(data))
+	}
+	// Duplicate table registration fails cleanly.
+	if err := cat.LoadTable("gps", data); err == nil {
+		t.Error("duplicate table: want error")
+	}
+}
+
+func boundsOf(pts []vas.Point) vas.Rect {
+	b := vas.Rect{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
+	for _, p := range pts {
+		if p.X < b.MinX {
+			b.MinX = p.X
+		}
+		if p.X > b.MaxX {
+			b.MaxX = p.X
+		}
+		if p.Y < b.MinY {
+			b.MinY = p.Y
+		}
+		if p.Y > b.MaxY {
+			b.MaxY = p.Y
+		}
+	}
+	return b
+}
+
+func TestEvaluateLossValidation(t *testing.T) {
+	data := skewedData(500, 12)
+	if _, err := vas.EvaluateLoss(nil, data[:10], 0, 100, 1); err == nil {
+		t.Error("empty data: want error")
+	}
+	if _, err := vas.EvaluateLoss(data, nil, 0, 100, 1); err == nil {
+		t.Error("empty sample: want error")
+	}
+	rep, err := vas.EvaluateLoss(data, data, 0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LogLossRatio < -1e-9 || rep.LogLossRatio > 1e-9 {
+		t.Errorf("self ratio = %v, want 0", rep.LogLossRatio)
+	}
+}
