@@ -1,0 +1,80 @@
+// Command vasserve runs the HTTP visualization server over a VAS catalog:
+// it loads a dataset into the in-memory store, builds VAS samples of
+// several sizes offline (§II-D preprocessing), then serves budget-bound
+// point queries and cached PNG map tiles.
+//
+//	vasserve -addr :8080 -n 200000 -sizes 100,1000,10000
+//
+//	curl 'localhost:8080/v1/tables'
+//	curl 'localhost:8080/v1/query?table=gps&budget=1600ms'
+//	curl -o tile.png 'localhost:8080/v1/tile/gps/2/1/1.png?size=256'
+//	curl 'localhost:8080/metrics'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+
+	vas "repro"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		n       = flag.Int("n", 200_000, "dataset rows")
+		seed    = flag.Int64("seed", 42, "random seed")
+		sizes   = flag.String("sizes", "100,1000,10000", "comma-separated sample sizes to prebuild")
+		density = flag.Bool("density", true, "attach the §V density embedding to each sample")
+		passes  = flag.Int("passes", 1, "Interchange passes per sample build")
+	)
+	flag.Parse()
+	var ks []int
+	for _, s := range strings.Split(*sizes, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || k <= 0 {
+			fmt.Fprintf(os.Stderr, "vasserve: bad size %q\n", s)
+			os.Exit(2)
+		}
+		ks = append(ks, k)
+	}
+
+	fmt.Printf("generating %d-row geolife-like dataset...\n", *n)
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: *n, Seed: *seed})
+
+	cat := vas.NewCatalog()
+	if err := cat.LoadTable("gps", d.Points); err != nil {
+		fail(err)
+	}
+	fmt.Printf("building VAS samples %v (offline preprocessing)...\n", ks)
+	start := time.Now()
+	if err := cat.BuildSamples("gps", d.Points, ks, *density, vas.Options{Passes: *passes}); err != nil {
+		fail(err)
+	}
+	fmt.Printf("samples built in %s\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("serving on %s\n", *addr)
+	fmt.Printf("  GET /v1/tables\n")
+	fmt.Printf("  GET /v1/query?table=gps&budget=1600ms&minx=..&miny=..&maxx=..&maxy=..\n")
+	fmt.Printf("  GET /v1/tile/gps/{z}/{x}/{y}.png?size=256&budget=1600ms\n")
+	fmt.Printf("  GET /healthz | GET /metrics\n")
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           cat.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "vasserve: %v\n", err)
+	os.Exit(1)
+}

@@ -74,10 +74,6 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 	if req.Table == "" || req.XCol == "" || req.YCol == "" {
 		return nil, errors.New("query: Table, XCol and YCol are required")
 	}
-	budget := req.Budget
-	if budget <= 0 {
-		budget = viztime.InteractiveLimit
-	}
 
 	if req.Exact {
 		base, err := pl.st.Table(req.Table)
@@ -96,8 +92,11 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 		}, nil
 	}
 
-	maxTuples := viztime.TuplesWithin(pl.model, budget)
-	chosen, err := pl.chooseSample(req, maxTuples)
+	// Choose is the single home of budget defaulting and sample
+	// selection, so /v1/query and the tile cache keying (which calls
+	// Choose directly) can never disagree about which sample a budget
+	// resolves to.
+	chosen, err := pl.Choose(req)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +104,13 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	pts, err := pl.scan(st, chosen.XCol, chosen.YCol, req.Viewport)
+	// One predicate scan serves both the point projection and the density
+	// gather; this is the serving hot path.
+	rows, err := pl.viewportRows(st, chosen.XCol, chosen.YCol, req.Viewport)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := st.Points(chosen.XCol, chosen.YCol, rows)
 	if err != nil {
 		return nil, err
 	}
@@ -116,10 +121,6 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 		PlanTime:      time.Since(start),
 	}
 	if chosen.HasDensity {
-		rows, err := pl.viewportRows(st, chosen.XCol, chosen.YCol, req.Viewport)
-		if err != nil {
-			return nil, err
-		}
 		vals, err := st.Gather("density", rows)
 		if err == nil {
 			resp.Values = vals
@@ -128,12 +129,33 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 	return resp, nil
 }
 
+// Choose resolves the sample the planner would serve for req without
+// scanning it. The tile server uses this to build cache keys: a cache hit
+// must not pay for a scan, so sample selection is separated from data
+// access.
+func (pl *Planner) Choose(req Request) (store.SampleMeta, error) {
+	if req.Table == "" || req.XCol == "" || req.YCol == "" {
+		return store.SampleMeta{}, errors.New("query: Table, XCol and YCol are required")
+	}
+	budget := req.Budget
+	if budget <= 0 {
+		budget = viztime.InteractiveLimit
+	}
+	return pl.chooseSample(req, viztime.TuplesWithin(pl.model, budget))
+}
+
 // chooseSample picks the largest sample of the request's column pair whose
 // size fits the tuple budget. Samples are registered ascending by size.
 func (pl *Planner) chooseSample(req Request, maxTuples int) (store.SampleMeta, error) {
 	metas := pl.st.SamplesOf(req.Table)
 	if len(metas) == 0 {
-		return store.SampleMeta{}, fmt.Errorf("query: table %q has no registered samples", req.Table)
+		// Distinguish "no such table" (a lookup error, store.ErrNotFound)
+		// from "table exists but nothing can serve it" (ErrNoSampleFits),
+		// so the HTTP layer maps them to 404 vs 422.
+		if _, err := pl.st.Table(req.Table); err != nil {
+			return store.SampleMeta{}, err
+		}
+		return store.SampleMeta{}, fmt.Errorf("%w: table %q has no registered samples", ErrNoSampleFits, req.Table)
 	}
 	var best store.SampleMeta
 	found := false

@@ -104,6 +104,68 @@ func TestPlannerViewportFilter(t *testing.T) {
 	}
 }
 
+func TestPlannerZeroViewportIsFullExtent(t *testing.T) {
+	_, pl := setup(t)
+	// Both the zero Rect and an explicitly empty Rect mean "no viewport
+	// restriction": every sample row comes back.
+	for _, vp := range []geom.Rect{{}, {MinX: 5, MinY: 5, MaxX: 4, MaxY: 4}} {
+		resp, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Viewport: vp, Budget: 60 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Points) != resp.Sample.Size {
+			t.Errorf("viewport %v: %d points, want full sample of %d", vp, len(resp.Points), resp.Sample.Size)
+		}
+	}
+}
+
+func TestPlannerTinyBudgets(t *testing.T) {
+	_, pl := setup(t)
+	// Budgets below the smallest sample (10 points at 1µs/tuple) must
+	// fail with ErrNoSampleFits, down to and including zero... except
+	// zero, which means "interactive default". Use 1ns for effectively
+	// zero time.
+	for _, budget := range []time.Duration{time.Nanosecond, 5 * time.Microsecond, 9 * time.Microsecond} {
+		_, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Budget: budget})
+		if !errors.Is(err, ErrNoSampleFits) {
+			t.Errorf("budget %v: err = %v, want ErrNoSampleFits", budget, err)
+		}
+	}
+	// Exactly the smallest sample's cost fits.
+	resp, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Budget: 10 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sample.Size != 10 {
+		t.Errorf("exact-fit budget served size %d, want 10", resp.Sample.Size)
+	}
+	// The exact-scan fallback still answers when no sample fits.
+	exact, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Budget: time.Nanosecond, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.ExactScan || len(exact.Points) != 100 {
+		t.Errorf("exact fallback: exact=%v n=%d", exact.ExactScan, len(exact.Points))
+	}
+}
+
+func TestChoose(t *testing.T) {
+	_, pl := setup(t)
+	meta, err := pl.Choose(Request{Table: "base", XCol: "x", YCol: "y", Budget: 60 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Size != 50 {
+		t.Errorf("Choose size = %d, want 50", meta.Size)
+	}
+	if _, err := pl.Choose(Request{Table: "base", XCol: "x", YCol: "y", Budget: 5 * time.Microsecond}); !errors.Is(err, ErrNoSampleFits) {
+		t.Errorf("tiny budget Choose err = %v, want ErrNoSampleFits", err)
+	}
+	if _, err := pl.Choose(Request{XCol: "x", YCol: "y"}); err == nil {
+		t.Error("missing table: want error")
+	}
+}
+
 func TestPlannerExactScan(t *testing.T) {
 	_, pl := setup(t)
 	resp, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Exact: true})
@@ -149,8 +211,14 @@ func TestPlannerNoSamplesRegistered(t *testing.T) {
 	base, _ := st.CreateTable("lonely", "x", "y")
 	base.BulkLoad([]float64{1}, []float64{2})
 	pl := NewPlanner(st, fixedModel{})
-	if _, err := pl.Plan(Request{Table: "lonely", XCol: "x", YCol: "y"}); err == nil {
-		t.Error("no samples: want error")
+	// An existing table with no samples is "nothing can serve this"
+	// (ErrNoSampleFits); an unknown table is a lookup failure
+	// (store.ErrNotFound). The HTTP layer maps these to 422 vs 404.
+	if _, err := pl.Plan(Request{Table: "lonely", XCol: "x", YCol: "y"}); !errors.Is(err, ErrNoSampleFits) {
+		t.Errorf("no samples: err = %v, want ErrNoSampleFits", err)
+	}
+	if _, err := pl.Plan(Request{Table: "ghost", XCol: "x", YCol: "y"}); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("unknown table: err = %v, want store.ErrNotFound", err)
 	}
 }
 

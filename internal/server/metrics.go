@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds of the request-latency histogram.
+// They span 50µs–2.5s in roughly 1-2.5-5 steps: the left end resolves
+// cache-hit tile serves, the right end resolves budget-bound renders.
+var latencyBuckets = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+}
+
+// histogram is a fixed-bucket latency histogram with lock-free recording.
+// The final counter holds observations above the last bucket bound.
+type histogram struct {
+	counts []atomic.Int64 // len(latencyBuckets)+1
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := sort.Search(len(latencyBuckets), func(i int) bool { return d <= latencyBuckets[i] })
+	h.counts[i].Add(1)
+}
+
+// quantileSeconds returns an upper-bound estimate of the p-quantile (p
+// in [0,1]) in seconds: the bound of the bucket where the cumulative
+// count crosses p·total. A quantile landing in the overflow bucket has
+// no upper bound and reports +Inf (the Prometheus convention), so tail
+// saturation is visible instead of silently capped at the largest
+// tracked bound. With no observations it returns 0.
+func (h *histogram) quantileSeconds(p float64) float64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range latencyBuckets {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return latencyBuckets[i].Seconds()
+		}
+	}
+	return math.Inf(1)
+}
+
+// metrics aggregates per-route request counters and a shared latency
+// histogram for the /metrics endpoint.
+type metrics struct {
+	requests map[string]*atomic.Int64 // route -> count; fixed at construction
+	errors   atomic.Int64             // responses with status >= 400
+	latency  histogram
+}
+
+func newMetrics(routes ...string) *metrics {
+	m := &metrics{
+		requests: make(map[string]*atomic.Int64, len(routes)),
+		latency:  histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)},
+	}
+	for _, r := range routes {
+		m.requests[r] = &atomic.Int64{}
+	}
+	return m
+}
+
+func (m *metrics) record(route string, status int, d time.Duration) {
+	if c, ok := m.requests[route]; ok {
+		c.Add(1)
+	}
+	if status >= 400 {
+		m.errors.Add(1)
+	}
+	m.latency.observe(d)
+}
+
+// write emits the metrics in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, cache cacheStats) {
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		fmt.Fprintf(w, "vasserve_requests_total{route=%q} %d\n", r, m.requests[r].Load())
+	}
+	fmt.Fprintf(w, "vasserve_request_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(w, "vasserve_request_latency_p50_seconds %g\n", m.latency.quantileSeconds(0.50))
+	fmt.Fprintf(w, "vasserve_request_latency_p99_seconds %g\n", m.latency.quantileSeconds(0.99))
+	fmt.Fprintf(w, "vasserve_tile_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "vasserve_tile_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "vasserve_tile_cache_waits_total %d\n", cache.Waits)
+	fmt.Fprintf(w, "vasserve_tile_cache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintf(w, "vasserve_tile_cache_bytes %d\n", cache.Bytes)
+	fmt.Fprintf(w, "vasserve_tile_cache_entries %d\n", cache.Entries)
+	fmt.Fprintf(w, "vasserve_tile_cache_hit_ratio %g\n", cache.HitRatio())
+}

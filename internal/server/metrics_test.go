@@ -1,0 +1,50 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	m := newMetrics("q")
+	// 90 fast requests, 10 slow: p50 resolves to the fast bucket bound,
+	// p99 (nearest-rank) to the slow one's.
+	for i := 0; i < 90; i++ {
+		m.latency.observe(80 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		m.latency.observe(40 * time.Millisecond)
+	}
+	if got := m.latency.quantileSeconds(0.50); got != 0.0001 {
+		t.Errorf("p50 = %g, want 0.0001 (100µs bucket bound)", got)
+	}
+	if got := m.latency.quantileSeconds(0.99); got != 0.05 {
+		t.Errorf("p99 = %g, want 0.05 (50ms bucket bound)", got)
+	}
+}
+
+func TestHistogramOverflowReportsInf(t *testing.T) {
+	m := newMetrics("q")
+	// Every observation beyond the last tracked bound: the quantile has
+	// no upper bound and must say so, not silently cap at 2.5s.
+	for i := 0; i < 10; i++ {
+		m.latency.observe(30 * time.Second)
+	}
+	if got := m.latency.quantileSeconds(0.99); !math.IsInf(got, 1) {
+		t.Errorf("saturated p99 = %g, want +Inf", got)
+	}
+	var sb strings.Builder
+	m.write(&sb, cacheStats{})
+	if !strings.Contains(sb.String(), "vasserve_request_latency_p99_seconds +Inf") {
+		t.Errorf("metrics output hides tail saturation:\n%s", sb.String())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	m := newMetrics("q")
+	if got := m.latency.quantileSeconds(0.99); got != 0 {
+		t.Errorf("empty histogram p99 = %g, want 0", got)
+	}
+}

@@ -1,0 +1,510 @@
+// Package server is the network-facing layer of the Fig. 3 architecture:
+// it exposes the store + planner pair (the middleware role ScalaR plays in
+// the paper's related work) over HTTP so visualization clients can ask
+// for budget-bound point sets and pre-rendered map tiles.
+//
+// Routes:
+//
+//	GET /v1/tables                      catalog listing (tables + samples)
+//	GET /v1/query                       budget-bound point query (JSON)
+//	GET /v1/tile/{table}/{z}/{x}/{y}.png  rendered PNG tile
+//	GET /healthz                        liveness probe
+//	GET /metrics                        Prometheus-style counters
+//
+// Tile serving is backed by a sharded LRU cache over encoded PNG bytes
+// (internal/tilecache) with single-flight render deduplication; the cache
+// key includes the sample table the latency budget resolves to, so the
+// same tile address served under different budgets caches independently
+// and never mixes samples.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/render"
+	"repro/internal/store"
+	"repro/internal/tilecache"
+)
+
+type cacheStats = tilecache.Stats
+
+// Config tunes a Server. The zero value picks production defaults.
+type Config struct {
+	// TileCacheBytes bounds the encoded-PNG tile cache; 0 means
+	// tilecache.DefaultMaxBytes.
+	TileCacheBytes int64
+	// DefaultTileSize is the tile edge in pixels when the request does
+	// not specify one; 0 means 256.
+	DefaultTileSize int
+	// MaxTileSize caps the per-request tile edge; 0 means 1024.
+	MaxTileSize int
+	// XCol, YCol name the plotted column pair; empty means "x", "y" (the
+	// pair the vas.Catalog façade loads).
+	XCol, YCol string
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTileSize <= 0 {
+		c.DefaultTileSize = 256
+	}
+	if c.MaxTileSize <= 0 {
+		c.MaxTileSize = 1024
+	}
+	if c.XCol == "" {
+		c.XCol = "x"
+	}
+	if c.YCol == "" {
+		c.YCol = "y"
+	}
+	return c
+}
+
+// Server serves visualization queries and tiles over HTTP. Safe for
+// concurrent use; create with New.
+type Server struct {
+	cfg     Config
+	st      *store.Store
+	planner *query.Planner
+	cache   *tilecache.Cache
+	mux     *http.ServeMux
+	metrics *metrics
+
+	// boundsMu guards boundsCache, the lazily computed per-table data
+	// extents tile addresses are resolved against. Invalidated together
+	// with the tile cache.
+	boundsMu    sync.RWMutex
+	boundsCache map[string]geom.Rect
+}
+
+// New returns a server over the given store and planner.
+func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
+	s := &Server{
+		cfg:         cfg.withDefaults(),
+		st:          st,
+		planner:     planner,
+		cache:       tilecache.New(cfg.TileCacheBytes),
+		metrics:     newMetrics("tables", "query", "tile", "healthz", "metrics"),
+		boundsCache: make(map[string]geom.Rect),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/tables", s.instrument("tables", s.handleTables))
+	mux.HandleFunc("GET /v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("GET /v1/tile/{table}/{z}/{x}/{y}", s.instrument("tile", s.handleTile))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CacheStats exposes tile-cache counters (for tests and diagnostics).
+func (s *Server) CacheStats() tilecache.Stats { return s.cache.Stats() }
+
+// InvalidateTable drops every cached tile and the cached extent of the
+// given base table. Call it after (re)registering a sample or reloading
+// the table, so later tile requests re-render from current data.
+func (s *Server) InvalidateTable(table string) {
+	s.cache.InvalidateTable(table)
+	s.boundsMu.Lock()
+	delete(s.boundsCache, table)
+	s.boundsMu.Unlock()
+}
+
+// ---- instrumentation ----
+
+// statusWriter records the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.record(route, sw.status, time.Since(start))
+	}
+}
+
+// httpError maps engine errors onto HTTP statuses and writes a JSON body.
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, query.ErrNoSampleFits):
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// ---- /v1/tables ----
+
+// SampleInfo describes one registered sample in the tables listing.
+type SampleInfo struct {
+	Table      string `json:"table"`
+	Method     string `json:"method"`
+	Size       int    `json:"size"`
+	HasDensity bool   `json:"hasDensity"`
+}
+
+// TableInfo describes one base table in the tables listing.
+type TableInfo struct {
+	Name    string       `json:"name"`
+	Rows    int          `json:"rows"`
+	Bounds  *RectJSON    `json:"bounds,omitempty"`
+	Samples []SampleInfo `json:"samples"`
+}
+
+// RectJSON is the wire form of a geom.Rect.
+type RectJSON struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	names := s.st.TableNames()
+	isSample := make(map[string]bool)
+	samplesOf := make(map[string][]store.SampleMeta)
+	for _, n := range names {
+		metas := s.st.SamplesOf(n)
+		samplesOf[n] = metas
+		for _, m := range metas {
+			isSample[m.Table] = true
+		}
+	}
+	out := make([]TableInfo, 0, len(names))
+	for _, n := range names {
+		if isSample[n] {
+			continue
+		}
+		t, err := s.st.Table(n)
+		if err != nil {
+			continue // dropped concurrently
+		}
+		info := TableInfo{Name: n, Rows: t.NumRows(), Samples: []SampleInfo{}}
+		if b, err := s.tableBounds(n); err == nil && !b.IsEmpty() {
+			info.Bounds = &RectJSON{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY}
+		}
+		for _, m := range samplesOf[n] {
+			info.Samples = append(info.Samples, SampleInfo{
+				Table: m.Table, Method: m.Method, Size: m.Size, HasDensity: m.HasDensity,
+			})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
+}
+
+// tableBounds returns the cached data extent of a base table, computing
+// it on first use.
+func (s *Server) tableBounds(table string) (geom.Rect, error) {
+	s.boundsMu.RLock()
+	b, ok := s.boundsCache[table]
+	s.boundsMu.RUnlock()
+	if ok {
+		return b, nil
+	}
+	t, err := s.st.Table(table)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	b, err = t.Bounds(s.cfg.XCol, s.cfg.YCol)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	// Never cache an empty extent: a tile request can land between table
+	// creation and its bulk load, and caching the empty result would 404
+	// that table's tiles until the next invalidation.
+	if !b.IsEmpty() {
+		s.boundsMu.Lock()
+		s.boundsCache[table] = b
+		s.boundsMu.Unlock()
+	}
+	return b, nil
+}
+
+// ---- /v1/query ----
+
+// QueryResponse is the JSON answer to /v1/query.
+type QueryResponse struct {
+	Table string `json:"table"`
+	// Points are [x, y] pairs.
+	Points [][2]float64 `json:"points"`
+	// Counts carries density weights when the served sample has them.
+	Counts []float64 `json:"counts,omitempty"`
+	// Sample names the served sample table; empty for an exact scan.
+	Sample string `json:"sample,omitempty"`
+	// SampleSize is the size of the served sample (0 for an exact scan).
+	SampleSize int  `json:"sampleSize"`
+	Exact      bool `json:"exact"`
+	// PredictedMillis is the latency-model estimate for rendering Points.
+	PredictedMillis float64 `json:"predictedMillis"`
+	// PlanMillis is the engine-side planning+scan time.
+	PlanMillis float64 `json:"planMillis"`
+}
+
+// parseViewport reads minx/miny/maxx/maxy; absent parameters yield the
+// zero Rect ("full extent"). Partial viewports are rejected.
+func parseViewport(r *http.Request) (geom.Rect, error) {
+	keys := [4]string{"minx", "miny", "maxx", "maxy"}
+	var vals [4]float64
+	present := 0
+	for i, k := range keys {
+		raw := r.URL.Query().Get(k)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return geom.Rect{}, fmt.Errorf("bad %s %q", k, raw)
+		}
+		vals[i] = v
+		present++
+	}
+	if present == 0 {
+		return geom.Rect{}, nil
+	}
+	if present != 4 {
+		return geom.Rect{}, errors.New("viewport needs all of minx, miny, maxx, maxy")
+	}
+	vp := geom.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+	if vp.IsEmpty() {
+		return geom.Rect{}, fmt.Errorf("empty viewport %v", vp)
+	}
+	return vp, nil
+}
+
+func parseBudget(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("budget")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad budget %q (want a Go duration like 500ms)", raw)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative budget %q", raw)
+	}
+	return d, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		badRequest(w, "missing table parameter")
+		return
+	}
+	vp, err := parseViewport(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	budget, err := parseBudget(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	exact := r.URL.Query().Get("exact") == "true"
+	resp, err := s.planner.Plan(query.Request{
+		Table: table, XCol: s.cfg.XCol, YCol: s.cfg.YCol,
+		Viewport: vp, Budget: budget, Exact: exact,
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	out := QueryResponse{
+		Table:           table,
+		Points:          make([][2]float64, len(resp.Points)),
+		Counts:          resp.Values,
+		Sample:          resp.Sample.Table,
+		SampleSize:      resp.Sample.Size,
+		Exact:           resp.ExactScan,
+		PredictedMillis: float64(resp.PredictedTime) / float64(time.Millisecond),
+		PlanMillis:      float64(resp.PlanTime) / float64(time.Millisecond),
+	}
+	for i, p := range resp.Points {
+		out.Points[i] = [2]float64{p.X, p.Y}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- /v1/tile ----
+
+// handleTile serves GET /v1/tile/{table}/{z}/{x}/{y}.png. Optional query
+// parameters: size (tile edge in pixels), budget (latency budget for
+// sample selection), exact=true (render the base table).
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	yRaw, ok := strings.CutSuffix(r.PathValue("y"), ".png")
+	if !ok {
+		badRequest(w, "tile path must end in .png")
+		return
+	}
+	z, errZ := strconv.Atoi(r.PathValue("z"))
+	x, errX := strconv.Atoi(r.PathValue("x"))
+	y, errY := strconv.Atoi(yRaw)
+	if errZ != nil || errX != nil || errY != nil {
+		badRequest(w, "tile address must be integers: /v1/tile/{table}/{z}/{x}/{y}.png")
+		return
+	}
+	size := s.cfg.DefaultTileSize
+	if raw := r.URL.Query().Get("size"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 16 || v > s.cfg.MaxTileSize {
+			badRequest(w, "size must be an integer in [16,%d]", s.cfg.MaxTileSize)
+			return
+		}
+		size = v
+	}
+	budget, err := parseBudget(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	exact := r.URL.Query().Get("exact") == "true"
+
+	bounds, err := s.tableBounds(table)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if bounds.IsEmpty() {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("table %q has no data", table)})
+		return
+	}
+	tileRect, err := geom.TileRect(bounds, z, x, y)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+
+	// Resolve the sample first (metadata only): it is part of the cache
+	// identity, and a cache hit must not touch the data at all. The
+	// render below scans exactly this sample — never re-resolving — so a
+	// concurrent sample registration cannot cache one sample's pixels
+	// under another sample's key.
+	var meta store.SampleMeta
+	sampleName := "__exact__"
+	if !exact {
+		meta, err = s.planner.Choose(query.Request{
+			Table: table, XCol: s.cfg.XCol, YCol: s.cfg.YCol, Budget: budget,
+		})
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		sampleName = meta.Table
+	}
+	key := tilecache.Key{Table: table, Sample: sampleName, Z: z, X: x, Y: y, Size: size}
+	png, hit, err := s.cache.GetOrRender(key, func() ([]byte, error) {
+		return s.renderTile(table, meta, tileRect, size, exact)
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("X-Sample", sampleName)
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(png)))
+	_, _ = w.Write(png)
+}
+
+// renderTile scans exactly the given sample table (or the base table for
+// exact) within the tile rectangle and encodes the raster as PNG. It
+// deliberately does not re-run sample selection: the caller already
+// resolved the sample into the cache key, and re-planning here could pick
+// a different (newly registered) sample and poison the cache.
+// Density-embedded samples render with the §V weighted-dot encoding.
+func (s *Server) renderTile(table string, meta store.SampleMeta, tileRect geom.Rect, size int, exact bool) ([]byte, error) {
+	name, xCol, yCol := meta.Table, meta.XCol, meta.YCol
+	if exact {
+		name, xCol, yCol = table, s.cfg.XCol, s.cfg.YCol
+	}
+	t, err := s.st.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := t.Scan([]store.Pred{
+		{Column: xCol, Min: tileRect.MinX, Max: tileRect.MaxX},
+		{Column: yCol, Min: tileRect.MinY, Max: tileRect.MaxY},
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts, err := t.Points(xCol, yCol, rows)
+	if err != nil {
+		return nil, err
+	}
+	ras := render.NewRaster(tileRect, size, size)
+	plotted := false
+	if meta.HasDensity && !exact {
+		if vals, err := t.Gather("density", rows); err == nil {
+			weights := make([]int64, len(vals))
+			for i, v := range vals {
+				weights[i] = int64(v)
+			}
+			if _, err := ras.PlotWeighted(pts, weights, 0); err != nil {
+				return nil, err
+			}
+			plotted = true
+		}
+	}
+	if !plotted {
+		ras.Plot(pts)
+	}
+	var buf bytes.Buffer
+	if err := ras.WritePNG(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ---- /healthz and /metrics ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tables": len(s.st.TableNames())})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s.cache.Stats())
+}

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// fixedModel makes latency exactly n microseconds per tuple with zero
+// startup, so tests can pick budgets that admit exact tuple counts.
+type fixedModel struct{}
+
+func (fixedModel) Name() string             { return "fixed" }
+func (fixedModel) Time(n int) time.Duration { return time.Duration(n) * time.Microsecond }
+
+// newTestServer builds a store with one 400-point base table on a diagonal
+// plus samples of sizes 20 and 100.
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	st := store.New()
+	base, err := st.CreateTable("base", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, 400)
+	ys := make([]float64, 400)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i)
+	}
+	if err := base.BulkLoad(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{20, 100} {
+		pts := make([]geom.Point, size)
+		for i := range pts {
+			pts[i] = geom.Pt(float64(i*400/size), float64(i*400/size))
+		}
+		name := "base_vas_" + map[int]string{20: "20", 100: "100"}[size]
+		if err := query.LoadSample(st, name, store.SampleMeta{
+			Source: "base", Method: "vas", XCol: "x", YCol: "y",
+		}, pts, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(st, query.NewPlanner(st, fixedModel{}), Config{})
+}
+
+func get(t *testing.T, s *Server, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec
+}
+
+func TestTablesListing(t *testing.T) {
+	s := newTestServer(t)
+	rec := get(t, s, "/v1/tables")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var out struct {
+		Tables []TableInfo `json:"tables"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 1 {
+		t.Fatalf("tables = %+v, want exactly the base table", out.Tables)
+	}
+	ti := out.Tables[0]
+	if ti.Name != "base" || ti.Rows != 400 || len(ti.Samples) != 2 {
+		t.Errorf("table info = %+v", ti)
+	}
+	if ti.Bounds == nil || ti.Bounds.MaxX != 399 {
+		t.Errorf("bounds = %+v", ti.Bounds)
+	}
+	// Sample tables are nested under their source, not listed as tables.
+	if ti.Samples[0].Size != 20 || ti.Samples[1].Size != 100 {
+		t.Errorf("samples = %+v", ti.Samples)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	// Budget admits 150 tuples -> the 100-point sample.
+	rec := get(t, s, "/v1/query?table=base&budget=150us")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SampleSize != 100 || len(out.Points) != 100 || out.Exact {
+		t.Errorf("query response = size %d, %d points, exact %v", out.SampleSize, len(out.Points), out.Exact)
+	}
+	// Viewport restricts the answer.
+	rec = get(t, s, "/v1/query?table=base&budget=150us&minx=0&miny=0&maxx=100&maxy=100")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("viewport status = %d, body %s", rec.Code, rec.Body)
+	}
+	out = QueryResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Points) == 0 || len(out.Points) >= 100 {
+		t.Errorf("viewport points = %d, want a strict subset", len(out.Points))
+	}
+	for _, p := range out.Points {
+		if p[0] < 0 || p[0] > 100 {
+			t.Fatalf("point %v outside viewport", p)
+		}
+	}
+	// Exact scan returns every base row.
+	rec = get(t, s, "/v1/query?table=base&exact=true")
+	out = QueryResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Exact || len(out.Points) != 400 {
+		t.Errorf("exact = %v with %d points", out.Exact, len(out.Points))
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/v1/query", http.StatusBadRequest},                                // missing table
+		{"/v1/query?table=base&budget=nope", http.StatusBadRequest},         // bad budget
+		{"/v1/query?table=base&minx=1", http.StatusBadRequest},              // partial viewport
+		{"/v1/query?table=base&budget=5us", http.StatusUnprocessableEntity}, // no sample fits
+		{"/v1/query?table=ghost&exact=true", http.StatusNotFound},           // unknown table, exact path
+		{"/v1/query?table=ghost", http.StatusNotFound},                      // unknown table, sampled path
+	}
+	for _, c := range cases {
+		if rec := get(t, s, c.url); rec.Code != c.code {
+			t.Errorf("GET %s = %d, want %d (body %s)", c.url, rec.Code, c.code, rec.Body)
+		}
+	}
+}
+
+func TestTileEndpointAndCache(t *testing.T) {
+	s := newTestServer(t)
+	rec := get(t, s, "/v1/tile/base/1/0/1.png?budget=150us&size=64")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/png" {
+		t.Errorf("content type = %q", ct)
+	}
+	if h := rec.Header().Get("X-Cache"); h != "MISS" {
+		t.Errorf("first fetch X-Cache = %q, want MISS", h)
+	}
+	img, err := png.Decode(rec.Body)
+	if err != nil {
+		t.Fatalf("invalid PNG: %v", err)
+	}
+	if img.Bounds().Dx() != 64 || img.Bounds().Dy() != 64 {
+		t.Errorf("tile dims = %v, want 64x64", img.Bounds())
+	}
+
+	before := s.CacheStats()
+	rec = get(t, s, "/v1/tile/base/1/0/1.png?budget=150us&size=64")
+	if h := rec.Header().Get("X-Cache"); h != "HIT" {
+		t.Errorf("second fetch X-Cache = %q, want HIT", h)
+	}
+	after := s.CacheStats()
+	if after.Hits != before.Hits+1 || after.Misses != before.Misses {
+		t.Errorf("cache stats before %+v after %+v: want one more hit, no more misses", before, after)
+	}
+
+	// A different budget resolves to a different sample -> distinct key.
+	rec = get(t, s, "/v1/tile/base/1/0/1.png?budget=30us&size=64")
+	if h := rec.Header().Get("X-Cache"); h != "MISS" {
+		t.Errorf("different-sample fetch X-Cache = %q, want MISS", h)
+	}
+	if got := rec.Header().Get("X-Sample"); got != "base_vas_20" {
+		t.Errorf("X-Sample = %q, want base_vas_20", got)
+	}
+
+	// Invalidation empties the table's tiles: next fetch misses again.
+	s.InvalidateTable("base")
+	rec = get(t, s, "/v1/tile/base/1/0/1.png?budget=150us&size=64")
+	if h := rec.Header().Get("X-Cache"); h != "MISS" {
+		t.Errorf("post-invalidation fetch X-Cache = %q, want MISS", h)
+	}
+}
+
+func TestTileErrors(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/v1/tile/base/1/0/1", http.StatusBadRequest},            // no .png
+		{"/v1/tile/base/1/0/zz.png", http.StatusBadRequest},       // bad y
+		{"/v1/tile/base/1/5/0.png", http.StatusBadRequest},        // out of range
+		{"/v1/tile/base/1/0/0.png?size=4", http.StatusBadRequest}, // size too small
+		{"/v1/tile/ghost/1/0/0.png", http.StatusNotFound},         // unknown table
+		{"/v1/tile/base/1/0/0.png?budget=5us", http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		if rec := get(t, s, c.url); rec.Code != c.code {
+			t.Errorf("GET %s = %d, want %d (body %s)", c.url, rec.Code, c.code, rec.Body)
+		}
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	s := newTestServer(t)
+	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	// Generate some traffic so counters are non-zero.
+	get(t, s, "/v1/query?table=base&budget=150us")
+	get(t, s, "/v1/tile/base/0/0/0.png?budget=150us&size=64")
+	get(t, s, "/v1/tile/base/0/0/0.png?budget=150us&size=64")
+	get(t, s, "/v1/query?table=ghost&exact=true") // one error
+
+	rec := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`vasserve_requests_total{route="query"} 2`,
+		`vasserve_requests_total{route="tile"} 2`,
+		`vasserve_request_errors_total 1`,
+		`vasserve_tile_cache_hits_total 1`,
+		`vasserve_tile_cache_misses_total 1`,
+		`vasserve_tile_cache_hit_ratio 0.5`,
+		`vasserve_request_latency_p50_seconds`,
+		`vasserve_request_latency_p99_seconds`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

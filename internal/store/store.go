@@ -20,12 +20,29 @@ import (
 var ErrNotFound = errors.New("store: not found")
 
 // Table is a named collection of equal-length float64 columns.
+//
+// A Table is safe for concurrent use. Readers (NumRows, Column, Scan,
+// Points, Gather) operate on a consistent snapshot taken under a read
+// lock; writers (Append, BulkLoad) publish under the write lock, and
+// BulkLoad installs freshly allocated column storage rather than reusing
+// the old backing arrays, so each individual call observes either the old
+// contents or the new — never a mix. Consistency is per call, not per
+// call sequence: row indices returned by Scan refer to the generation
+// they were computed against, and a Points or Gather call issued after an
+// intervening BulkLoad resolves them against the new generation — a
+// shrink surfaces as out-of-range errors, while a same-size reload
+// silently projects new rows. Callers that reload tables while serving
+// reads must not carry row indices across the reload; the serving layer
+// avoids this wholesale by registering fresh sample tables instead of
+// reloading live ones.
 type Table struct {
 	name    string
 	colName []string
 	colIdx  map[string]int
-	cols    [][]float64
-	n       int
+
+	mu   sync.RWMutex
+	cols [][]float64
+	n    int
 }
 
 // NewTable creates a table with the given column names. It returns an
@@ -62,13 +79,31 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Columns() []string { return append([]string(nil), t.colName...) }
 
 // NumRows returns the row count.
-func (t *Table) NumRows() int { return t.n }
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// snapshot returns the current column slice headers and row count. The
+// headers are immutable views: BulkLoad swaps in fresh backing arrays and
+// Append only writes past the snapshot's length, so the first n rows of
+// each returned column never change after the snapshot is taken.
+func (t *Table) snapshot() ([][]float64, int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cols := make([][]float64, len(t.cols))
+	copy(cols, t.cols)
+	return cols, t.n
+}
 
 // Append adds one row; values must match the column count.
 func (t *Table) Append(values ...float64) error {
-	if len(values) != len(t.cols) {
-		return fmt.Errorf("store: table %q: %d values for %d columns", t.name, len(values), len(t.cols))
+	if len(values) != len(t.colName) {
+		return fmt.Errorf("store: table %q: %d values for %d columns", t.name, len(values), len(t.colName))
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i, v := range values {
 		t.cols[i] = append(t.cols[i], v)
 	}
@@ -77,10 +112,11 @@ func (t *Table) Append(values ...float64) error {
 }
 
 // BulkLoad replaces the table contents with the given parallel column
-// slices (copied). Column order must match the schema.
+// slices (copied into fresh storage, so concurrent readers keep their old
+// snapshot). Column order must match the schema.
 func (t *Table) BulkLoad(cols ...[]float64) error {
-	if len(cols) != len(t.cols) {
-		return fmt.Errorf("store: table %q: %d columns for %d-column schema", t.name, len(cols), len(t.cols))
+	if len(cols) != len(t.colName) {
+		return fmt.Errorf("store: table %q: %d columns for %d-column schema", t.name, len(cols), len(t.colName))
 	}
 	n := -1
 	for i, c := range cols {
@@ -90,20 +126,26 @@ func (t *Table) BulkLoad(cols ...[]float64) error {
 			return fmt.Errorf("store: table %q: column %q has %d rows, expected %d", t.name, t.colName[i], len(c), n)
 		}
 	}
+	fresh := make([][]float64, len(cols))
 	for i, c := range cols {
-		t.cols[i] = append(t.cols[i][:0], c...)
+		fresh[i] = append(make([]float64, 0, len(c)), c...)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cols = fresh
 	t.n = n
 	return nil
 }
 
-// Column returns a read-only view of the named column.
+// Column returns a read-only snapshot view of the named column: the
+// returned slice is never mutated by later writes to the table.
 func (t *Table) Column(name string) ([]float64, error) {
 	i, ok := t.colIdx[name]
 	if !ok {
 		return nil, fmt.Errorf("store: table %q column %q: %w", t.name, name, ErrNotFound)
 	}
-	return t.cols[i], nil
+	cols, n := t.snapshot()
+	return cols[i][:n], nil
 }
 
 // Pred is a conjunctive range predicate over columns: for each named
@@ -114,20 +156,28 @@ type Pred struct {
 	Min, Max float64
 }
 
-// Scan returns the indices of rows satisfying all predicates. A nil or
-// empty predicate list selects every row.
+// Scan returns the indices of rows satisfying all predicates, evaluated
+// against one consistent snapshot of the table. A nil or empty predicate
+// list selects every row.
 func (t *Table) Scan(preds []Pred) ([]int, error) {
-	cols := make([][]float64, len(preds))
+	idx := make([]int, len(preds))
 	for i, p := range preds {
-		c, err := t.Column(p.Column)
-		if err != nil {
-			return nil, err
+		ci, ok := t.colIdx[p.Column]
+		if !ok {
+			return nil, fmt.Errorf("store: table %q column %q: %w", t.name, p.Column, ErrNotFound)
 		}
-		cols[i] = c
+		idx[i] = ci
 	}
-	var out []int
+	snap, n := t.snapshot()
+	cols := make([][]float64, len(preds))
+	for i, ci := range idx {
+		cols[i] = snap[ci]
+	}
+	// Never return a nil slice: Points and Gather give nil rows the
+	// distinct meaning "all rows", so an empty match must stay empty.
+	out := []int{}
 rows:
-	for r := 0; r < t.n; r++ {
+	for r := 0; r < n; r++ {
 		for i, p := range preds {
 			v := cols[i][r]
 			if v < p.Min || v > p.Max {
@@ -140,18 +190,20 @@ rows:
 }
 
 // Points projects two columns into geometry points for the given row set
-// (nil rows = all rows).
+// (nil rows = all rows), reading one consistent snapshot.
 func (t *Table) Points(xCol, yCol string, rows []int) ([]geom.Point, error) {
-	xs, err := t.Column(xCol)
-	if err != nil {
-		return nil, err
+	xi, ok := t.colIdx[xCol]
+	if !ok {
+		return nil, fmt.Errorf("store: table %q column %q: %w", t.name, xCol, ErrNotFound)
 	}
-	ys, err := t.Column(yCol)
-	if err != nil {
-		return nil, err
+	yi, ok := t.colIdx[yCol]
+	if !ok {
+		return nil, fmt.Errorf("store: table %q column %q: %w", t.name, yCol, ErrNotFound)
 	}
+	snap, n := t.snapshot()
+	xs, ys := snap[xi], snap[yi]
 	if rows == nil {
-		pts := make([]geom.Point, t.n)
+		pts := make([]geom.Point, n)
 		for i := range pts {
 			pts[i] = geom.Pt(xs[i], ys[i])
 		}
@@ -159,12 +211,33 @@ func (t *Table) Points(xCol, yCol string, rows []int) ([]geom.Point, error) {
 	}
 	pts := make([]geom.Point, len(rows))
 	for i, r := range rows {
-		if r < 0 || r >= t.n {
-			return nil, fmt.Errorf("store: table %q: row %d out of range [0,%d)", t.name, r, t.n)
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("store: table %q: row %d out of range [0,%d)", t.name, r, n)
 		}
 		pts[i] = geom.Pt(xs[r], ys[r])
 	}
 	return pts, nil
+}
+
+// Bounds returns the bounding rectangle of the (xCol, yCol) projection of
+// the whole table, computed over one consistent snapshot. It is empty for
+// a table with no rows.
+func (t *Table) Bounds(xCol, yCol string) (geom.Rect, error) {
+	xi, ok := t.colIdx[xCol]
+	if !ok {
+		return geom.Rect{}, fmt.Errorf("store: table %q column %q: %w", t.name, xCol, ErrNotFound)
+	}
+	yi, ok := t.colIdx[yCol]
+	if !ok {
+		return geom.Rect{}, fmt.Errorf("store: table %q column %q: %w", t.name, yCol, ErrNotFound)
+	}
+	snap, n := t.snapshot()
+	xs, ys := snap[xi], snap[yi]
+	b := geom.EmptyRect()
+	for i := 0; i < n; i++ {
+		b = b.UnionPoint(geom.Pt(xs[i], ys[i]))
+	}
+	return b, nil
 }
 
 // Gather returns the values of one column at the given rows.
@@ -175,8 +248,8 @@ func (t *Table) Gather(col string, rows []int) ([]float64, error) {
 	}
 	out := make([]float64, len(rows))
 	for i, r := range rows {
-		if r < 0 || r >= t.n {
-			return nil, fmt.Errorf("store: table %q: row %d out of range [0,%d)", t.name, r, t.n)
+		if r < 0 || r >= len(c) {
+			return nil, fmt.Errorf("store: table %q: row %d out of range [0,%d)", t.name, r, len(c))
 		}
 		out[i] = c[r]
 	}

@@ -113,6 +113,23 @@ func TestScanPredicates(t *testing.T) {
 	if len(rows) != 6 {
 		t.Errorf("all rows = %v", rows)
 	}
+	// No matches must be a non-nil empty slice: Points/Gather interpret
+	// nil rows as "all rows", so a nil miss result would project the
+	// whole table.
+	rows, err = tb.Scan([]Pred{{Column: "x", Min: 100, Max: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows == nil || len(rows) != 0 {
+		t.Errorf("no-match scan = %#v, want non-nil empty", rows)
+	}
+	pts, err := tb.Points("x", "y", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 0 {
+		t.Errorf("no-match projection returned %d points", len(pts))
+	}
 	if _, err := tb.Scan([]Pred{{Column: "zzz"}}); err == nil {
 		t.Error("bad predicate column: want error")
 	}
@@ -222,6 +239,102 @@ func TestDropTable(t *testing.T) {
 	if got := s.SamplesOf("base"); len(got) != 0 {
 		t.Error("source drop left sample metadata")
 	}
+}
+
+func TestBounds(t *testing.T) {
+	tb, _ := NewTable("t", "x", "y")
+	if b, err := tb.Bounds("x", "y"); err != nil || !b.IsEmpty() {
+		t.Errorf("empty table bounds = %v, err %v", b, err)
+	}
+	tb.BulkLoad([]float64{-2, 5, 1}, []float64{7, -3, 0})
+	b, err := tb.Bounds("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.Rect{MinX: -2, MinY: -3, MaxX: 5, MaxY: 7}
+	if b != want {
+		t.Errorf("bounds = %v, want %v", b, want)
+	}
+	if _, err := tb.Bounds("x", "zzz"); err == nil {
+		t.Error("unknown column: want error")
+	}
+}
+
+// TestTableScanVsBulkLoadRace locks down the snapshot semantics: scans
+// racing reloads must observe either the old contents or the new, never a
+// mix. Run with -race.
+func TestTableScanVsBulkLoadRace(t *testing.T) {
+	tb, _ := NewTable("t", "x", "y")
+	load := func(v float64, n int) {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = v
+			ys[i] = v
+		}
+		if err := tb.BulkLoad(xs, ys); err != nil {
+			t.Error(err)
+		}
+	}
+	load(1, 500)
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() { // writer: alternate between two generations of data
+		defer close(writerDone)
+		for gen := 0; ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if gen%2 == 0 {
+				load(2, 300) // shrink
+			} else {
+				load(1, 500) // grow back
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() { // readers: every snapshot must be internally consistent
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				pts, err := tb.Points("x", "y", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(pts) != 300 && len(pts) != 500 {
+					t.Errorf("torn read: %d points", len(pts))
+					return
+				}
+				want := 1.0
+				if len(pts) == 300 {
+					want = 2.0
+				}
+				for _, p := range pts {
+					if p.X != want || p.Y != want {
+						t.Errorf("torn read: point %v in a %d-row generation", p, len(pts))
+						return
+					}
+				}
+				rows, err := tb.Scan([]Pred{{Column: "x", Min: 0, Max: 10}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(rows) != 300 && len(rows) != 500 {
+					t.Errorf("torn scan: %d rows", len(rows))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
 }
 
 func TestStoreConcurrentReads(t *testing.T) {

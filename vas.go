@@ -30,6 +30,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/geom"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/sampling"
+	"repro/internal/server"
 	"repro/internal/store"
 	core "repro/internal/vas"
 	"repro/internal/viztime"
@@ -302,6 +305,9 @@ func padViewport(v Rect) Rect {
 type Catalog struct {
 	st      *store.Store
 	planner *query.Planner
+
+	srvMu sync.Mutex
+	srv   *server.Server
 }
 
 // NewCatalog returns an empty catalog using the paper's Tableau latency
@@ -351,7 +357,29 @@ func (c *Catalog) BuildSamples(table string, points []Point, sizes []int, withDe
 			return err
 		}
 	}
+	// Registering samples changes what tile requests resolve to; drop any
+	// tiles the HTTP layer rendered from the previous sample set.
+	c.srvMu.Lock()
+	if c.srv != nil {
+		c.srv.InvalidateTable(table)
+	}
+	c.srvMu.Unlock()
 	return nil
+}
+
+// Handler returns the catalog's HTTP serving layer (created on first use
+// and shared by later calls): budget-bound point queries, PNG map tiles
+// backed by a sharded LRU tile cache, a catalog listing, and health and
+// metrics endpoints. See internal/server for the routes. The handler
+// serves concurrently with ongoing BuildSamples calls; newly registered
+// samples invalidate that table's cached tiles.
+func (c *Catalog) Handler() http.Handler {
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
+	if c.srv == nil {
+		c.srv = server.New(c.st, c.planner, server.Config{})
+	}
+	return c.srv
 }
 
 // QueryResult is the answer to a visualization query.
