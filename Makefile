@@ -1,0 +1,39 @@
+# Development targets. CI runs fmt/vet/build/test plus a one-iteration
+# bench smoke so the serving benchmarks cannot rot.
+
+GO ?= go
+# The serving benchmarks of the read-path refactor (internal/store):
+# index probe vs linear baseline, parallel fallback scan, full-extent
+# zero-row-id-allocation projection.
+SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection
+
+.PHONY: all build test race bench bench-smoke fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the serving benchmarks and commits the numbers as
+# BENCH_PR2.json (the repo's benchmark trajectory).
+bench:
+	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem ./internal/store | tee /tmp/bench_serving.txt
+	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR2.json
+	@echo wrote BENCH_PR2.json
+
+# bench-smoke is the CI guard: every serving benchmark must still
+# compile and complete one iteration.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchtime 1x ./internal/store

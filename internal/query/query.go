@@ -95,17 +95,30 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 	// Choose is the single home of budget defaulting and sample
 	// selection, so /v1/query and the tile cache keying (which calls
 	// Choose directly) can never disagree about which sample a budget
-	// resolves to.
-	chosen, err := pl.Choose(req)
-	if err != nil {
-		return nil, err
+	// resolves to. A sample replacement (LoadSample drops and recreates
+	// the table) can race between selection and lookup; re-resolving
+	// against the updated catalog absorbs it instead of surfacing a
+	// spurious not-found for a table that exists.
+	var (
+		chosen store.SampleMeta
+		st     *store.Table
+		err    error
+	)
+	for attempt := 0; ; attempt++ {
+		chosen, err = pl.Choose(req)
+		if err != nil {
+			return nil, err
+		}
+		st, err = pl.st.Table(chosen.Table)
+		if err == nil {
+			break
+		}
+		if attempt == 2 || !errors.Is(err, store.ErrNotFound) {
+			return nil, err
+		}
 	}
-	st, err := pl.st.Table(chosen.Table)
-	if err != nil {
-		return nil, err
-	}
-	// One predicate scan serves both the point projection and the density
-	// gather; this is the serving hot path.
+	// One index probe (or fallback scan) serves both the point projection
+	// and the density gather; this is the serving hot path.
 	rows, err := pl.viewportRows(st, chosen.XCol, chosen.YCol, req.Viewport)
 	if err != nil {
 		return nil, err
@@ -121,10 +134,21 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 		PlanTime:      time.Since(start),
 	}
 	if chosen.HasDensity {
+		// A sample registered with HasDensity whose density column cannot
+		// be gathered is broken data, not a cue to silently degrade to
+		// unweighted output.
 		vals, err := st.Gather("density", rows)
-		if err == nil {
-			resp.Values = vals
+		if err != nil {
+			return nil, fmt.Errorf("query: sample %q density gather: %w", chosen.Table, err)
 		}
+		// Points and Gather each read their own snapshot; a reload of the
+		// sample table between the two can desynchronize them (the All
+		// sentinel in particular adapts to whatever size it finds).
+		// Misaligned weights corrupt the rendering, so fail instead.
+		if len(vals) != len(pts) {
+			return nil, fmt.Errorf("query: sample %q reloaded mid-plan: %d density values for %d points", chosen.Table, len(vals), len(pts))
+		}
+		resp.Values = vals
 	}
 	return resp, nil
 }
@@ -174,21 +198,19 @@ func (pl *Planner) chooseSample(req Request, maxTuples int) (store.SampleMeta, e
 	return best, nil
 }
 
-func (pl *Planner) viewportRows(t *store.Table, xCol, yCol string, vp geom.Rect) ([]int, error) {
+func (pl *Planner) viewportRows(t *store.Table, xCol, yCol string, vp geom.Rect) (store.RowSet, error) {
 	// Both the zero value (a degenerate point at the origin, the natural
 	// "unset" spelling for callers) and a properly empty rectangle mean
-	// "no viewport restriction".
+	// "no viewport restriction". The full extent is the store.All
+	// sentinel: projections walk the columns directly and no row ids are
+	// ever materialized (the zero-allocation fast path).
 	if vp == (geom.Rect{}) || vp.IsEmpty() {
-		rows := make([]int, t.NumRows())
-		for i := range rows {
-			rows[i] = i
-		}
-		return rows, nil
+		return store.All, nil
 	}
-	return t.Scan([]store.Pred{
-		{Column: xCol, Min: vp.MinX, Max: vp.MaxX},
-		{Column: yCol, Min: vp.MinY, Max: vp.MaxY},
-	})
+	// An index probe when the sample's column pair is indexed (every
+	// table published through LoadSample or the vas façade is), a
+	// sharded linear scan otherwise.
+	return t.ScanRect(xCol, yCol, vp)
 }
 
 func (pl *Planner) scan(t *store.Table, xCol, yCol string, vp geom.Rect) ([]geom.Point, error) {
@@ -202,7 +224,11 @@ func (pl *Planner) scan(t *store.Table, xCol, yCol string, vp geom.Rect) ([]geom
 // LoadSample materializes a sample as a store table named name with
 // columns (x, y[, density]) and registers its lineage. It is the bridge
 // the offline builder (cmd/vasgen, the vas façade) uses to publish samples
-// into the serving store.
+// into the serving store. The table is fully built — loaded and indexed
+// — before it is published, and publishing atomically replaces any
+// previous sample of the same name together with its catalog entry, so
+// a rebuild after a base-table reload refreshes in place and queries
+// racing the replacement always find a complete catalog.
 func LoadSample(st *store.Store, name string, meta store.SampleMeta, pts []geom.Point, density []int64) error {
 	cols := []string{"x", "y"}
 	if density != nil {
@@ -211,7 +237,7 @@ func LoadSample(st *store.Store, name string, meta store.SampleMeta, pts []geom.
 		}
 		cols = append(cols, "density")
 	}
-	t, err := st.CreateTable(name, cols...)
+	t, err := store.NewTable(name, cols...)
 	if err != nil {
 		return err
 	}
@@ -232,8 +258,13 @@ func LoadSample(st *store.Store, name string, meta store.SampleMeta, pts []geom.
 	if err := t.BulkLoad(loadCols...); err != nil {
 		return err
 	}
+	// Publish-time indexing: every sample table answers viewport queries
+	// as index probes from its first request.
+	if err := t.IndexOn("x", "y"); err != nil {
+		return err
+	}
 	meta.Table = name
 	meta.Size = len(pts)
 	meta.HasDensity = density != nil
-	return st.RegisterSample(meta)
+	return st.PublishSample(t, meta)
 }

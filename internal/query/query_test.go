@@ -222,6 +222,140 @@ func TestPlannerNoSamplesRegistered(t *testing.T) {
 	}
 }
 
+// TestZeroRectViewportConvention is the regression test documenting the
+// viewport convention shared by query and the vas façade: the zero
+// geom.Rect — a degenerate point at the origin, the natural "unset"
+// spelling for callers — means "full extent", NOT "only rows exactly at
+// the origin". The store itself takes rectangles literally; the
+// translation happens in viewportRows, and is exercised here against a
+// table that does contain a row at the origin, so a literal reading
+// would return exactly one point and fail.
+func TestZeroRectViewportConvention(t *testing.T) {
+	st := store.New()
+	base, _ := st.CreateTable("base", "x", "y")
+	if err := base.BulkLoad([]float64{0, 1, 2}, []float64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 2)}
+	if err := LoadSample(st, "s", store.SampleMeta{
+		Source: "base", Method: "vas", XCol: "x", YCol: "y",
+	}, pts, nil); err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlanner(st, fixedModel{})
+	for _, exact := range []bool{false, true} {
+		resp, err := pl.Plan(Request{
+			Table: "base", XCol: "x", YCol: "y",
+			Viewport: geom.Rect{}, Budget: time.Second, Exact: exact,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Points) != 3 {
+			t.Errorf("exact=%v: zero-Rect viewport returned %d points, want all 3", exact, len(resp.Points))
+		}
+	}
+	// The store, by contrast, reads the zero Rect literally: only the
+	// origin row matches. Both behaviors are load-bearing.
+	base, _ = st.Table("base")
+	rows, err := base.ScanRect("x", "y", geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := rows.Indices(); len(ids) != 1 || ids[0] != 0 {
+		t.Errorf("store-level zero Rect = rows %v, want just the origin row [0]", ids)
+	}
+}
+
+// TestViewportRowsFullExtentAllocatesNothing pins the zero-allocation
+// fast path: a full-extent request resolves to the store.All sentinel
+// without materializing any row ids.
+func TestViewportRowsFullExtentAllocatesNothing(t *testing.T) {
+	st, pl := setup(t)
+	base, err := st.Table("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		rows, err := pl.viewportRows(base, "x", "y", geom.Rect{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.IsAll() {
+			t.Fatal("full extent should resolve to store.All")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("full-extent viewportRows allocated %.0f objects per run, want 0", allocs)
+	}
+}
+
+// TestPlanPropagatesDensityGatherError covers the former silent
+// degradation: a sample registered with HasDensity whose density column
+// is missing must fail the plan, not quietly serve unweighted points.
+func TestPlanPropagatesDensityGatherError(t *testing.T) {
+	st := store.New()
+	base, _ := st.CreateTable("base", "x", "y")
+	if err := base.BulkLoad([]float64{0, 1}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A sample table claiming density but carrying only (x, y).
+	bad, _ := st.CreateTable("bad", "x", "y")
+	if err := bad.BulkLoad([]float64{0, 1}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterSample(store.SampleMeta{
+		Table: "bad", Source: "base", Method: "vas",
+		XCol: "x", YCol: "y", Size: 2, HasDensity: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlanner(st, fixedModel{})
+	_, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Budget: time.Second})
+	if err == nil {
+		t.Fatal("broken density column: want error, got silent unweighted output")
+	}
+	if !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("err = %v, want wrapped store.ErrNotFound", err)
+	}
+}
+
+// TestLoadSampleReplacesExisting: re-publishing a sample under the same
+// name replaces the old table and its catalog entry, so BuildSamples can
+// refresh samples after a base-table reload instead of failing on the
+// taken name or duplicating metadata.
+func TestLoadSampleReplacesExisting(t *testing.T) {
+	st := store.New()
+	base, _ := st.CreateTable("base", "x", "y")
+	if err := base.BulkLoad([]float64{0, 10}, []float64{0, 10}); err != nil {
+		t.Fatal(err)
+	}
+	meta := store.SampleMeta{Source: "base", Method: "vas", XCol: "x", YCol: "y"}
+	if err := LoadSample(st, "s", meta, []geom.Point{geom.Pt(1, 1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Replace with a bigger sample that also changes schema (adds density).
+	pts := []geom.Point{geom.Pt(2, 2), geom.Pt(3, 3)}
+	if err := LoadSample(st, "s", meta, pts, []int64{5, 7}); err != nil {
+		t.Fatalf("re-publish: %v", err)
+	}
+	metas := st.SamplesOf("base")
+	if len(metas) != 1 {
+		t.Fatalf("catalog has %d entries for the sample, want 1: %+v", len(metas), metas)
+	}
+	if metas[0].Size != 2 || !metas[0].HasDensity {
+		t.Errorf("replaced meta = %+v, want size 2 with density", metas[0])
+	}
+	pl := NewPlanner(st, fixedModel{})
+	resp, err := pl.Plan(Request{Table: "base", XCol: "x", YCol: "y", Budget: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 2 || resp.Values[0] != 5 {
+		t.Errorf("served points %v values %v, want the replacement sample", resp.Points, resp.Values)
+	}
+}
+
 func TestLoadSampleWithDensity(t *testing.T) {
 	st := store.New()
 	base, _ := st.CreateTable("base", "x", "y")

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/store"
 )
 
 // latencyBuckets are the upper bounds of the request-latency histogram.
@@ -99,7 +101,7 @@ func (m *metrics) record(route string, status int, d time.Duration) {
 }
 
 // write emits the metrics in Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, cache cacheStats) {
+func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats) {
 	routes := make([]string, 0, len(m.requests))
 	for r := range m.requests {
 		routes = append(routes, r)
@@ -118,4 +120,10 @@ func (m *metrics) write(w io.Writer, cache cacheStats) {
 	fmt.Fprintf(w, "vasserve_tile_cache_bytes %d\n", cache.Bytes)
 	fmt.Fprintf(w, "vasserve_tile_cache_entries %d\n", cache.Entries)
 	fmt.Fprintf(w, "vasserve_tile_cache_hit_ratio %g\n", cache.HitRatio())
+	fmt.Fprintf(w, "vasserve_store_indexed_tables %d\n", idx.IndexedTables)
+	fmt.Fprintf(w, "vasserve_store_spatial_indexes %d\n", idx.Indexes)
+	fmt.Fprintf(w, "vasserve_store_indexed_rows %d\n", idx.IndexedRows)
+	fmt.Fprintf(w, "vasserve_store_index_cells %d\n", idx.Cells)
+	fmt.Fprintf(w, "vasserve_store_index_probes_total %d\n", idx.Probes)
+	fmt.Fprintf(w, "vasserve_store_scan_fallbacks_total %d\n", idx.Fallbacks)
 }

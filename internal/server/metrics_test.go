@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/store"
 )
 
 func TestHistogramQuantiles(t *testing.T) {
@@ -36,7 +38,7 @@ func TestHistogramOverflowReportsInf(t *testing.T) {
 		t.Errorf("saturated p99 = %g, want +Inf", got)
 	}
 	var sb strings.Builder
-	m.write(&sb, cacheStats{})
+	m.write(&sb, cacheStats{}, store.IndexStats{})
 	if !strings.Contains(sb.String(), "vasserve_request_latency_p99_seconds +Inf") {
 		t.Errorf("metrics output hides tail saturation:\n%s", sb.String())
 	}

@@ -79,11 +79,13 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *metrics
 
-	// boundsMu guards boundsCache, the lazily computed per-table data
-	// extents tile addresses are resolved against. Invalidated together
-	// with the tile cache.
+	// boundsMu guards boundsCache — the lazily computed per-table data
+	// extents tile addresses are resolved against — and epochs, the
+	// per-table invalidation generation baked into tile cache keys. Both
+	// are updated together with the tile cache.
 	boundsMu    sync.RWMutex
 	boundsCache map[string]geom.Rect
+	epochs      map[string]uint64
 }
 
 // New returns a server over the given store and planner.
@@ -95,6 +97,7 @@ func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
 		cache:       tilecache.New(cfg.TileCacheBytes),
 		metrics:     newMetrics("tables", "query", "tile", "healthz", "metrics"),
 		boundsCache: make(map[string]geom.Rect),
+		epochs:      make(map[string]uint64),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/tables", s.instrument("tables", s.handleTables))
@@ -114,12 +117,24 @@ func (s *Server) CacheStats() tilecache.Stats { return s.cache.Stats() }
 
 // InvalidateTable drops every cached tile and the cached extent of the
 // given base table. Call it after (re)registering a sample or reloading
-// the table, so later tile requests re-render from current data.
+// the table, so later tile requests re-render from current data. The
+// table's cache-key epoch is bumped first: a render already in flight
+// across the invalidation completes under the old epoch's key, which no
+// later request asks for, so it can never resurface stale pixels as a
+// cache hit.
 func (s *Server) InvalidateTable(table string) {
-	s.cache.InvalidateTable(table)
 	s.boundsMu.Lock()
+	s.epochs[table]++
 	delete(s.boundsCache, table)
 	s.boundsMu.Unlock()
+	s.cache.InvalidateTable(table)
+}
+
+// tableEpoch returns the current invalidation generation of a table.
+func (s *Server) tableEpoch(table string) uint64 {
+	s.boundsMu.RLock()
+	defer s.boundsMu.RUnlock()
+	return s.epochs[table]
 }
 
 // ---- instrumentation ----
@@ -232,6 +247,7 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 func (s *Server) tableBounds(table string) (geom.Rect, error) {
 	s.boundsMu.RLock()
 	b, ok := s.boundsCache[table]
+	epoch := s.epochs[table]
 	s.boundsMu.RUnlock()
 	if ok {
 		return b, nil
@@ -246,10 +262,15 @@ func (s *Server) tableBounds(table string) (geom.Rect, error) {
 	}
 	// Never cache an empty extent: a tile request can land between table
 	// creation and its bulk load, and caching the empty result would 404
-	// that table's tiles until the next invalidation.
+	// that table's tiles until the next invalidation. And never cache
+	// across an invalidation: if the table was reloaded while we computed,
+	// this extent belongs to the dead generation — inserting it would
+	// poison tile addressing for the whole new epoch.
 	if !b.IsEmpty() {
 		s.boundsMu.Lock()
-		s.boundsCache[table] = b
+		if s.epochs[table] == epoch {
+			s.boundsCache[table] = b
+		}
 		s.boundsMu.Unlock()
 	}
 	return b, nil
@@ -397,6 +418,11 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	}
 	exact := r.URL.Query().Get("exact") == "true"
 
+	// The epoch must be read before the bounds (and before the render):
+	// an invalidation landing after this point leaves us rendering
+	// against stale geometry or data, and the stale epoch quarantines
+	// that result under a key no post-invalidation request asks for.
+	epoch := s.tableEpoch(table)
 	bounds, err := s.tableBounds(table)
 	if err != nil {
 		httpError(w, err)
@@ -416,26 +442,41 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	// identity, and a cache hit must not touch the data at all. The
 	// render below scans exactly this sample — never re-resolving — so a
 	// concurrent sample registration cannot cache one sample's pixels
-	// under another sample's key.
-	var meta store.SampleMeta
-	sampleName := "__exact__"
-	if !exact {
-		meta, err = s.planner.Choose(query.Request{
-			Table: table, XCol: s.cfg.XCol, YCol: s.cfg.YCol, Budget: budget,
+	// under another sample's key. A sample replacement (LoadSample
+	// drop-and-recreate) can make the chosen sample table vanish between
+	// Choose and the render; one re-resolve absorbs it.
+	var (
+		png        []byte
+		hit        bool
+		sampleName string
+	)
+	for attempt := 0; ; attempt++ {
+		var meta store.SampleMeta
+		sampleName = "__exact__"
+		if !exact {
+			meta, err = s.planner.Choose(query.Request{
+				Table: table, XCol: s.cfg.XCol, YCol: s.cfg.YCol, Budget: budget,
+			})
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			sampleName = meta.Table
+		}
+		key := tilecache.Key{
+			Table: table, Sample: sampleName, Epoch: epoch,
+			Z: z, X: x, Y: y, Size: size,
+		}
+		png, hit, err = s.cache.GetOrRender(key, func() ([]byte, error) {
+			return s.renderTile(table, meta, tileRect, size, exact)
 		})
-		if err != nil {
+		if err == nil {
+			break
+		}
+		if exact || attempt > 0 || !errors.Is(err, store.ErrNotFound) {
 			httpError(w, err)
 			return
 		}
-		sampleName = meta.Table
-	}
-	key := tilecache.Key{Table: table, Sample: sampleName, Z: z, X: x, Y: y, Size: size}
-	png, hit, err := s.cache.GetOrRender(key, func() ([]byte, error) {
-		return s.renderTile(table, meta, tileRect, size, exact)
-	})
-	if err != nil {
-		httpError(w, err)
-		return
 	}
 	w.Header().Set("Content-Type", "image/png")
 	w.Header().Set("X-Sample", sampleName)
@@ -463,10 +504,11 @@ func (s *Server) renderTile(table string, meta store.SampleMeta, tileRect geom.R
 	if err != nil {
 		return nil, err
 	}
-	rows, err := t.Scan([]store.Pred{
-		{Column: xCol, Min: tileRect.MinX, Max: tileRect.MaxX},
-		{Column: yCol, Min: tileRect.MinY, Max: tileRect.MaxY},
-	})
+	// Index probe: sample and base tables published through the catalog
+	// carry a grid index over their (x, y) pair, so a tile-cache miss
+	// reads only the cells its rectangle overlaps instead of scanning
+	// the table.
+	rows, err := t.ScanRect(xCol, yCol, tileRect)
 	if err != nil {
 		return nil, err
 	}
@@ -475,20 +517,22 @@ func (s *Server) renderTile(table string, meta store.SampleMeta, tileRect geom.R
 		return nil, err
 	}
 	ras := render.NewRaster(tileRect, size, size)
-	plotted := false
 	if meta.HasDensity && !exact {
-		if vals, err := t.Gather("density", rows); err == nil {
-			weights := make([]int64, len(vals))
-			for i, v := range vals {
-				weights[i] = int64(v)
-			}
-			if _, err := ras.PlotWeighted(pts, weights, 0); err != nil {
-				return nil, err
-			}
-			plotted = true
+		// A density sample whose density column cannot be gathered is
+		// broken data; surface it rather than silently rendering (and
+		// caching) an unweighted tile.
+		vals, err := t.Gather("density", rows)
+		if err != nil {
+			return nil, fmt.Errorf("sample %q density gather: %w", name, err)
 		}
-	}
-	if !plotted {
+		weights := make([]int64, len(vals))
+		for i, v := range vals {
+			weights[i] = int64(v)
+		}
+		if _, err := ras.PlotWeighted(pts, weights, 0); err != nil {
+			return nil, err
+		}
+	} else {
 		ras.Plot(pts)
 	}
 	var buf bytes.Buffer
@@ -506,5 +550,5 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, s.cache.Stats())
+	s.metrics.write(w, s.cache.Stats(), s.st.IndexStats())
 }

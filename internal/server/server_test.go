@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"image/png"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/query"
 	"repro/internal/store"
+	"repro/internal/tilecache"
 )
 
 // fixedModel makes latency exactly n microseconds per tuple with zero
@@ -195,6 +197,36 @@ func TestTileEndpointAndCache(t *testing.T) {
 	rec = get(t, s, "/v1/tile/base/1/0/1.png?budget=150us&size=64")
 	if h := rec.Header().Get("X-Cache"); h != "MISS" {
 		t.Errorf("post-invalidation fetch X-Cache = %q, want MISS", h)
+	}
+}
+
+// TestInvalidationEpochBlocksInFlightStaleTile simulates the race where
+// a tile render in flight across an InvalidateTable completes after the
+// invalidation: its deferred cache insert lands under the
+// pre-invalidation epoch key, which no later request asks for, so the
+// stale pixels can never surface as a hit.
+func TestInvalidationEpochBlocksInFlightStaleTile(t *testing.T) {
+	s := newTestServer(t)
+	staleKey := tilecache.Key{
+		Table: "base", Sample: "__exact__", Epoch: s.tableEpoch("base"),
+		Z: 0, X: 0, Y: 0, Size: s.cfg.DefaultTileSize,
+	}
+	s.InvalidateTable("base")
+	// The in-flight render finishes now and caches pre-invalidation
+	// pixels under the old epoch (what GetOrRender's deferred insert
+	// does after the renderer returns).
+	stale := []byte("stale-png-bytes")
+	s.cache.Put(staleKey, stale)
+
+	rec := get(t, s, "/v1/tile/base/0/0/0.png?exact=true")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if h := rec.Header().Get("X-Cache"); h != "MISS" {
+		t.Errorf("post-invalidation fetch X-Cache = %q, want MISS (stale in-flight tile served)", h)
+	}
+	if bytes.Equal(rec.Body.Bytes(), stale) {
+		t.Error("response is the stale pre-invalidation render")
 	}
 }
 

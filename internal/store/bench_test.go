@@ -1,0 +1,130 @@
+package store
+
+// Serving benchmarks for the read-path refactor (ISSUE 2 acceptance):
+// viewport queries as index probes vs the pre-index linear baseline, the
+// parallel sharded scan the exact path falls back to, and the
+// zero-row-id-allocation full-extent projection. `make bench` runs these
+// and writes BENCH_PR2.json.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+const benchRows = 1_000_000
+
+// benchViewport covers 1% of the data extent (10% per axis).
+var benchViewport = geom.Rect{MinX: 450, MinY: 450, MaxX: 550, MaxY: 550}
+
+var benchPreds = []Pred{
+	{Column: "x", Min: benchViewport.MinX, Max: benchViewport.MaxX},
+	{Column: "y", Min: benchViewport.MinY, Max: benchViewport.MaxY},
+}
+
+func benchTable(b *testing.B, n int, indexed bool) *Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+		ys[i] = rng.Float64() * 1000
+	}
+	tb, err := NewTable("bench", "x", "y")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tb.BulkLoad(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	if indexed {
+		if err := tb.IndexOn("x", "y"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// BenchmarkQueryViewportIndexed is the refactored serving hot path: a 1%
+// viewport over a 1M-row table answered as a grid-index probe, then
+// projected to points.
+func BenchmarkQueryViewportIndexed(b *testing.B) {
+	tb := benchTable(b, benchRows, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := tb.ScanRect("x", "y", benchViewport)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts, err := tb.Points("x", "y", rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("empty viewport result")
+		}
+	}
+}
+
+// BenchmarkQueryViewportLinear is the pre-refactor baseline: the same
+// viewport answered by a sequential full-table predicate scan that
+// materializes row ids by appending, exactly what the old
+// Table.Scan + Points path did.
+func BenchmarkQueryViewportLinear(b *testing.B) {
+	tb := benchTable(b, benchRows, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := tb.snapshot()
+		cols := [][]float64{d.cols[0], d.cols[1]}
+		rows := rowSetFromSorted(scanRange(cols, benchPreds, 0, d.n, nil))
+		pts, err := tb.Points("x", "y", rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("empty viewport result")
+		}
+	}
+}
+
+// BenchmarkExactScanParallel measures the sharded fallback scan the
+// exact path and unindexed column pairs use: Table.Scan fans the
+// predicate evaluation out across CPUs and concatenates shard results
+// in row order.
+func BenchmarkExactScanParallel(b *testing.B) {
+	tb := benchTable(b, benchRows, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := tb.Scan(benchPreds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows.IsEmpty() {
+			b.Fatal("empty scan result")
+		}
+	}
+}
+
+// BenchmarkQueryFullExtentProjection is the allocs benchmark behind the
+// "full extent performs zero row-id allocations" acceptance criterion:
+// the All sentinel projects the whole table with a single allocation —
+// the output slice — and allocs/op stays at 1 regardless of row count.
+func BenchmarkQueryFullExtentProjection(b *testing.B) {
+	tb := benchTable(b, benchRows, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := tb.Points("x", "y", All)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != benchRows {
+			b.Fatalf("projected %d rows", len(pts))
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package store
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+)
+
+// The spatial index is a uniform grid (adapted from internal/grid, which
+// keeps per-cell point slices; here the layout is a compact CSR packing
+// of row ids) binned over one (x, y) column pair. It is immutable: built
+// against one generation of column storage and published atomically with
+// it, so a reader's snapshot always pairs columns with the index that was
+// built from exactly those columns.
+const (
+	// indexTargetRowsPerCell sizes the grid so an average cell holds
+	// about this many rows: fine enough that a 1% viewport touches a
+	// small fraction of the table, coarse enough that covered cells
+	// dominate boundary cells.
+	indexTargetRowsPerCell = 64
+	// indexMaxDim caps the grid resolution (cells = dim²).
+	indexMaxDim = 1024
+)
+
+// rectIndex is a grid-binned spatial index over the column pair (xi, yi)
+// of one table generation. rowID packs the row ids of all cells in
+// row-major cell order; cellOff[c] .. cellOff[c+1] delimit cell c's run,
+// and ids are ascending within each run (the build is a stable counting
+// sort over ascending rows).
+type rectIndex struct {
+	xi, yi       int
+	bounds       geom.Rect
+	nx, ny       int
+	cellW, cellH float64
+	cellOff      []int32
+	rowID        []int32
+	// extra holds rows (ascending) with a non-finite coordinate: NaN
+	// compares false against every bound and so matches every range
+	// predicate, and ±Inf defeats the cell arithmetic, so such rows
+	// cannot be binned — they are filtered per probe like boundary
+	// cells. Keeping them out of the grid preserves the index for the
+	// finite bulk of a dirty dataset instead of refusing to index it.
+	extra []int32
+	n     int // rows indexed; rows >= n (post-build appends) are unindexed
+}
+
+// buildRectIndex indexes the n-row column pair. It returns a valid,
+// empty-probing index for n == 0 (so later appends still take the tail
+// path), and nil when the table is too large for the int32 row ids.
+func buildRectIndex(xi, yi int, xs, ys []float64, n int) *rectIndex {
+	if n > math.MaxInt32 {
+		return nil
+	}
+	ix := &rectIndex{xi: xi, yi: yi, n: n, bounds: geom.EmptyRect()}
+	if n == 0 {
+		return ix
+	}
+	for i := 0; i < n; i++ {
+		x, y := xs[i], ys[i]
+		if !isFinite(x) || !isFinite(y) {
+			ix.extra = append(ix.extra, int32(i))
+			continue
+		}
+		ix.bounds = ix.bounds.UnionPoint(geom.Pt(x, y))
+	}
+	if len(ix.extra) == n {
+		// Nothing finite to bin; every probe is an extras filter, which
+		// is just a slower linear scan.
+		return nil
+	}
+	if ix.bounds.IsEmpty() {
+		// Unreachable (some row was finite), but a grid over an empty
+		// extent must never be built.
+		return nil
+	}
+	dim := int(math.Sqrt(float64(n) / indexTargetRowsPerCell))
+	if dim < 1 {
+		dim = 1
+	}
+	if dim > indexMaxDim {
+		dim = indexMaxDim
+	}
+	ix.nx, ix.ny = dim, dim
+	ix.cellW = ix.bounds.Width() / float64(dim)
+	ix.cellH = ix.bounds.Height() / float64(dim)
+	// Degenerate axes (all rows on a line) still need a positive step so
+	// cellOf stays well-defined; same convention as grid.New.
+	if ix.cellW == 0 || math.IsNaN(ix.cellW) {
+		ix.cellW = 1
+	}
+	if ix.cellH == 0 || math.IsNaN(ix.cellH) {
+		ix.cellH = 1
+	}
+	// Counting sort rows into cells: count, prefix-sum, place. Iterating
+	// rows ascending keeps each cell's run ascending. Non-finite rows
+	// (already collected into extra) are skipped.
+	cells := dim * dim
+	counts := make([]int32, cells+1)
+	cellOf := make([]int32, n)
+	for i := 0; i < n; i++ {
+		x, y := xs[i], ys[i]
+		if !isFinite(x) || !isFinite(y) {
+			cellOf[i] = -1
+			continue
+		}
+		c := ix.cellIndex(x, y)
+		cellOf[i] = c
+		counts[c+1]++
+	}
+	for c := 1; c <= cells; c++ {
+		counts[c] += counts[c-1]
+	}
+	ix.cellOff = counts
+	ix.rowID = make([]int32, n-len(ix.extra))
+	cursor := make([]int32, cells)
+	copy(cursor, counts[:cells])
+	for i := 0; i < n; i++ {
+		c := cellOf[i]
+		if c < 0 {
+			continue
+		}
+		ix.rowID[cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	return ix
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// cellCoords returns the (col, row) cell of (x, y), clamped into the
+// grid like grid.CellOf. Clamping happens in the float domain BEFORE
+// the int conversion: a coordinate far outside the bounds (query
+// viewports arrive from the network; 1e300 or ±Inf are representable)
+// would overflow the conversion — float→int of an out-of-range value
+// yields MinInt64 on amd64 — and clamp to the wrong edge, inverting
+// cell ranges.
+func (ix *rectIndex) cellCoords(x, y float64) (int, int) {
+	c := clampCell((x-ix.bounds.MinX)/ix.cellW, ix.nx)
+	r := clampCell((y-ix.bounds.MinY)/ix.cellH, ix.ny)
+	return c, r
+}
+
+// clampCell converts a cell-unit quotient to a cell index in [0, n).
+// Negative and NaN quotients clamp to 0, quotients at or beyond n
+// (including +Inf) to n-1; only in-range values reach the int
+// conversion.
+func clampCell(q float64, n int) int {
+	if !(q > 0) {
+		return 0
+	}
+	if q >= float64(n) {
+		return n - 1
+	}
+	return int(q)
+}
+
+func (ix *rectIndex) cellIndex(x, y float64) int32 {
+	c, r := ix.cellCoords(x, y)
+	return int32(r*ix.nx + c)
+}
+
+// inRect mirrors the linear scan's predicate form exactly (inclusive
+// bounds, NaN coordinates compare false on both sides and therefore
+// match), so index probes and fallback scans agree row for row.
+func inRect(x, y float64, r geom.Rect) bool {
+	return !(x < r.MinX || x > r.MaxX || y < r.MinY || y > r.MaxY)
+}
+
+// collect returns the sorted ids of indexed rows inside r. Cells of one
+// grid row are contiguous in the CSR packing, so the fully-covered
+// interior of each touched row — every cell strictly inside the touched
+// range whose combined rectangle is contained in r — is emitted as one
+// range of the packed array with no per-point tests; only the boundary
+// ring is filtered per point. The strictly-interior requirement (on top
+// of the geometric containment check) leaves a one-cell margin that
+// absorbs the float rounding slack between a point's binned cell and its
+// true coordinates, keeping collect equivalent to the linear predicate
+// scan.
+func (ix *rectIndex) collect(xs, ys []float64, r geom.Rect) []int {
+	if ix.n == 0 {
+		return nil
+	}
+	var ids []int
+	if r.Intersects(ix.bounds) {
+		ids = ix.collectCells(xs, ys, r)
+	}
+	// Non-finite rows live outside the grid; filter them with the same
+	// predicate form the linear scan uses (NaN matches everything, ±Inf
+	// matches nothing finite).
+	for _, id := range ix.extra {
+		if inRect(xs[id], ys[id], r) {
+			ids = append(ids, int(id))
+		}
+	}
+	// Runs are ascending within a cell but interleave across cells (and
+	// with extras); one sort restores global row order (ScanRect's
+	// contract, and what the ScanRect ≡ Scan property test checks).
+	slices.Sort(ids)
+	return ids
+}
+
+// collectCells gathers the grid-binned rows inside r (unsorted across
+// cells).
+func (ix *rectIndex) collectCells(xs, ys []float64, r geom.Rect) []int {
+	c0, r0 := ix.cellCoords(r.MinX, r.MinY)
+	c1, r1 := ix.cellCoords(r.MaxX, r.MaxY)
+	// Upper-bound the result size in one pass over the touched cell rows
+	// so the ids buffer is allocated exactly once.
+	var bound int32
+	for row := r0; row <= r1; row++ {
+		base := row * ix.nx
+		bound += ix.cellOff[base+c1+1] - ix.cellOff[base+c0]
+	}
+	if bound == 0 {
+		return nil
+	}
+	ids := make([]int, 0, bound)
+	// filterCols appends the rows of cells (ca..cb, row) that pass the
+	// per-point rectangle test.
+	filterCols := func(row, ca, cb int) {
+		base := row * ix.nx
+		for _, id := range ix.rowID[ix.cellOff[base+ca]:ix.cellOff[base+cb+1]] {
+			if inRect(xs[id], ys[id], r) {
+				ids = append(ids, int(id))
+			}
+		}
+	}
+	for row := r0; row <= r1; row++ {
+		ci0, ci1 := c0+1, c1-1 // strictly interior columns
+		if row == r0 || row == r1 || ci0 > ci1 {
+			filterCols(row, c0, c1)
+			continue
+		}
+		span := geom.Rect{
+			MinX: ix.bounds.MinX + float64(ci0)*ix.cellW,
+			MinY: ix.bounds.MinY + float64(row)*ix.cellH,
+			MaxX: ix.bounds.MinX + float64(ci1+1)*ix.cellW,
+			MaxY: ix.bounds.MinY + float64(row+1)*ix.cellH,
+		}
+		if !r.ContainsRect(span) {
+			filterCols(row, c0, c1)
+			continue
+		}
+		filterCols(row, c0, c0)
+		base := row * ix.nx
+		for _, id := range ix.rowID[ix.cellOff[base+ci0]:ix.cellOff[base+ci1+1]] {
+			ids = append(ids, int(id))
+		}
+		filterCols(row, c1, c1)
+	}
+	return ids
+}
+
+// coversAll reports whether r contains every indexed row trivially — the
+// full-extent fast path: the caller can answer with a dense range and
+// never touch per-row data. Non-finite rows sit outside the bounds, so
+// their presence disables the shortcut.
+func (ix *rectIndex) coversAll(r geom.Rect) bool {
+	return ix.n > 0 && len(ix.extra) == 0 && r.ContainsRect(ix.bounds)
+}
+
+// stats accumulation for /metrics.
+func (ix *rectIndex) cells() int {
+	return ix.nx * ix.ny
+}

@@ -1,0 +1,145 @@
+package store
+
+import "sort"
+
+// RowSet is an immutable set of row indices produced by the scan side of
+// the read path (Scan, ScanRect, AllRows) and consumed by the projection
+// side (Points, Gather). It has two representations:
+//
+//   - a dense range [start, end), the zero-allocation spelling of "every
+//     row" (and of any contiguous run): projections walk the column
+//     arrays directly and no per-row index is ever materialized;
+//   - an explicit list of row indices, sorted ascending, for sparse
+//     results such as viewport scans.
+//
+// Replacing raw []int with RowSet removes the old nil-means-all-rows
+// ambiguity: an empty RowSet selects nothing, AllRows selects everything,
+// and both say so explicitly.
+//
+// The zero RowSet is the empty set. RowSet values are immutable and safe
+// to share across goroutines.
+type RowSet struct {
+	// ids holds the explicit sorted row indices; nil means the set is
+	// the dense range [start, end).
+	ids        []int
+	start, end int
+	// all marks the All sentinel: "every row of whatever snapshot the
+	// consuming operator reads".
+	all bool
+}
+
+// All selects every row of whatever table snapshot the consuming
+// operator (Points, Gather) reads — the zero-allocation spelling of "no
+// restriction". Unlike a dense range built from an earlier NumRows
+// call, All stays exact when a reload lands between the calls: each
+// operator resolves it against its own snapshot, so a full-extent read
+// can never go out of range. All has no standalone extent; Len and
+// AsRange report the empty set until a table operator resolves it.
+var All = RowSet{all: true}
+
+// IsAll reports whether the set is the All sentinel.
+func (s RowSet) IsAll() bool { return s.all }
+
+// RowRange returns the dense RowSet [start, end). Bounds are normalized:
+// a negative start is clamped to 0 and an end below start yields the
+// empty set.
+func RowRange(start, end int) RowSet {
+	if start < 0 {
+		start = 0
+	}
+	if end < start {
+		end = start
+	}
+	return RowSet{start: start, end: end}
+}
+
+// RowIndices returns the RowSet holding exactly ids. The slice is
+// retained (not copied); callers must not modify it afterwards. Indices
+// are sorted ascending if they are not already.
+func RowIndices(ids []int) RowSet {
+	if len(ids) == 0 {
+		return RowSet{}
+	}
+	if !sort.IntsAreSorted(ids) {
+		sort.Ints(ids)
+	}
+	return RowSet{ids: ids, end: -1}
+}
+
+// rowSetFromSorted wraps ids already known to be sorted ascending,
+// skipping the defensive check on the scan hot path.
+func rowSetFromSorted(ids []int) RowSet {
+	if len(ids) == 0 {
+		return RowSet{}
+	}
+	return RowSet{ids: ids, end: -1}
+}
+
+// Len returns the number of rows in the set.
+func (s RowSet) Len() int {
+	if s.ids != nil {
+		return len(s.ids)
+	}
+	return s.end - s.start
+}
+
+// IsEmpty reports whether the set selects no rows.
+func (s RowSet) IsEmpty() bool { return s.Len() == 0 }
+
+// AsRange reports the dense range [start, end) when the set has the
+// dense representation. ok is false for explicit index lists.
+func (s RowSet) AsRange() (start, end int, ok bool) {
+	if s.ids != nil {
+		return 0, 0, false
+	}
+	return s.start, s.end, true
+}
+
+// ForEach calls f for every row in ascending order.
+func (s RowSet) ForEach(f func(row int)) {
+	if s.ids != nil {
+		for _, r := range s.ids {
+			f(r)
+		}
+		return
+	}
+	for r := s.start; r < s.end; r++ {
+		f(r)
+	}
+}
+
+// Indices materializes the set as a sorted slice of row indices. The
+// dense representation allocates; the explicit representation returns a
+// copy so callers cannot alias the set's storage.
+func (s RowSet) Indices() []int {
+	out := make([]int, 0, s.Len())
+	if s.ids != nil {
+		return append(out, s.ids...)
+	}
+	for r := s.start; r < s.end; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Min returns the smallest row in the set; ok is false when empty.
+func (s RowSet) Min() (row int, ok bool) {
+	if s.IsEmpty() {
+		return 0, false
+	}
+	if s.ids != nil {
+		return s.ids[0], true
+	}
+	return s.start, true
+}
+
+// Max returns the largest row in the set; ok is false when empty.
+func (s RowSet) Max() (row int, ok bool) {
+	if s.IsEmpty() {
+		return 0, false
+	}
+	if s.ids != nil {
+		return s.ids[len(s.ids)-1], true
+	}
+	return s.end - 1, true
+}

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"testing"
+)
+
+func TestRowSetRepresentations(t *testing.T) {
+	// Zero value: empty.
+	var zero RowSet
+	if !zero.IsEmpty() || zero.Len() != 0 {
+		t.Errorf("zero RowSet: empty=%v len=%d", zero.IsEmpty(), zero.Len())
+	}
+	if _, _, ok := zero.AsRange(); !ok {
+		t.Error("zero RowSet should be the empty dense range")
+	}
+
+	// Dense range.
+	r := RowRange(2, 5)
+	if r.Len() != 3 {
+		t.Errorf("RowRange(2,5).Len = %d", r.Len())
+	}
+	if got := r.Indices(); len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("RowRange indices = %v", got)
+	}
+	if lo, _ := r.Min(); lo != 2 {
+		t.Errorf("Min = %d", lo)
+	}
+	if hi, _ := r.Max(); hi != 4 {
+		t.Errorf("Max = %d", hi)
+	}
+	// Normalization.
+	if !RowRange(3, 1).IsEmpty() {
+		t.Error("inverted range should be empty")
+	}
+	if s, _, _ := RowRange(-4, 2).AsRange(); s != 0 {
+		t.Errorf("negative start clamped to %d, want 0", s)
+	}
+
+	// Explicit indices sort defensively.
+	s := RowIndices([]int{4, 1, 3})
+	if got := s.Indices(); got[0] != 1 || got[1] != 3 || got[2] != 4 {
+		t.Errorf("RowIndices sorted = %v", got)
+	}
+	if _, _, ok := s.AsRange(); ok {
+		t.Error("explicit indices must not report a dense range")
+	}
+	var sum int
+	s.ForEach(func(row int) { sum += row })
+	if sum != 8 {
+		t.Errorf("ForEach sum = %d", sum)
+	}
+
+	// Empty input normalizes to the empty set.
+	if !RowIndices(nil).IsEmpty() || !RowIndices([]int{}).IsEmpty() {
+		t.Error("empty indices should be the empty set")
+	}
+
+	// The All sentinel.
+	if !All.IsAll() || zero.IsAll() {
+		t.Error("IsAll must single out the All sentinel")
+	}
+}
+
+func TestRowSetIndicesCopies(t *testing.T) {
+	ids := []int{1, 2, 3}
+	s := RowIndices(ids)
+	out := s.Indices()
+	out[0] = 99
+	if got := s.Indices(); got[0] != 1 {
+		t.Errorf("Indices aliased internal storage: %v", got)
+	}
+}

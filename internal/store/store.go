@@ -2,16 +2,23 @@
 // an in-memory column store holding the base tables and the pre-generated
 // sample tables that VAS maintains ("the sample(s) can be maintained by the
 // same RDBMS", §II-B). It supports typed float64 columns, append and bulk
-// load, predicate scans over column ranges, and a catalog that records
-// sample lineage (source table, method, size) so the query layer can pick
-// the right sample for a latency budget.
+// load, predicate scans over column ranges, grid-binned spatial indexes
+// over (x, y) column pairs answering viewport queries as index probes
+// (ScanRect), and a catalog that records sample lineage (source table,
+// method, size) so the query layer can pick the right sample for a latency
+// budget. Scans produce RowSets — dense ranges or sorted index lists —
+// that the projection operators (Points, Gather) consume without ever
+// materializing per-row ids on the full-extent fast path.
 package store
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -19,30 +26,65 @@ import (
 // ErrNotFound is returned when a table or column does not exist.
 var ErrNotFound = errors.New("store: not found")
 
-// Table is a named collection of equal-length float64 columns.
+// Table is a named collection of equal-length float64 columns, optionally
+// carrying grid spatial indexes over (x, y) column pairs (IndexOn).
 //
-// A Table is safe for concurrent use. Readers (NumRows, Column, Scan,
-// Points, Gather) operate on a consistent snapshot taken under a read
-// lock; writers (Append, BulkLoad) publish under the write lock, and
-// BulkLoad installs freshly allocated column storage rather than reusing
-// the old backing arrays, so each individual call observes either the old
-// contents or the new — never a mix. Consistency is per call, not per
-// call sequence: row indices returned by Scan refer to the generation
-// they were computed against, and a Points or Gather call issued after an
-// intervening BulkLoad resolves them against the new generation — a
-// shrink surfaces as out-of-range errors, while a same-size reload
-// silently projects new rows. Callers that reload tables while serving
-// reads must not carry row indices across the reload; the serving layer
-// avoids this wholesale by registering fresh sample tables instead of
-// reloading live ones.
+// A Table is safe for concurrent use. All state a reader touches —
+// column storage, row count, and spatial indexes — lives in one
+// immutable generation struct published under the write lock, so every
+// read operates on a consistent snapshot: an index can never be paired
+// with columns it was not built from. BulkLoad installs freshly
+// allocated column storage and freshly built indexes rather than reusing
+// the old backing arrays, so each individual call observes either the
+// old contents or the new — never a mix. Consistency is per call, not
+// per call sequence: row indices returned by Scan refer to the
+// generation they were computed against, and a Points or Gather call
+// issued after an intervening BulkLoad resolves them against the new
+// generation — a shrink surfaces as out-of-range errors, while a
+// same-size reload silently projects new rows. Callers that reload
+// tables while serving reads must not carry row indices across the
+// reload; the serving layer invalidates cached artifacts on reload
+// instead.
 type Table struct {
 	name    string
 	colName []string
 	colIdx  map[string]int
 
-	mu   sync.RWMutex
-	cols [][]float64
-	n    int
+	mu         sync.RWMutex
+	data       *tableData
+	indexPairs [][2]int // registered index column pairs; rebuilt by BulkLoad
+
+	counters *tableCounters
+}
+
+// tableCounters is a table's read-path usage block, for /metrics. It is
+// allocated separately from the Table so a Store can retain it past
+// DropTable: increments from scans still in flight on the dropped table
+// keep landing in the retained block, which keeps the store aggregates
+// monotonic (they are exported as Prometheus _total series).
+type tableCounters struct {
+	indexProbes   atomic.Int64 // ScanRect answered from a spatial index
+	scanFallbacks atomic.Int64 // ScanRect fell back to a linear scan
+}
+
+// tableData is one immutable generation of a table: column storage, row
+// count, and the spatial indexes built from exactly these columns. A new
+// generation is published (under the table write lock) for every write;
+// readers grab the pointer once and never see a torn state.
+type tableData struct {
+	cols    [][]float64
+	n       int
+	indexes []*rectIndex
+}
+
+// indexFor returns this generation's index over the column pair, or nil.
+func (d *tableData) indexFor(xi, yi int) *rectIndex {
+	for _, ix := range d.indexes {
+		if ix.xi == xi && ix.yi == yi {
+			return ix
+		}
+	}
+	return nil
 }
 
 // NewTable creates a table with the given column names. It returns an
@@ -55,10 +97,11 @@ func NewTable(name string, columns ...string) (*Table, error) {
 		return nil, fmt.Errorf("store: table %q needs at least one column", name)
 	}
 	t := &Table{
-		name:    name,
-		colName: append([]string(nil), columns...),
-		colIdx:  make(map[string]int, len(columns)),
-		cols:    make([][]float64, len(columns)),
+		name:     name,
+		colName:  append([]string(nil), columns...),
+		colIdx:   make(map[string]int, len(columns)),
+		data:     &tableData{cols: make([][]float64, len(columns))},
+		counters: &tableCounters{},
 	}
 	for i, c := range columns {
 		if c == "" {
@@ -80,40 +123,44 @@ func (t *Table) Columns() []string { return append([]string(nil), t.colName...) 
 
 // NumRows returns the row count.
 func (t *Table) NumRows() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.n
+	return t.snapshot().n
 }
 
-// snapshot returns the current column slice headers and row count. The
-// headers are immutable views: BulkLoad swaps in fresh backing arrays and
-// Append only writes past the snapshot's length, so the first n rows of
-// each returned column never change after the snapshot is taken.
-func (t *Table) snapshot() ([][]float64, int) {
+// snapshot returns the current generation. The returned struct and
+// everything it references are immutable: writers publish fresh
+// generations instead of mutating, and Append only writes past the
+// generation's row count, so the first n rows of each column never
+// change after the snapshot is taken.
+func (t *Table) snapshot() *tableData {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	cols := make([][]float64, len(t.cols))
-	copy(cols, t.cols)
-	return cols, t.n
+	return t.data
 }
 
-// Append adds one row; values must match the column count.
+// Append adds one row; values must match the column count. Existing
+// spatial indexes remain valid for the rows they were built over;
+// appended rows take the unindexed tail path of ScanRect until the next
+// BulkLoad or IndexOn rebuild.
 func (t *Table) Append(values ...float64) error {
 	if len(values) != len(t.colName) {
 		return fmt.Errorf("store: table %q: %d values for %d columns", t.name, len(values), len(t.colName))
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	d := t.data
+	cols := make([][]float64, len(d.cols))
 	for i, v := range values {
-		t.cols[i] = append(t.cols[i], v)
+		cols[i] = append(d.cols[i], v)
 	}
-	t.n++
+	t.data = &tableData{cols: cols, n: d.n + 1, indexes: d.indexes}
 	return nil
 }
 
 // BulkLoad replaces the table contents with the given parallel column
 // slices (copied into fresh storage, so concurrent readers keep their old
-// snapshot). Column order must match the schema.
+// snapshot) and rebuilds every registered spatial index against the new
+// contents before publishing, keeping index and columns snapshot-
+// consistent. Column order must match the schema.
 func (t *Table) BulkLoad(cols ...[]float64) error {
 	if len(cols) != len(t.colName) {
 		return fmt.Errorf("store: table %q: %d columns for %d-column schema", t.name, len(cols), len(t.colName))
@@ -132,8 +179,66 @@ func (t *Table) BulkLoad(cols ...[]float64) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.cols = fresh
-	t.n = n
+	var indexes []*rectIndex
+	for _, p := range t.indexPairs {
+		if ix := buildRectIndex(p[0], p[1], fresh[p[0]], fresh[p[1]], n); ix != nil {
+			indexes = append(indexes, ix)
+		}
+	}
+	t.data = &tableData{cols: fresh, n: n, indexes: indexes}
+	return nil
+}
+
+// IndexOn registers a grid spatial index over the (xCol, yCol) pair and
+// builds it against the current contents. The pair stays registered:
+// every later BulkLoad rebuilds the index against the fresh columns
+// before publishing them. Calling IndexOn again for the same pair
+// rebuilds it in place — the way to re-absorb rows accumulated through
+// Append into the indexed set.
+//
+// The build runs under the table's write lock — IndexOn is a publish-
+// time operation (bulk load, sample registration), not a serving-path
+// one.
+func (t *Table) IndexOn(xCol, yCol string) error {
+	xi, ok := t.colIdx[xCol]
+	if !ok {
+		return fmt.Errorf("store: table %q column %q: %w", t.name, xCol, ErrNotFound)
+	}
+	yi, ok := t.colIdx[yCol]
+	if !ok {
+		return fmt.Errorf("store: table %q column %q: %w", t.name, yCol, ErrNotFound)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pair := [2]int{xi, yi}
+	registered := false
+	for _, p := range t.indexPairs {
+		if p == pair {
+			registered = true
+			break
+		}
+	}
+	if !registered {
+		t.indexPairs = append(t.indexPairs, pair)
+	}
+	d := t.data
+	// Already covering the current generation (the common reload path:
+	// BulkLoad just rebuilt every registered pair) — nothing to do.
+	if registered {
+		if old := d.indexFor(xi, yi); old != nil && old.n == d.n {
+			return nil
+		}
+	}
+	indexes := make([]*rectIndex, 0, len(d.indexes)+1)
+	for _, old := range d.indexes {
+		if old.xi != xi || old.yi != yi {
+			indexes = append(indexes, old)
+		}
+	}
+	if ix := buildRectIndex(xi, yi, d.cols[xi], d.cols[yi], d.n); ix != nil {
+		indexes = append(indexes, ix)
+	}
+	t.data = &tableData{cols: d.cols, n: d.n, indexes: indexes}
 	return nil
 }
 
@@ -144,8 +249,8 @@ func (t *Table) Column(name string) ([]float64, error) {
 	if !ok {
 		return nil, fmt.Errorf("store: table %q column %q: %w", t.name, name, ErrNotFound)
 	}
-	cols, n := t.snapshot()
-	return cols[i][:n], nil
+	d := t.snapshot()
+	return d.cols[i][:d.n], nil
 }
 
 // Pred is a conjunctive range predicate over columns: for each named
@@ -156,28 +261,144 @@ type Pred struct {
 	Min, Max float64
 }
 
-// Scan returns the indices of rows satisfying all predicates, evaluated
-// against one consistent snapshot of the table. A nil or empty predicate
-// list selects every row.
-func (t *Table) Scan(preds []Pred) ([]int, error) {
+// parallelScanMinRows is the table size above which linear predicate
+// scans shard across CPUs. Below it the goroutine fan-out costs more
+// than it saves.
+const parallelScanMinRows = 1 << 16
+
+// Scan returns the rows satisfying all predicates, evaluated against one
+// consistent snapshot of the table. A nil or empty predicate list
+// selects every row (as a dense range, without materializing ids).
+// Large tables are scanned in parallel shards, one goroutine per CPU,
+// concatenated in shard order so the result stays sorted.
+func (t *Table) Scan(preds []Pred) (RowSet, error) {
 	idx := make([]int, len(preds))
 	for i, p := range preds {
 		ci, ok := t.colIdx[p.Column]
 		if !ok {
-			return nil, fmt.Errorf("store: table %q column %q: %w", t.name, p.Column, ErrNotFound)
+			return RowSet{}, fmt.Errorf("store: table %q column %q: %w", t.name, p.Column, ErrNotFound)
 		}
 		idx[i] = ci
 	}
-	snap, n := t.snapshot()
+	d := t.snapshot()
+	if len(preds) == 0 {
+		return RowRange(0, d.n), nil
+	}
 	cols := make([][]float64, len(preds))
 	for i, ci := range idx {
-		cols[i] = snap[ci]
+		cols[i] = d.cols[ci]
 	}
-	// Never return a nil slice: Points and Gather give nil rows the
-	// distinct meaning "all rows", so an empty match must stay empty.
-	out := []int{}
+	return rowSetFromSorted(scanShards(cols, preds, d.n)), nil
+}
+
+// ScanRect returns the rows whose (xCol, yCol) projection lies inside r
+// (boundary inclusive, like Scan's range predicates). When the pair has
+// a spatial index the answer is an index probe: a rectangle covering the
+// whole data extent comes back as a dense range without touching any
+// per-row data, and smaller rectangles read only the grid cells the
+// viewport overlaps. Without an index it degrades to the sharded linear
+// scan.
+//
+// ScanRect is row-for-row equivalent to Scan with the two corresponding
+// range predicates — including IEEE edge cases: an empty rectangle
+// selects no finite row, but rows with NaN coordinates compare false
+// against every bound and therefore match any rectangle, exactly as
+// they match any Scan predicate.
+func (t *Table) ScanRect(xCol, yCol string, r geom.Rect) (RowSet, error) {
+	xi, ok := t.colIdx[xCol]
+	if !ok {
+		return RowSet{}, fmt.Errorf("store: table %q column %q: %w", t.name, xCol, ErrNotFound)
+	}
+	yi, ok := t.colIdx[yCol]
+	if !ok {
+		return RowSet{}, fmt.Errorf("store: table %q column %q: %w", t.name, yCol, ErrNotFound)
+	}
+	// A NaN rectangle bound never excludes anything — every comparison
+	// against NaN is false, which is exactly how Scan's predicates treat
+	// it. Fold NaN to the matching infinity so the geometric machinery
+	// (Intersects, cell clamping) sees the same "unbounded" meaning and
+	// the Scan equivalence holds for hostile viewports too.
+	if math.IsNaN(r.MinX) {
+		r.MinX = math.Inf(-1)
+	}
+	if math.IsNaN(r.MinY) {
+		r.MinY = math.Inf(-1)
+	}
+	if math.IsNaN(r.MaxX) {
+		r.MaxX = math.Inf(1)
+	}
+	if math.IsNaN(r.MaxY) {
+		r.MaxY = math.Inf(1)
+	}
+	d := t.snapshot()
+	ix := d.indexFor(xi, yi)
+	if ix == nil {
+		t.counters.scanFallbacks.Add(1)
+		cols := [][]float64{d.cols[xi], d.cols[yi]}
+		preds := []Pred{
+			{Column: xCol, Min: r.MinX, Max: r.MaxX},
+			{Column: yCol, Min: r.MinY, Max: r.MaxY},
+		}
+		return rowSetFromSorted(scanShards(cols, preds, d.n)), nil
+	}
+	t.counters.indexProbes.Add(1)
+	if ix.n == d.n && ix.coversAll(r) {
+		return RowRange(0, d.n), nil
+	}
+	xs, ys := d.cols[xi], d.cols[yi]
+	ids := ix.collect(xs, ys, r)
+	// Rows appended after the index was built are unindexed; filter them
+	// linearly. They are larger than every indexed id, so the result
+	// stays sorted.
+	for row := ix.n; row < d.n; row++ {
+		if inRect(xs[row], ys[row], r) {
+			ids = append(ids, row)
+		}
+	}
+	return rowSetFromSorted(ids), nil
+}
+
+// scanShards evaluates preds over rows [0, n), splitting the row space
+// across CPUs when the table is large. Shards are concatenated in order,
+// so the returned ids are sorted ascending.
+func scanShards(cols [][]float64, preds []Pred, n int) []int {
+	workers := runtime.GOMAXPROCS(0)
+	if maxShards := n / (parallelScanMinRows / 4); workers > maxShards {
+		workers = maxShards
+	}
+	if n < parallelScanMinRows || workers <= 1 {
+		return scanRange(cols, preds, 0, n, nil)
+	}
+	parts := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = scanRange(cols, preds, lo, hi, nil)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]int, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// scanRange is the sequential scan kernel: it appends the rows of
+// [lo, hi) matching every predicate to out.
+func scanRange(cols [][]float64, preds []Pred, lo, hi int, out []int) []int {
 rows:
-	for r := 0; r < n; r++ {
+	for r := lo; r < hi; r++ {
 		for i, p := range preds {
 			v := cols[i][r]
 			if v < p.Min || v > p.Max {
@@ -186,12 +407,13 @@ rows:
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	return out
 }
 
-// Points projects two columns into geometry points for the given row set
-// (nil rows = all rows), reading one consistent snapshot.
-func (t *Table) Points(xCol, yCol string, rows []int) ([]geom.Point, error) {
+// Points projects two columns into geometry points for the given row
+// set, reading one consistent snapshot. A dense RowSet walks the column
+// arrays directly — the full-extent path never materializes row ids.
+func (t *Table) Points(xCol, yCol string, rows RowSet) ([]geom.Point, error) {
 	xi, ok := t.colIdx[xCol]
 	if !ok {
 		return nil, fmt.Errorf("store: table %q column %q: %w", t.name, xCol, ErrNotFound)
@@ -200,28 +422,83 @@ func (t *Table) Points(xCol, yCol string, rows []int) ([]geom.Point, error) {
 	if !ok {
 		return nil, fmt.Errorf("store: table %q column %q: %w", t.name, yCol, ErrNotFound)
 	}
-	snap, n := t.snapshot()
-	xs, ys := snap[xi], snap[yi]
-	if rows == nil {
-		pts := make([]geom.Point, n)
+	d := t.snapshot()
+	xs, ys := d.cols[xi], d.cols[yi]
+	if rows.all {
+		rows = RowRange(0, d.n)
+	}
+	if start, end, ok := rows.AsRange(); ok {
+		if end > d.n {
+			return nil, fmt.Errorf("store: table %q: row range [%d,%d) out of range [0,%d)", t.name, start, end, d.n)
+		}
+		pts := make([]geom.Point, end-start)
 		for i := range pts {
-			pts[i] = geom.Pt(xs[i], ys[i])
+			pts[i] = geom.Pt(xs[start+i], ys[start+i])
 		}
 		return pts, nil
 	}
-	pts := make([]geom.Point, len(rows))
-	for i, r := range rows {
-		if r < 0 || r >= n {
-			return nil, fmt.Errorf("store: table %q: row %d out of range [0,%d)", t.name, r, n)
-		}
-		pts[i] = geom.Pt(xs[r], ys[r])
+	if err := checkRowBounds(t.name, rows, d.n); err != nil {
+		return nil, err
+	}
+	pts := make([]geom.Point, 0, rows.Len())
+	for _, r := range rows.ids {
+		pts = append(pts, geom.Pt(xs[r], ys[r]))
 	}
 	return pts, nil
 }
 
+// Gather returns the values of one column at the given rows.
+func (t *Table) Gather(col string, rows RowSet) ([]float64, error) {
+	c, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	if rows.all {
+		rows = RowRange(0, len(c))
+	}
+	if start, end, ok := rows.AsRange(); ok {
+		if end > len(c) {
+			return nil, fmt.Errorf("store: table %q: row range [%d,%d) out of range [0,%d)", t.name, start, end, len(c))
+		}
+		out := make([]float64, end-start)
+		copy(out, c[start:end])
+		return out, nil
+	}
+	if err := checkRowBounds(t.name, rows, len(c)); err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, rows.Len())
+	for _, r := range rows.ids {
+		out = append(out, c[r])
+	}
+	return out, nil
+}
+
+// checkRowBounds validates an explicit RowSet against a row count in
+// O(1): the ids are sorted, so checking the extremes covers every row.
+func checkRowBounds(table string, rows RowSet, n int) error {
+	lo, ok := rows.Min()
+	if !ok {
+		return nil
+	}
+	hi, _ := rows.Max()
+	if lo < 0 || hi >= n {
+		return fmt.Errorf("store: table %q: row %d out of range [0,%d)", table, pickOutOfRange(lo, hi, n), n)
+	}
+	return nil
+}
+
+func pickOutOfRange(lo, hi, n int) int {
+	if lo < 0 {
+		return lo
+	}
+	return hi
+}
+
 // Bounds returns the bounding rectangle of the (xCol, yCol) projection of
-// the whole table, computed over one consistent snapshot. It is empty for
-// a table with no rows.
+// the whole table, computed over one consistent snapshot. When the pair
+// is indexed and the index covers every row, the answer is the index's
+// precomputed extent (O(1)). It is empty for a table with no rows.
 func (t *Table) Bounds(xCol, yCol string) (geom.Rect, error) {
 	xi, ok := t.colIdx[xCol]
 	if !ok {
@@ -231,29 +508,20 @@ func (t *Table) Bounds(xCol, yCol string) (geom.Rect, error) {
 	if !ok {
 		return geom.Rect{}, fmt.Errorf("store: table %q column %q: %w", t.name, yCol, ErrNotFound)
 	}
-	snap, n := t.snapshot()
-	xs, ys := snap[xi], snap[yi]
+	d := t.snapshot()
+	// The index extent excludes non-finite rows (they are unbinnable),
+	// so the fast path only applies when there are none — the linear
+	// path below folds ±Inf coordinates into the extent like UnionPoint
+	// always has.
+	if ix := d.indexFor(xi, yi); ix != nil && ix.n == d.n && len(ix.extra) == 0 {
+		return ix.bounds, nil
+	}
+	xs, ys := d.cols[xi], d.cols[yi]
 	b := geom.EmptyRect()
-	for i := 0; i < n; i++ {
+	for i := 0; i < d.n; i++ {
 		b = b.UnionPoint(geom.Pt(xs[i], ys[i]))
 	}
 	return b, nil
-}
-
-// Gather returns the values of one column at the given rows.
-func (t *Table) Gather(col string, rows []int) ([]float64, error) {
-	c, err := t.Column(col)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, len(rows))
-	for i, r := range rows {
-		if r < 0 || r >= len(c) {
-			return nil, fmt.Errorf("store: table %q: row %d out of range [0,%d)", t.name, r, len(c))
-		}
-		out[i] = c[r]
-	}
-	return out, nil
 }
 
 // SampleMeta records the lineage of a sample table in the catalog.
@@ -278,6 +546,14 @@ type Store struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	samples map[string][]SampleMeta // source table -> its samples
+
+	// retired holds the counter blocks of dropped tables (16 bytes per
+	// drop — negligible even for long-lived servers replacing samples
+	// continuously). Retaining the live block, rather than folding a
+	// snapshot of its value, means increments from scans racing the drop
+	// still land in the totals: the Probes/Fallbacks aggregates can
+	// never decrease across /metrics scrapes.
+	retired []*tableCounters
 }
 
 // New returns an empty store.
@@ -314,13 +590,27 @@ func (s *Store) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// DropTable removes a table and any sample metadata pointing at it.
+// DropTable removes a table and any sample metadata pointing at it. The
+// table's read-path counter block is retained so the aggregate stats
+// stay monotonic.
 func (s *Store) DropTable(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.tables[name]; !ok {
 		return fmt.Errorf("store: table %q: %w", name, ErrNotFound)
 	}
+	s.dropLocked(name)
+	return nil
+}
+
+// dropLocked removes a table and every catalog reference to it. Caller
+// holds s.mu.
+func (s *Store) dropLocked(name string) {
+	t, ok := s.tables[name]
+	if !ok {
+		return
+	}
+	s.retired = append(s.retired, t.counters)
 	delete(s.tables, name)
 	delete(s.samples, name)
 	for src, metas := range s.samples {
@@ -332,6 +622,40 @@ func (s *Store) DropTable(name string) error {
 		}
 		s.samples[src] = kept
 	}
+}
+
+// PublishSample atomically installs a fully built sample table together
+// with its catalog registration. Any previous table of the same name
+// (and its catalog entries) is removed in the same critical section the
+// replacement becomes visible in, so concurrent readers always observe
+// a complete catalog — never the gap a drop-then-recreate sequence
+// would open, where a query racing the rebuild finds no sample at all.
+// Build the table (BulkLoad, IndexOn) before publishing; it must not be
+// registered in the store yet.
+func (s *Store) PublishSample(t *Table, meta SampleMeta) error {
+	if t == nil {
+		return errors.New("store: publish: nil table")
+	}
+	if t.name != meta.Table {
+		return fmt.Errorf("store: publish: table %q does not match meta table %q", t.name, meta.Table)
+	}
+	if meta.Size <= 0 {
+		return fmt.Errorf("store: sample %q has non-positive size %d", meta.Table, meta.Size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[meta.Source]; !ok {
+		return fmt.Errorf("store: source table %q: %w", meta.Source, ErrNotFound)
+	}
+	if existing, ok := s.tables[meta.Table]; ok && existing == t {
+		return fmt.Errorf("store: publish: table %q is already registered", meta.Table)
+	}
+	s.dropLocked(meta.Table)
+	s.tables[meta.Table] = t
+	s.samples[meta.Source] = append(s.samples[meta.Source], meta)
+	sort.Slice(s.samples[meta.Source], func(a, b int) bool {
+		return s.samples[meta.Source][a].Size < s.samples[meta.Source][b].Size
+	})
 	return nil
 }
 
@@ -374,4 +698,55 @@ func (s *Store) SamplesOf(source string) []SampleMeta {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]SampleMeta(nil), s.samples[source]...)
+}
+
+// IndexStats aggregates spatial-index state and read-path usage across
+// every table in the store, for the /metrics endpoint.
+type IndexStats struct {
+	// IndexedTables counts tables carrying at least one spatial index.
+	IndexedTables int
+	// Indexes counts spatial indexes across all tables.
+	Indexes int
+	// IndexedRows sums the rows covered by those indexes.
+	IndexedRows int64
+	// Cells sums the grid cells across all indexes.
+	Cells int64
+	// Probes counts ScanRect calls answered from a spatial index,
+	// including by since-dropped tables (monotonic).
+	Probes int64
+	// Fallbacks counts ScanRect calls that fell back to a linear scan,
+	// including by since-dropped tables (monotonic).
+	Fallbacks int64
+}
+
+// IndexStats returns a point-in-time aggregate over all tables.
+func (s *Store) IndexStats() IndexStats {
+	// One consistent membership snapshot: a table is in exactly one of
+	// the two lists, so nothing is double-counted or missed.
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	retired := append([]*tableCounters(nil), s.retired...)
+	s.mu.RUnlock()
+	var st IndexStats
+	for _, t := range tables {
+		d := t.snapshot()
+		if len(d.indexes) > 0 {
+			st.IndexedTables++
+		}
+		for _, ix := range d.indexes {
+			st.Indexes++
+			st.IndexedRows += int64(ix.n)
+			st.Cells += int64(ix.cells())
+		}
+		st.Probes += t.counters.indexProbes.Load()
+		st.Fallbacks += t.counters.scanFallbacks.Load()
+	}
+	for _, c := range retired {
+		st.Probes += c.indexProbes.Load()
+		st.Fallbacks += c.scanFallbacks.Load()
+	}
+	return st
 }

@@ -91,8 +91,8 @@ func TestScanPredicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 || rows[0] != 1 || rows[2] != 3 {
-		t.Errorf("rows = %v", rows)
+	if ids := rows.Indices(); len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Errorf("rows = %v", ids)
 	}
 	// Conjunction.
 	rows, err = tb.Scan([]Pred{
@@ -102,26 +102,28 @@ func TestScanPredicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 || rows[0] != 2 || rows[1] != 3 {
-		t.Errorf("conjunction rows = %v", rows)
+	if ids := rows.Indices(); len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
+		t.Errorf("conjunction rows = %v", ids)
 	}
-	// No predicates = all rows.
+	// No predicates = all rows, as a dense range (no ids materialized).
 	rows, err = tb.Scan(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
-		t.Errorf("all rows = %v", rows)
+	if rows.Len() != 6 {
+		t.Errorf("all rows = %v", rows.Indices())
 	}
-	// No matches must be a non-nil empty slice: Points/Gather interpret
-	// nil rows as "all rows", so a nil miss result would project the
-	// whole table.
+	if start, end, ok := rows.AsRange(); !ok || start != 0 || end != 6 {
+		t.Errorf("predicate-free scan = range [%d,%d) ok=%v, want dense [0,6)", start, end, ok)
+	}
+	// No matches is the empty RowSet, and the empty RowSet projects to
+	// nothing (the old nil-means-all-rows ambiguity is gone).
 	rows, err = tb.Scan([]Pred{{Column: "x", Min: 100, Max: 200}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows == nil || len(rows) != 0 {
-		t.Errorf("no-match scan = %#v, want non-nil empty", rows)
+	if !rows.IsEmpty() {
+		t.Errorf("no-match scan = %v, want empty", rows.Indices())
 	}
 	pts, err := tb.Points("x", "y", rows)
 	if err != nil {
@@ -140,32 +142,43 @@ func TestPointsAndGather(t *testing.T) {
 	if err := tb.BulkLoad([]float64{1, 2}, []float64{3, 4}, []float64{10, 20}); err != nil {
 		t.Fatal(err)
 	}
-	pts, err := tb.Points("x", "y", nil)
+	pts, err := tb.Points("x", "y", All)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pts) != 2 || !pts[1].Equal(geom.Pt(2, 4)) {
 		t.Errorf("pts = %v", pts)
 	}
-	pts, err = tb.Points("x", "y", []int{1})
+	pts, err = tb.Points("x", "y", RowIndices([]int{1}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pts) != 1 || !pts[0].Equal(geom.Pt(2, 4)) {
 		t.Errorf("subset pts = %v", pts)
 	}
-	if _, err := tb.Points("x", "y", []int{5}); err == nil {
+	if _, err := tb.Points("x", "y", RowIndices([]int{5})); err == nil {
 		t.Error("row out of range: want error")
 	}
-	vals, err := tb.Gather("v", []int{1, 0})
+	if _, err := tb.Points("x", "y", RowRange(0, 3)); err == nil {
+		t.Error("dense range past the end: want error")
+	}
+	// RowIndices sorts, so Gather returns values in row order.
+	vals, err := tb.Gather("v", RowIndices([]int{1, 0}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vals[0] != 20 || vals[1] != 10 {
+	if vals[0] != 10 || vals[1] != 20 {
 		t.Errorf("gather = %v", vals)
 	}
-	if _, err := tb.Gather("v", []int{-1}); err == nil {
+	if _, err := tb.Gather("v", RowIndices([]int{-1})); err == nil {
 		t.Error("negative row: want error")
+	}
+	vals, err = tb.Gather("v", RowRange(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != 20 {
+		t.Errorf("dense gather = %v", vals)
 	}
 }
 
@@ -241,6 +254,52 @@ func TestDropTable(t *testing.T) {
 	}
 }
 
+func TestPublishSampleReplacesAtomically(t *testing.T) {
+	s := New()
+	base, _ := s.CreateTable("base", "x", "y")
+	if err := base.BulkLoad([]float64{0, 10}, []float64{0, 10}); err != nil {
+		t.Fatal(err)
+	}
+	meta := SampleMeta{Table: "s", Source: "base", Method: "vas", XCol: "x", YCol: "y", Size: 1}
+	t1, _ := NewTable("s", "x", "y")
+	t1.BulkLoad([]float64{1}, []float64{1})
+	if err := s.PublishSample(t1, meta); err != nil {
+		t.Fatal(err)
+	}
+	// Replace with a differently-shaped table under the same name: one
+	// catalog entry, the new table served.
+	t2, _ := NewTable("s", "x", "y", "density")
+	t2.BulkLoad([]float64{2, 3}, []float64{2, 3}, []float64{1, 1})
+	meta.Size = 2
+	meta.HasDensity = true
+	if err := s.PublishSample(t2, meta); err != nil {
+		t.Fatal(err)
+	}
+	metas := s.SamplesOf("base")
+	if len(metas) != 1 || metas[0].Size != 2 || !metas[0].HasDensity {
+		t.Fatalf("catalog after replace = %+v", metas)
+	}
+	if got, _ := s.Table("s"); got != t2 {
+		t.Error("lookup does not serve the replacement table")
+	}
+	// Validation.
+	if err := s.PublishSample(nil, meta); err == nil {
+		t.Error("nil table: want error")
+	}
+	if err := s.PublishSample(t2, SampleMeta{Table: "other", Source: "base", Size: 2}); err == nil {
+		t.Error("name mismatch: want error")
+	}
+	if err := s.PublishSample(t2, SampleMeta{Table: "s", Source: "ghost", Size: 2}); err == nil {
+		t.Error("missing source: want error")
+	}
+	if err := s.PublishSample(t2, meta); err == nil {
+		t.Error("re-publishing the already-registered table: want error")
+	}
+	if err := s.PublishSample(t1, SampleMeta{Table: "s", Source: "base", Size: 0}); err == nil {
+		t.Error("non-positive size: want error")
+	}
+}
+
 func TestBounds(t *testing.T) {
 	tb, _ := NewTable("t", "x", "y")
 	if b, err := tb.Bounds("x", "y"); err != nil || !b.IsEmpty() {
@@ -301,7 +360,7 @@ func TestTableScanVsBulkLoadRace(t *testing.T) {
 		go func() { // readers: every snapshot must be internally consistent
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
-				pts, err := tb.Points("x", "y", nil)
+				pts, err := tb.Points("x", "y", All)
 				if err != nil {
 					t.Error(err)
 					return
@@ -325,8 +384,8 @@ func TestTableScanVsBulkLoadRace(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if len(rows) != 300 && len(rows) != 500 {
-					t.Errorf("torn scan: %d rows", len(rows))
+				if rows.Len() != 300 && rows.Len() != 500 {
+					t.Errorf("torn scan: %d rows", rows.Len())
 					return
 				}
 			}

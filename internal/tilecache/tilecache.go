@@ -33,6 +33,13 @@ type Key struct {
 	Table string
 	// Sample is the sample table actually rendered (budget-dependent).
 	Sample string
+	// Epoch is the caller's invalidation generation for Table. Callers
+	// that replace table contents in place (reload, sample re-publish)
+	// must bump it with every invalidation: a render in flight across an
+	// invalidation then completes under the old epoch's key, which no
+	// post-invalidation request ever asks for, so stale pixels can never
+	// surface as a hit.
+	Epoch uint64
 	// Z, X, Y address the tile in the table's extent (geom.TileRect).
 	Z, X, Y int
 	// Size is the tile edge in pixels.
@@ -108,7 +115,7 @@ func (c *Cache) shardOf(k Key) *shard {
 	h.Write([]byte{0})
 	h.Write([]byte(k.Sample))
 	var b [20]byte
-	for i, v := range [5]int{k.Z, k.X, k.Y, k.Size, 0} {
+	for i, v := range [5]int{k.Z, k.X, k.Y, k.Size, int(uint32(k.Epoch))} {
 		b[4*i] = byte(v)
 		b[4*i+1] = byte(v >> 8)
 		b[4*i+2] = byte(v >> 16)
@@ -196,10 +203,11 @@ func (c *Cache) Put(k Key, val []byte) {
 }
 
 // InvalidateTable drops every cached tile (and nothing else) whose key
-// references the given base table. In-flight renders are not cancelled;
-// their results land in the cache after the invalidation, which is
-// acceptable because the flight key already names the sample table it
-// renders from.
+// references the given base table, across all epochs. In-flight renders
+// are not cancelled; their results land in the cache after the
+// invalidation under the epoch they started with — harmless as long as
+// the caller bumps Key.Epoch with every invalidation (the stale entry is
+// unreachable and ages out of the LRU).
 func (c *Cache) InvalidateTable(table string) int {
 	n := 0
 	for i := range c.shards {

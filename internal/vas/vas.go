@@ -17,7 +17,6 @@ package vas
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/geom"
 	"repro/internal/kernel"
@@ -487,6 +486,3 @@ func Converge(ic *Interchange, pts []geom.Point, maxPasses int) int {
 	}
 	return passes
 }
-
-// minFloat returns the smaller of a and b; used by internal helpers.
-func minFloat(a, b float64) float64 { return math.Min(a, b) }

@@ -7,6 +7,7 @@ package vas_test
 // are being registered (run with -race).
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"image/png"
@@ -152,10 +153,71 @@ func TestServeEndToEnd(t *testing.T) {
 		`vasserve_requests_total{route="tile"} 2`,
 		`vasserve_requests_total{route="query"} 1`,
 		"vasserve_request_latency_p50_seconds",
+		// The base table and both samples carry (x, y) grid indexes, and
+		// the tile render above probed one.
+		"vasserve_store_indexed_tables 3",
+		"vasserve_store_spatial_indexes 3",
+		"vasserve_store_index_probes_total",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, metrics)
 		}
+	}
+}
+
+// TestLoadTableReloadInvalidatesTiles locks down the reload path:
+// re-loading a base table must drop its cached tiles (and cached data
+// extent), so exact renders never serve pixels from the previous
+// contents. Before the fix only BuildSamples invalidated.
+func TestLoadTableReloadInvalidatesTiles(t *testing.T) {
+	diag := make([]vas.Point, 200)
+	anti := make([]vas.Point, 200)
+	for i := range diag {
+		f := float64(i)
+		diag[i] = vas.Pt(f, f)     // main diagonal
+		anti[i] = vas.Pt(f, 199-f) // anti-diagonal: visibly different tile
+	}
+	cat := vas.NewCatalog()
+	if err := cat.LoadTable("gps", diag); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(cat.Handler())
+	t.Cleanup(ts.Close)
+
+	fetch := func() (string, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/tile/gps/0/0/0.png?exact=true")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tile status %d: %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Cache"), body
+	}
+
+	cache, before := fetch()
+	if cache != "MISS" {
+		t.Fatalf("first fetch X-Cache = %q, want MISS", cache)
+	}
+	if cache, _ = fetch(); cache != "HIT" {
+		t.Fatalf("second fetch X-Cache = %q, want HIT", cache)
+	}
+
+	if err := cat.LoadTable("gps", anti); err != nil {
+		t.Fatal(err)
+	}
+	cache, after := fetch()
+	if cache != "MISS" {
+		t.Errorf("post-reload fetch X-Cache = %q, want MISS (stale tile served)", cache)
+	}
+	if bytes.Equal(before, after) {
+		t.Error("post-reload tile is pixel-identical to the pre-reload render")
 	}
 }
 

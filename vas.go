@@ -318,11 +318,20 @@ func NewCatalog() *Catalog {
 	return &Catalog{st: st, planner: query.NewPlanner(st, viztime.Tableau())}
 }
 
-// LoadTable registers a base table named name with columns x and y.
+// LoadTable registers a base table named name with columns x and y, or
+// replaces its contents when the table already exists. The (x, y) pair is
+// spatially indexed at load time, so viewport queries and tile renders
+// over the base table are index probes. (Re)loading invalidates the
+// table's cached tiles and extent: exact and fallback renders never
+// serve pixels from the previous contents. Samples built from the old
+// contents keep serving until refreshed — call BuildSamples again after
+// a reload; it replaces the previous sample tables in place.
 func (c *Catalog) LoadTable(name string, points []Point) error {
-	t, err := c.st.CreateTable(name, "x", "y")
+	t, err := c.st.Table(name)
 	if err != nil {
-		return err
+		if t, err = c.st.CreateTable(name, "x", "y"); err != nil {
+			return err
+		}
 	}
 	xs := make([]float64, len(points))
 	ys := make([]float64, len(points))
@@ -330,7 +339,18 @@ func (c *Catalog) LoadTable(name string, points []Point) error {
 		xs[i] = p.X
 		ys[i] = p.Y
 	}
-	return t.BulkLoad(xs, ys)
+	if err := t.BulkLoad(xs, ys); err != nil {
+		return err
+	}
+	if err := t.IndexOn("x", "y"); err != nil {
+		return err
+	}
+	c.srvMu.Lock()
+	if c.srv != nil {
+		c.srv.InvalidateTable(name)
+	}
+	c.srvMu.Unlock()
+	return nil
 }
 
 // BuildSamples builds and registers VAS samples of each size for the

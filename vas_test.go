@@ -267,9 +267,32 @@ func TestCatalogEndToEnd(t *testing.T) {
 	if len(exact.Points) != len(data) {
 		t.Errorf("exact scan returned %d of %d", len(exact.Points), len(data))
 	}
-	// Duplicate table registration fails cleanly.
-	if err := cat.LoadTable("gps", data); err == nil {
-		t.Error("duplicate table: want error")
+	// Loading an existing table replaces its contents (a reload, not an
+	// error): the next exact scan sees the new generation.
+	if err := cat.LoadTable("gps", data[:100]); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	exact, err = cat.QueryExact("gps", vas.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Points) != 100 {
+		t.Errorf("exact scan after reload returned %d points, want 100", len(exact.Points))
+	}
+	// Re-running BuildSamples after the reload replaces the stale samples
+	// in place (same names, no duplicate catalog entries) so budget-bound
+	// queries serve the new data. K=500 over 100 points degenerates to
+	// all 100 points — seeing size 100 proves the old 500-point sample
+	// was replaced, not kept alongside.
+	if err := cat.BuildSamples("gps", data[:100], []int{50, 500}, true, vas.Options{Passes: 1}); err != nil {
+		t.Fatalf("rebuild samples after reload: %v", err)
+	}
+	res, err = cat.Query("gps", vas.Rect{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize != 100 {
+		t.Errorf("post-rebuild query served K=%d, want the refreshed 100-point sample", res.SampleSize)
 	}
 }
 
