@@ -2,12 +2,13 @@
 # bench smoke so the serving benchmarks cannot rot.
 
 GO ?= go
-# The serving benchmarks of the read-path refactor (internal/store):
-# index probe vs linear baseline, parallel fallback scan, full-extent
-# zero-row-id-allocation projection.
-SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection
+# The serving benchmarks of the read path (internal/store): index probe
+# vs linear baseline, parallel fallback scan, full-extent
+# zero-row-id-allocation projection, and the predicate-pushdown probe
+# (zone-map pruning) vs the filtered linear baseline.
+SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered
 
-.PHONY: all build test race bench bench-smoke fmt vet
+.PHONY: all build test race bench bench-smoke fmt vet fuzz-smoke
 
 all: build test
 
@@ -27,13 +28,19 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the serving benchmarks and commits the numbers as
-# BENCH_PR2.json (the repo's benchmark trajectory).
+# BENCH_PR3.json (the repo's benchmark trajectory; BENCH_PR2.json is the
+# previous point on it).
 bench:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem ./internal/store | tee /tmp/bench_serving.txt
-	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR2.json
-	@echo wrote BENCH_PR2.json
+	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR3.json
+	@echo wrote BENCH_PR3.json
 
 # bench-smoke is the CI guard: every serving benchmark must still
 # compile and complete one iteration.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchtime 1x ./internal/store
+
+# fuzz-smoke gives the RowSet algebra fuzzer a short budget against its
+# checked-in corpus (testdata/fuzz); CI runs it on every push.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRowSetAlgebra -fuzztime 10s ./internal/store

@@ -1,6 +1,6 @@
 // Command bench2json converts `go test -bench` text output (read from
 // stdin) into a small JSON document, so benchmark trajectories can be
-// committed and diffed across PRs (`make bench` writes BENCH_PR2.json).
+// committed and diffed across PRs (`make bench` writes BENCH_PR3.json).
 package main
 
 import (
@@ -8,7 +8,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"regexp"
 	"strconv"
 	"strings"
 )
@@ -20,6 +19,8 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. prune_ratio).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the committed document.
@@ -31,8 +32,48 @@ type Report struct {
 	Results []Result `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// parseBenchLine reads one "BenchmarkX-8  N  v1 unit1  v2 unit2 ..."
+// line: after the name and iteration count, the rest is (value, unit)
+// pairs — ns/op, B/op, allocs/op, and any custom b.ReportMetric units.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	r := Result{Name: name}
+	var err error
+	if r.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return Result{}, false
+	}
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, sawNs
+}
 
 func main() {
 	var rep Report
@@ -50,20 +91,9 @@ func main() {
 		case strings.HasPrefix(line, "pkg: "):
 			rep.Pkgs = append(rep.Pkgs, strings.TrimPrefix(line, "pkg: "))
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
+		if r, ok := parseBenchLine(line); ok {
+			rep.Results = append(rep.Results, r)
 		}
-		r := Result{Name: m[1]}
-		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-		}
-		if m[5] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		rep.Results = append(rep.Results, r)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)

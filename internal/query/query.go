@@ -30,6 +30,13 @@ type Request struct {
 	// Viewport restricts the plot to a zoom region; the zero Rect (empty)
 	// means the full extent.
 	Viewport geom.Rect
+	// Filters are extra conjunctive range predicates — time windows,
+	// magnitude bands, categories — pushed down into the same index
+	// probe that answers the viewport, where per-cell zone maps prune
+	// cells no matching row can live in. Columns are resolved against
+	// the served table (the chosen sample, or the base table for Exact),
+	// so a filter column must exist there.
+	Filters []store.Pred
 	// Budget is the latency the tool is willing to spend; zero means the
 	// interactive limit (2s).
 	Budget time.Duration
@@ -54,6 +61,9 @@ type Response struct {
 	PredictedTime time.Duration
 	// PlanTime is how long planning+scan took inside the engine.
 	PlanTime time.Duration
+	// Scan reports how the row selection was answered — index probe vs
+	// fallback, and the zone-map pruning the filters achieved.
+	Scan store.ScanStats
 }
 
 // Planner answers visualization requests against a store.
@@ -80,7 +90,11 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 		if err != nil {
 			return nil, err
 		}
-		pts, err := pl.scan(base, req.XCol, req.YCol, req.Viewport)
+		rows, scanStats, err := pl.viewportRows(base, req.XCol, req.YCol, req.Viewport, req.Filters)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := base.Points(req.XCol, req.YCol, rows)
 		if err != nil {
 			return nil, err
 		}
@@ -89,6 +103,7 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 			ExactScan:     true,
 			PredictedTime: pl.model.Time(len(pts)),
 			PlanTime:      time.Since(start),
+			Scan:          scanStats,
 		}, nil
 	}
 
@@ -119,7 +134,7 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 	}
 	// One index probe (or fallback scan) serves both the point projection
 	// and the density gather; this is the serving hot path.
-	rows, err := pl.viewportRows(st, chosen.XCol, chosen.YCol, req.Viewport)
+	rows, scanStats, err := pl.viewportRows(st, chosen.XCol, chosen.YCol, req.Viewport, req.Filters)
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +147,7 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 		Sample:        chosen,
 		PredictedTime: pl.model.Time(len(pts)),
 		PlanTime:      time.Since(start),
+		Scan:          scanStats,
 	}
 	if chosen.HasDensity {
 		// A sample registered with HasDensity whose density column cannot
@@ -198,27 +214,25 @@ func (pl *Planner) chooseSample(req Request, maxTuples int) (store.SampleMeta, e
 	return best, nil
 }
 
-func (pl *Planner) viewportRows(t *store.Table, xCol, yCol string, vp geom.Rect) (store.RowSet, error) {
-	// Both the zero value (a degenerate point at the origin, the natural
-	// "unset" spelling for callers) and a properly empty rectangle mean
-	// "no viewport restriction". The full extent is the store.All
-	// sentinel: projections walk the columns directly and no row ids are
-	// ever materialized (the zero-allocation fast path).
+func (pl *Planner) viewportRows(t *store.Table, xCol, yCol string, vp geom.Rect, filters []store.Pred) (store.RowSet, store.ScanStats, error) {
+	// Both the zero value (the natural "unset" spelling for callers) and
+	// a properly empty rectangle mean "no viewport restriction". With no
+	// filters either, the full extent is the store.All sentinel:
+	// projections walk the columns directly and no row ids are ever
+	// materialized (the zero-allocation fast path).
 	if vp == (geom.Rect{}) || vp.IsEmpty() {
-		return store.All, nil
+		if len(filters) == 0 {
+			return store.All, store.ScanStats{}, nil
+		}
+		// Filters without a viewport: the store's zero-Rect convention
+		// is the same "no restriction", so the probe walks the whole
+		// grid with zone maps pruning non-matching cells.
+		vp = geom.Rect{}
 	}
 	// An index probe when the sample's column pair is indexed (every
 	// table published through LoadSample or the vas façade is), a
-	// sharded linear scan otherwise.
-	return t.ScanRect(xCol, yCol, vp)
-}
-
-func (pl *Planner) scan(t *store.Table, xCol, yCol string, vp geom.Rect) ([]geom.Point, error) {
-	rows, err := pl.viewportRows(t, xCol, yCol, vp)
-	if err != nil {
-		return nil, err
-	}
-	return t.Points(xCol, yCol, rows)
+	// sharded linear scan otherwise. Filters ride down into the probe.
+	return t.ScanRectWhere(xCol, yCol, vp, filters)
 }
 
 // LoadSample materializes a sample as a store table named name with

@@ -255,15 +255,79 @@ func TestZeroRectViewportConvention(t *testing.T) {
 			t.Errorf("exact=%v: zero-Rect viewport returned %d points, want all 3", exact, len(resp.Points))
 		}
 	}
-	// The store, by contrast, reads the zero Rect literally: only the
-	// origin row matches. Both behaviors are load-bearing.
+	// The store agrees: its zero-Rect convention is the same "no
+	// restriction" fast path, so the two layers can never diverge on
+	// what an unset viewport means (they used to: the store once read
+	// the zero Rect as a literal point query at the origin).
 	base, _ = st.Table("base")
 	rows, err := base.ScanRect("x", "y", geom.Rect{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ids := rows.Indices(); len(ids) != 1 || ids[0] != 0 {
-		t.Errorf("store-level zero Rect = rows %v, want just the origin row [0]", ids)
+	if start, end, ok := rows.AsRange(); !ok || start != 0 || end != 3 {
+		t.Errorf("store-level zero Rect = range[%d,%d) ok=%v, want dense [0,3)", start, end, ok)
+	}
+}
+
+// TestPlanWithFilters: filter predicates are pushed into the sample
+// scan alongside the viewport and reported in the pruning stats, for
+// sampled and exact plans alike.
+func TestPlanWithFilters(t *testing.T) {
+	_, pl := setup(t)
+	// The 50-point sample lies on the diagonal x == y in [0, 100); keep
+	// x in [40, 60) via a filter, no viewport.
+	resp, err := pl.Plan(Request{
+		Table: "base", XCol: "x", YCol: "y", Budget: 60 * time.Microsecond,
+		Filters: []store.Pred{{Column: "x", Min: 40, Max: 59}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) == 0 || len(resp.Points) >= 50 {
+		t.Fatalf("filtered plan returned %d of 50 sample points", len(resp.Points))
+	}
+	for _, p := range resp.Points {
+		if p.X < 40 || p.X > 59 {
+			t.Errorf("point %v escapes the filter band", p)
+		}
+	}
+	if !resp.Scan.IndexProbe {
+		t.Error("sample tables are indexed at publish; a filtered plan should probe")
+	}
+
+	// Viewport AND filter compose conjunctively.
+	resp, err = pl.Plan(Request{
+		Table: "base", XCol: "x", YCol: "y", Budget: 60 * time.Microsecond,
+		Viewport: geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 50},
+		Filters:  []store.Pred{{Column: "y", Min: 30, Max: 200}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range resp.Points {
+		if p.Y < 30 || p.Y > 50 {
+			t.Errorf("point %v escapes viewport ∩ filter", p)
+		}
+	}
+
+	// Exact plans push the same filters into the base-table scan.
+	resp, err = pl.Plan(Request{
+		Table: "base", XCol: "x", YCol: "y", Exact: true,
+		Filters: []store.Pred{{Column: "x", Min: 10, Max: 19}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 10 {
+		t.Errorf("exact filtered plan returned %d points, want 10", len(resp.Points))
+	}
+
+	// A filter on a column the served sample lacks is a lookup error.
+	if _, err := pl.Plan(Request{
+		Table: "base", XCol: "x", YCol: "y", Budget: 60 * time.Microsecond,
+		Filters: []store.Pred{{Column: "nope", Min: 0, Max: 1}},
+	}); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("unknown filter column: err = %v, want ErrNotFound", err)
 	}
 }
 
@@ -277,7 +341,7 @@ func TestViewportRowsFullExtentAllocatesNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(50, func() {
-		rows, err := pl.viewportRows(base, "x", "y", geom.Rect{})
+		rows, _, err := pl.viewportRows(base, "x", "y", geom.Rect{}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

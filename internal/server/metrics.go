@@ -126,4 +126,7 @@ func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats) {
 	fmt.Fprintf(w, "vasserve_store_index_cells %d\n", idx.Cells)
 	fmt.Fprintf(w, "vasserve_store_index_probes_total %d\n", idx.Probes)
 	fmt.Fprintf(w, "vasserve_store_scan_fallbacks_total %d\n", idx.Fallbacks)
+	fmt.Fprintf(w, "vasserve_store_filtered_probes_total %d\n", idx.FilteredProbes)
+	fmt.Fprintf(w, "vasserve_store_zone_cells_touched_total %d\n", idx.ZoneCellsTouched)
+	fmt.Fprintf(w, "vasserve_store_zone_cells_pruned_total %d\n", idx.ZoneCellsPruned)
 }

@@ -23,7 +23,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -294,6 +296,25 @@ type QueryResponse struct {
 	PredictedMillis float64 `json:"predictedMillis"`
 	// PlanMillis is the engine-side planning+scan time.
 	PlanMillis float64 `json:"planMillis"`
+	// Scan reports how the rows were selected — index probe vs linear
+	// fallback, and the zone-map pruning achieved for filtered queries.
+	Scan ScanStatsJSON `json:"scan"`
+}
+
+// ScanStatsJSON is the wire form of store.ScanStats.
+type ScanStatsJSON struct {
+	IndexProbe   bool `json:"indexProbe"`
+	CellsTouched int  `json:"cellsTouched"`
+	CellsPruned  int  `json:"cellsPruned"`
+	CellsBulk    int  `json:"cellsBulk"`
+	RowsExamined int  `json:"rowsExamined"`
+}
+
+func scanStatsJSON(st store.ScanStats) ScanStatsJSON {
+	// A direct conversion: the structs are field-for-field identical, and
+	// this breaks the build (instead of silently dropping data) if one
+	// side grows a field the other lacks.
+	return ScanStatsJSON(st)
 }
 
 // parseViewport reads minx/miny/maxx/maxy; absent parameters yield the
@@ -327,6 +348,62 @@ func parseViewport(r *http.Request) (geom.Rect, error) {
 	return vp, nil
 }
 
+// parseFilters reads repeated filter=col:lo:hi parameters into pushdown
+// predicates. An empty lo or hi means unbounded on that side. The second
+// return value is the canonical cache-key encoding of the filter set:
+// bounds reformatted through the float parser and entries sorted, so
+// two spellings of the same predicate set share cached tiles and any
+// differing set gets its own key.
+func parseFilters(r *http.Request) ([]store.Pred, string, error) {
+	raws := r.URL.Query()["filter"]
+	if len(raws) == 0 {
+		return nil, "", nil
+	}
+	preds := make([]store.Pred, 0, len(raws))
+	canon := make([]string, 0, len(raws))
+	for _, raw := range raws {
+		parts := strings.Split(raw, ":")
+		if len(parts) != 3 || parts[0] == "" {
+			return nil, "", fmt.Errorf("bad filter %q (want col:lo:hi, empty bound = unbounded)", raw)
+		}
+		p := store.Pred{Column: parts[0], Min: math.Inf(-1), Max: math.Inf(1)}
+		var err error
+		if parts[1] != "" {
+			if p.Min, err = strconv.ParseFloat(parts[1], 64); err != nil {
+				return nil, "", fmt.Errorf("bad filter %q: lo %q is not a number", raw, parts[1])
+			}
+		}
+		if parts[2] != "" {
+			if p.Max, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, "", fmt.Errorf("bad filter %q: hi %q is not a number", raw, parts[2])
+			}
+		}
+		// Canonicalize the equivalent spellings of each bound before the
+		// key is formatted: a NaN bound means unbounded (exactly what the
+		// store folds it to), and -0 compares identically to 0 — neither
+		// may fragment the tile cache.
+		if math.IsNaN(p.Min) {
+			p.Min = math.Inf(-1)
+		}
+		if math.IsNaN(p.Max) {
+			p.Max = math.Inf(1)
+		}
+		if p.Min == 0 {
+			p.Min = 0
+		}
+		if p.Max == 0 {
+			p.Max = 0
+		}
+		preds = append(preds, p)
+		canon = append(canon, fmt.Sprintf("%s:%s:%s",
+			p.Column,
+			strconv.FormatFloat(p.Min, 'g', -1, 64),
+			strconv.FormatFloat(p.Max, 'g', -1, 64)))
+	}
+	sort.Strings(canon)
+	return preds, strings.Join(canon, "|"), nil
+}
+
 func parseBudget(r *http.Request) (time.Duration, error) {
 	raw := r.URL.Query().Get("budget")
 	if raw == "" {
@@ -358,10 +435,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
+	filters, _, err := parseFilters(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
 	exact := r.URL.Query().Get("exact") == "true"
 	resp, err := s.planner.Plan(query.Request{
 		Table: table, XCol: s.cfg.XCol, YCol: s.cfg.YCol,
-		Viewport: vp, Budget: budget, Exact: exact,
+		Viewport: vp, Budget: budget, Exact: exact, Filters: filters,
 	})
 	if err != nil {
 		httpError(w, err)
@@ -376,6 +458,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Exact:           resp.ExactScan,
 		PredictedMillis: float64(resp.PredictedTime) / float64(time.Millisecond),
 		PlanMillis:      float64(resp.PlanTime) / float64(time.Millisecond),
+		Scan:            scanStatsJSON(resp.Scan),
 	}
 	for i, p := range resp.Points {
 		out.Points[i] = [2]float64{p.X, p.Y}
@@ -387,7 +470,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // handleTile serves GET /v1/tile/{table}/{z}/{x}/{y}.png. Optional query
 // parameters: size (tile edge in pixels), budget (latency budget for
-// sample selection), exact=true (render the base table).
+// sample selection), exact=true (render the base table), and repeated
+// filter=col:lo:hi predicates pushed down into the tile's index probe.
+// Filters are part of the cache identity (canonicalized, alongside the
+// table's invalidation epoch), so the same address under different
+// filters caches independently.
 func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	table := r.PathValue("table")
 	yRaw, ok := strings.CutSuffix(r.PathValue("y"), ".png")
@@ -412,6 +499,11 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		size = v
 	}
 	budget, err := parseBudget(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	filters, filterKey, err := parseFilters(r)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
@@ -465,10 +557,10 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		}
 		key := tilecache.Key{
 			Table: table, Sample: sampleName, Epoch: epoch,
-			Z: z, X: x, Y: y, Size: size,
+			Z: z, X: x, Y: y, Size: size, Filters: filterKey,
 		}
 		png, hit, err = s.cache.GetOrRender(key, func() ([]byte, error) {
-			return s.renderTile(table, meta, tileRect, size, exact)
+			return s.renderTile(table, meta, tileRect, size, exact, filters)
 		})
 		if err == nil {
 			break
@@ -490,12 +582,13 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 }
 
 // renderTile scans exactly the given sample table (or the base table for
-// exact) within the tile rectangle and encodes the raster as PNG. It
-// deliberately does not re-run sample selection: the caller already
-// resolved the sample into the cache key, and re-planning here could pick
-// a different (newly registered) sample and poison the cache.
-// Density-embedded samples render with the §V weighted-dot encoding.
-func (s *Server) renderTile(table string, meta store.SampleMeta, tileRect geom.Rect, size int, exact bool) ([]byte, error) {
+// exact) within the tile rectangle, pushing any filters into the same
+// probe, and encodes the raster as PNG. It deliberately does not re-run
+// sample selection: the caller already resolved the sample into the
+// cache key, and re-planning here could pick a different (newly
+// registered) sample and poison the cache. Density-embedded samples
+// render with the §V weighted-dot encoding.
+func (s *Server) renderTile(table string, meta store.SampleMeta, tileRect geom.Rect, size int, exact bool, filters []store.Pred) ([]byte, error) {
 	name, xCol, yCol := meta.Table, meta.XCol, meta.YCol
 	if exact {
 		name, xCol, yCol = table, s.cfg.XCol, s.cfg.YCol
@@ -507,8 +600,8 @@ func (s *Server) renderTile(table string, meta store.SampleMeta, tileRect geom.R
 	// Index probe: sample and base tables published through the catalog
 	// carry a grid index over their (x, y) pair, so a tile-cache miss
 	// reads only the cells its rectangle overlaps instead of scanning
-	// the table.
-	rows, err := t.ScanRect(xCol, yCol, tileRect)
+	// the table — and zone maps prune cells the filters rule out.
+	rows, _, err := t.ScanRectWhere(xCol, yCol, tileRect, filters)
 	if err != nil {
 		return nil, err
 	}

@@ -200,6 +200,118 @@ func TestTileEndpointAndCache(t *testing.T) {
 	}
 }
 
+// TestQueryFilters: filter=col:lo:hi predicates are parsed, pushed into
+// the scan, and reflected in the pruning stats of the JSON answer.
+func TestQueryFilters(t *testing.T) {
+	s := newTestServer(t)
+	rec := get(t, s, "/v1/query?table=base&budget=150us&filter=x:100:199")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Points) == 0 || len(out.Points) >= 100 {
+		t.Fatalf("filtered query returned %d of the 100 sample points", len(out.Points))
+	}
+	for _, p := range out.Points {
+		if p[0] < 100 || p[0] > 199 {
+			t.Errorf("point %v escapes filter x:100:199", p)
+		}
+	}
+	if !out.Scan.IndexProbe {
+		t.Error("scan stats should report an index probe")
+	}
+
+	// Open-ended bounds: empty lo/hi are unbounded.
+	rec = get(t, s, "/v1/query?table=base&budget=150us&filter=x:300:")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("open-ended filter status = %d, body %s", rec.Code, rec.Body)
+	}
+	out = QueryResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range out.Points {
+		if p[0] < 300 {
+			t.Errorf("point %v escapes filter x:300:", p)
+		}
+	}
+
+	// Multiple filters are conjunctive.
+	rec = get(t, s, "/v1/query?table=base&budget=150us&filter=x:100:&filter=y::150")
+	out = QueryResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range out.Points {
+		if p[0] < 100 || p[1] > 150 {
+			t.Errorf("point %v escapes the conjunction", p)
+		}
+	}
+
+	// Malformed filters are 400s.
+	for _, bad := range []string{"x:1", "x:a:2", ":1:2", "x:1:2:3"} {
+		if rec := get(t, s, "/v1/query?table=base&filter="+bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("filter=%q status = %d, want 400", bad, rec.Code)
+		}
+	}
+	// A filter on an unknown column is a 404 (store lookup error).
+	if rec := get(t, s, "/v1/query?table=base&budget=150us&filter=ghost:1:2"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown filter column status = %d, want 404", rec.Code)
+	}
+}
+
+// TestTileFilterCacheKeys: filters are part of the tile cache identity —
+// different filter sets never share pixels, equivalent spellings do.
+func TestTileFilterCacheKeys(t *testing.T) {
+	s := newTestServer(t)
+	base := "/v1/tile/base/0/0/0.png?budget=150us&size=32"
+	if rec := get(t, s, base+"&filter=x:0:200"); rec.Header().Get("X-Cache") != "MISS" {
+		t.Error("first filtered fetch should MISS")
+	}
+	if rec := get(t, s, base+"&filter=x:0:200"); rec.Header().Get("X-Cache") != "HIT" {
+		t.Error("same filter should HIT")
+	}
+	// An equivalent spelling (trailing zeros) canonicalizes to the same key.
+	if rec := get(t, s, base+"&filter=x:0.0:200.00"); rec.Header().Get("X-Cache") != "HIT" {
+		t.Error("equivalent filter spelling should HIT the same entry")
+	}
+	// -0 and 0 compare identically and must share a key too.
+	if rec := get(t, s, base+"&filter=x:-0:200"); rec.Header().Get("X-Cache") != "HIT" {
+		t.Error("-0 bound should canonicalize to the 0 entry")
+	}
+	// A NaN bound means unbounded, like an empty bound.
+	if rec := get(t, s, base+"&filter=y::300"); rec.Header().Get("X-Cache") != "MISS" {
+		t.Error("open-lo filter should be its own entry")
+	}
+	if rec := get(t, s, base+"&filter=y:NaN:300"); rec.Header().Get("X-Cache") != "HIT" {
+		t.Error("NaN lo should canonicalize to the open-lo entry")
+	}
+	// A different filter, and the unfiltered tile, are distinct entries.
+	if rec := get(t, s, base+"&filter=x:0:100"); rec.Header().Get("X-Cache") != "MISS" {
+		t.Error("different filter should MISS")
+	}
+	rec := get(t, s, base)
+	if rec.Header().Get("X-Cache") != "MISS" {
+		t.Error("unfiltered tile should be its own entry")
+	}
+	unfiltered := rec.Body.Bytes()
+	// The filtered tile really is different pixels.
+	rec = get(t, s, base+"&filter=x:0:100")
+	if bytes.Equal(unfiltered, rec.Body.Bytes()) {
+		t.Error("filtered and unfiltered tiles rendered identical bytes")
+	}
+	// Filter order does not fragment the cache.
+	if rec := get(t, s, base+"&filter=x:0:100&filter=y:0:300"); rec.Header().Get("X-Cache") != "MISS" {
+		t.Error("two-filter tile should MISS first")
+	}
+	if rec := get(t, s, base+"&filter=y:0:300&filter=x:0:100"); rec.Header().Get("X-Cache") != "HIT" {
+		t.Error("reordered filters should HIT the same entry")
+	}
+}
+
 // TestInvalidationEpochBlocksInFlightStaleTile simulates the race where
 // a tile render in flight across an InvalidateTable completes after the
 // invalidation: its deferred cache insert lands under the
@@ -260,6 +372,8 @@ func TestHealthAndMetrics(t *testing.T) {
 	get(t, s, "/v1/tile/base/0/0/0.png?budget=150us&size=64")
 	get(t, s, "/v1/tile/base/0/0/0.png?budget=150us&size=64")
 	get(t, s, "/v1/query?table=ghost&exact=true") // one error
+	// One filtered probe so the zone-map counters move.
+	get(t, s, "/v1/query?table=base&budget=150us&filter=x:100:199&minx=0&miny=0&maxx=399&maxy=399")
 
 	rec := get(t, s, "/metrics")
 	if rec.Code != http.StatusOK {
@@ -267,7 +381,7 @@ func TestHealthAndMetrics(t *testing.T) {
 	}
 	body := rec.Body.String()
 	for _, want := range []string{
-		`vasserve_requests_total{route="query"} 2`,
+		`vasserve_requests_total{route="query"} 3`,
 		`vasserve_requests_total{route="tile"} 2`,
 		`vasserve_request_errors_total 1`,
 		`vasserve_tile_cache_hits_total 1`,
@@ -275,9 +389,16 @@ func TestHealthAndMetrics(t *testing.T) {
 		`vasserve_tile_cache_hit_ratio 0.5`,
 		`vasserve_request_latency_p50_seconds`,
 		`vasserve_request_latency_p99_seconds`,
+		`vasserve_store_filtered_probes_total 1`,
+		`vasserve_store_zone_cells_touched_total`,
+		`vasserve_store_zone_cells_pruned_total`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, body)
 		}
+	}
+	// The filtered probe touched at least one cell.
+	if strings.Contains(body, "vasserve_store_zone_cells_touched_total 0\n") {
+		t.Error("filtered probe recorded zero touched cells")
 	}
 }

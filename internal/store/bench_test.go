@@ -110,6 +110,112 @@ func BenchmarkExactScanParallel(b *testing.B) {
 	}
 }
 
+// ---- predicate pushdown (ISSUE 3 acceptance) ----
+
+// benchFilteredTable is 1M rows with three attribute columns: m is
+// spatially correlated (the realistic dashboard case — magnitude,
+// altitude, timestamps of a moving object all correlate with position),
+// t is independent noise (the zone maps' worst case), and c is a
+// spatially striped category.
+func benchFilteredTable(b *testing.B) *Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	n := benchRows
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	ms := make([]float64, n)
+	ts := make([]float64, n)
+	cs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+		ys[i] = rng.Float64() * 1000
+		ms[i] = (xs[i]+ys[i])/2 + rng.NormFloat64()*5
+		ts[i] = rng.Float64() * 1000
+		cs[i] = float64(int(xs[i]/100) % 10)
+	}
+	tb, err := NewTable("benchf", "x", "y", "m", "t", "c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tb.BulkLoad(xs, ys, ms, ts, cs); err != nil {
+		b.Fatal(err)
+	}
+	if err := tb.IndexOn("x", "y"); err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}
+
+// benchFilterSets are the {0, 1, 3} residual predicate sets of the
+// acceptance criterion. The single predicate is the selective one: m is
+// centered near 500 inside the viewport, so a band at 520..540 keeps
+// only a thin diagonal slice and zone maps can prune the rest.
+var benchFilterSets = map[string][]Pred{
+	"preds=0": nil,
+	"preds=1": {{Column: "m", Min: 520, Max: 540}},
+	"preds=3": {
+		{Column: "m", Min: 520, Max: 540},
+		{Column: "t", Min: 0, Max: 800},
+		{Column: "c", Min: 4, Max: 5},
+	},
+}
+
+// BenchmarkScanRectFiltered is the pushdown serving path: the 1%
+// viewport of BenchmarkQueryViewportIndexed with residual predicates
+// riding down into the index probe, where per-cell zone maps prune.
+// prune_ratio reports pruned/touched cells.
+func BenchmarkScanRectFiltered(b *testing.B) {
+	tb := benchFilteredTable(b)
+	for _, name := range []string{"preds=0", "preds=1", "preds=3"} {
+		preds := benchFilterSets[name]
+		b.Run(name, func(b *testing.B) {
+			var touched, pruned int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, st, err := tb.ScanRectWhere("x", "y", benchViewport, preds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows.IsEmpty() {
+					b.Fatal("empty filtered result")
+				}
+				touched += st.CellsTouched
+				pruned += st.CellsPruned
+			}
+			if touched > 0 {
+				b.ReportMetric(float64(pruned)/float64(touched), "prune_ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkScanLinearFiltered is the baseline the ≥3× acceptance
+// criterion compares against: the same viewport+filter conjunctions
+// answered by Table.Scan, the (parallel sharded) linear predicate scan.
+func BenchmarkScanLinearFiltered(b *testing.B) {
+	tb := benchFilteredTable(b)
+	for _, name := range []string{"preds=0", "preds=1", "preds=3"} {
+		preds := append([]Pred{
+			{Column: "x", Min: benchViewport.MinX, Max: benchViewport.MaxX},
+			{Column: "y", Min: benchViewport.MinY, Max: benchViewport.MaxY},
+		}, benchFilterSets[name]...)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := tb.Scan(preds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rows.IsEmpty() {
+					b.Fatal("empty filtered result")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkQueryFullExtentProjection is the allocs benchmark behind the
 // "full extent performs zero row-id allocations" acceptance criterion:
 // the All sentinel projects the whole table with a single allocation —

@@ -1,0 +1,171 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// TestFilteredScanHammer hammers one table with concurrent Append,
+// IndexOn rebuilds, store-level DropTable/CreateTable churn, and
+// filtered ScanRectWhere readers. It extends the PR 1 scan-vs-reload
+// pattern to the predicate-pushdown path and asserts, under -race, that
+// a reader can never panic, never see rows outside its snapshot
+// generation, and never receive a row that fails its predicates.
+//
+// The validation leans on the generation contract: rows are append-only
+// while this test runs, so any row id a scan returns must be < NumRows
+// observed AFTER the scan, and the first-n-rows prefix of every column
+// is immutable — a Column snapshot taken after the scan therefore holds
+// exactly the values the scan evaluated.
+func TestFilteredScanHammer(t *testing.T) {
+	st := New()
+	tb, err := st.CreateTable("h", "x", "y", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	n0 := 4000
+	xs := make([]float64, n0)
+	ys := make([]float64, n0)
+	ms := make([]float64, n0)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+		ms[i] = (xs[i] + ys[i]) / 2
+	}
+	if err := tb.BulkLoad(xs, ys, ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.IndexOn("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+
+	// Appender: grows the table one row at a time (some rows NaN).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for time.Now().Before(deadline) {
+			x := rng.Float64() * 100
+			if rng.Intn(50) == 0 {
+				x = nan()
+			}
+			y := rng.Float64() * 100
+			if err := tb.Append(x, y, (x+y)/2); err != nil {
+				report(err)
+				return
+			}
+		}
+	}()
+
+	// Indexer: absorbs the appended tail back into the grid.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			if err := tb.IndexOn("x", "y"); err != nil {
+				report(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Catalog churn: drop and recreate the table name in the store, the
+	// way sample replacement does. Readers keep their handle to the
+	// original table, which stays fully usable after the drop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			if err := st.DropTable("h"); err != nil {
+				report(err)
+				return
+			}
+			if _, err := st.CreateTable("h", "x", "y", "m"); err != nil {
+				report(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Filtered scanners.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				lo := rng.Float64() * 80
+				vp := geom.Rect{MinX: lo, MinY: lo, MaxX: lo + 30, MaxY: lo + 30}
+				preds := []Pred{{Column: "m", Min: lo, Max: lo + 20}}
+				if rng.Intn(4) == 0 {
+					vp = geom.Rect{} // pure attribute filter over the grid
+				}
+				rows, _, err := tb.ScanRectWhere("x", "y", vp, preds)
+				if err != nil {
+					report(err)
+					return
+				}
+				// The snapshot generation bound: every returned row must
+				// exist in a generation no newer than "now".
+				nAfter := tb.NumRows()
+				xc, err := tb.Column("x")
+				if err != nil {
+					report(err)
+					return
+				}
+				yc, _ := tb.Column("y")
+				mc, _ := tb.Column("m")
+				prev := -1
+				bad := false
+				rows.ForEach(func(r int) {
+					if bad {
+						return
+					}
+					if r <= prev || r < 0 || r >= nAfter || r >= len(xc) {
+						t.Errorf("row %d out of order or outside the snapshot (prev %d, n %d)", r, prev, nAfter)
+						bad = true
+						return
+					}
+					prev = r
+					if vp != (geom.Rect{}) && !inRect(xc[r], yc[r], vp) {
+						t.Errorf("row %d (%g,%g) outside viewport %v", r, xc[r], yc[r], vp)
+						bad = true
+						return
+					}
+					if mc[r] < preds[0].Min || mc[r] > preds[0].Max {
+						t.Errorf("row %d m=%g fails predicate [%g,%g]", r, mc[r], preds[0].Min, preds[0].Max)
+						bad = true
+					}
+				})
+				if bad {
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("hammer goroutine failed: %v", err)
+	}
+}
+
+func nan() float64 { var z float64; return z / z }

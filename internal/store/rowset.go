@@ -3,25 +3,31 @@ package store
 import "sort"
 
 // RowSet is an immutable set of row indices produced by the scan side of
-// the read path (Scan, ScanRect, AllRows) and consumed by the projection
-// side (Points, Gather). It has two representations:
+// the read path (Scan, ScanRect, ScanRectWhere) and consumed by the
+// projection side (Points, Gather). It has three representations, and
+// the scan layer picks the cheapest one per result:
 //
 //   - a dense range [start, end), the zero-allocation spelling of "every
 //     row" (and of any contiguous run): projections walk the column
 //     arrays directly and no per-row index is ever materialized;
+//   - a compressed bitmap (base-trimmed, one bit per row of the span),
+//     for dense-but-not-contiguous results such as selective attribute
+//     filters over the whole extent — above 1/64 occupancy it undercuts
+//     the id list, and Intersect/Union degrade to word-wise AND/OR;
 //   - an explicit list of row indices, sorted ascending, for sparse
 //     results such as viewport scans.
 //
 // Replacing raw []int with RowSet removes the old nil-means-all-rows
-// ambiguity: an empty RowSet selects nothing, AllRows selects everything,
+// ambiguity: an empty RowSet selects nothing, All selects everything,
 // and both say so explicitly.
 //
 // The zero RowSet is the empty set. RowSet values are immutable and safe
 // to share across goroutines.
 type RowSet struct {
-	// ids holds the explicit sorted row indices; nil means the set is
-	// the dense range [start, end).
+	// ids holds the explicit sorted row indices. When nil, the set is
+	// the bitmap bm (if non-nil) or the dense range [start, end).
 	ids        []int
+	bm         *rowBitmap
 	start, end int
 	// all marks the All sentinel: "every row of whatever snapshot the
 	// consuming operator reads".
@@ -39,6 +45,10 @@ var All = RowSet{all: true}
 
 // IsAll reports whether the set is the All sentinel.
 func (s RowSet) IsAll() bool { return s.all }
+
+// bitmapMinRows is the result size below which the bitmap representation
+// is never chosen: a handful of ids costs less than any word array.
+const bitmapMinRows = 128
 
 // RowRange returns the dense RowSet [start, end). Bounds are normalized:
 // a negative start is clamped to 0 and an end below start yields the
@@ -66,11 +76,23 @@ func RowIndices(ids []int) RowSet {
 	return RowSet{ids: ids, end: -1}
 }
 
-// rowSetFromSorted wraps ids already known to be sorted ascending,
-// skipping the defensive check on the scan hot path.
+// rowSetFromSorted wraps ids already known to be sorted ascending and
+// duplicate-free (the scan paths produce exactly that) in the cheapest
+// representation: a contiguous run becomes a dense range (so a probe
+// that happens to select everything costs nothing downstream), a result
+// denser than 1/64 of its span becomes a bitmap, everything else keeps
+// the id list as-is.
 func rowSetFromSorted(ids []int) RowSet {
-	if len(ids) == 0 {
+	n := len(ids)
+	if n == 0 {
 		return RowSet{}
+	}
+	span := ids[n-1] - ids[0] + 1
+	if span == n {
+		return RowRange(ids[0], ids[0]+n)
+	}
+	if n >= bitmapMinRows && span < n*64 {
+		return RowSet{bm: bitmapFromSorted(ids), end: -1}
 	}
 	return RowSet{ids: ids, end: -1}
 }
@@ -80,6 +102,9 @@ func (s RowSet) Len() int {
 	if s.ids != nil {
 		return len(s.ids)
 	}
+	if s.bm != nil {
+		return s.bm.count
+	}
 	return s.end - s.start
 }
 
@@ -87,9 +112,9 @@ func (s RowSet) Len() int {
 func (s RowSet) IsEmpty() bool { return s.Len() == 0 }
 
 // AsRange reports the dense range [start, end) when the set has the
-// dense representation. ok is false for explicit index lists.
+// dense representation. ok is false for bitmaps and explicit id lists.
 func (s RowSet) AsRange() (start, end int, ok bool) {
-	if s.ids != nil {
+	if s.ids != nil || s.bm != nil {
 		return 0, 0, false
 	}
 	return s.start, s.end, true
@@ -103,23 +128,47 @@ func (s RowSet) ForEach(f func(row int)) {
 		}
 		return
 	}
+	if s.bm != nil {
+		s.bm.forEach(f)
+		return
+	}
 	for r := s.start; r < s.end; r++ {
 		f(r)
 	}
 }
 
 // Indices materializes the set as a sorted slice of row indices. The
-// dense representation allocates; the explicit representation returns a
-// copy so callers cannot alias the set's storage.
+// dense and bitmap representations allocate; the explicit representation
+// returns a copy so callers cannot alias the set's storage.
 func (s RowSet) Indices() []int {
 	out := make([]int, 0, s.Len())
 	if s.ids != nil {
 		return append(out, s.ids...)
 	}
+	if s.bm != nil {
+		s.bm.forEach(func(r int) { out = append(out, r) })
+		return out
+	}
 	for r := s.start; r < s.end; r++ {
 		out = append(out, r)
 	}
 	return out
+}
+
+// Contains reports whether row is in the set. O(1) for ranges, bitmaps
+// and All; O(log n) for explicit id lists.
+func (s RowSet) Contains(row int) bool {
+	if s.all {
+		return true
+	}
+	if s.ids != nil {
+		i := sort.SearchInts(s.ids, row)
+		return i < len(s.ids) && s.ids[i] == row
+	}
+	if s.bm != nil {
+		return s.bm.contains(row)
+	}
+	return row >= s.start && row < s.end
 }
 
 // Min returns the smallest row in the set; ok is false when empty.
@@ -129,6 +178,9 @@ func (s RowSet) Min() (row int, ok bool) {
 	}
 	if s.ids != nil {
 		return s.ids[0], true
+	}
+	if s.bm != nil {
+		return s.bm.min(), true
 	}
 	return s.start, true
 }
@@ -141,5 +193,134 @@ func (s RowSet) Max() (row int, ok bool) {
 	if s.ids != nil {
 		return s.ids[len(s.ids)-1], true
 	}
+	if s.bm != nil {
+		return s.bm.max(), true
+	}
 	return s.end - 1, true
+}
+
+// Intersect returns the set of rows in both s and t, in the cheapest
+// representation for the result. All is the identity: All ∩ t = t. Two
+// bitmaps intersect word-wise; otherwise the smaller side is iterated
+// and probed against the larger.
+func (s RowSet) Intersect(t RowSet) RowSet {
+	if s.all {
+		return t
+	}
+	if t.all {
+		return s
+	}
+	if s.IsEmpty() || t.IsEmpty() {
+		return RowSet{}
+	}
+	if as, ae, ok := s.AsRange(); ok {
+		if bs, be, ok := t.AsRange(); ok {
+			return RowRange(max(as, bs), min(ae, be))
+		}
+	}
+	if s.bm != nil && t.bm != nil {
+		return intersectBitmaps(s.bm, t.bm)
+	}
+	small, big := s, t
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	var ids []int
+	small.ForEach(func(r int) {
+		if big.Contains(r) && (len(ids) == 0 || ids[len(ids)-1] != r) {
+			ids = append(ids, r)
+		}
+	})
+	return rowSetFromSorted(ids)
+}
+
+// rangeCovers reports (r, true) when r has the dense-range
+// representation and other's rows all fall inside it.
+func rangeCovers(r, other RowSet) (RowSet, bool) {
+	start, end, ok := r.AsRange()
+	if !ok {
+		return RowSet{}, false
+	}
+	lo, _ := other.Min()
+	hi, _ := other.Max()
+	if lo >= start && hi < end {
+		return r, true
+	}
+	return RowSet{}, false
+}
+
+// Union returns the set of rows in either s or t, in the cheapest
+// representation for the result. All absorbs: All ∪ t = All. Two
+// bitmaps union word-wise; otherwise the sorted id streams are merged
+// (duplicates collapse, so the result is a set even if an input carried
+// repeated ids).
+func (s RowSet) Union(t RowSet) RowSet {
+	if s.all || t.all {
+		return All
+	}
+	if s.IsEmpty() {
+		return t
+	}
+	if t.IsEmpty() {
+		return s
+	}
+	if as, ae, ok := s.AsRange(); ok {
+		if bs, be, ok := t.AsRange(); ok && as <= be && bs <= ae {
+			return RowRange(min(as, bs), max(ae, be))
+		}
+	}
+	// A range that already covers the other operand is the union; check
+	// both sides, or a huge covering range on either side would be
+	// materialized id by id below.
+	if covered, ok := rangeCovers(s, t); ok {
+		return covered
+	}
+	if covered, ok := rangeCovers(t, s); ok {
+		return covered
+	}
+	// A non-covering range operand: OR it into a fresh bitmap word-wise
+	// instead of materializing the range id by id (a 10M-row range is
+	// ~150 KB of words vs 80 MB of ids).
+	if start, end, ok := s.AsRange(); ok {
+		if u, ok := unionRangeBitmap(start, end, t); ok {
+			return u
+		}
+	}
+	if start, end, ok := t.AsRange(); ok {
+		if u, ok := unionRangeBitmap(start, end, s); ok {
+			return u
+		}
+	}
+	// Word-wise OR only when the combined span is dense enough to be
+	// worth a word array: two locally dense bitmaps far apart would
+	// allocate the whole gap only for normalizeBitmap to discard it.
+	if s.bm != nil && t.bm != nil {
+		lo := min(s.bm.base, t.bm.base)
+		hi := max(s.bm.base+len(s.bm.words)<<6, t.bm.base+len(t.bm.words)<<6)
+		if hi-lo <= (s.bm.count+t.bm.count)*64 {
+			return unionBitmaps(s.bm, t.bm)
+		}
+	}
+	a, b := s.Indices(), t.Indices()
+	ids := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var next int
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			next = a[i]
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			next = b[j]
+			j++
+		default: // equal
+			next = a[i]
+			i++
+			j++
+		}
+		if len(ids) == 0 || ids[len(ids)-1] != next {
+			ids = append(ids, next)
+		}
+	}
+	return rowSetFromSorted(ids)
 }

@@ -61,6 +61,142 @@ func TestRowSetRepresentations(t *testing.T) {
 	}
 }
 
+func TestRowSetRepresentationChooser(t *testing.T) {
+	// Contiguous runs collapse to the dense range.
+	s := rowSetFromSorted([]int{5, 6, 7, 8})
+	if start, end, ok := s.AsRange(); !ok || start != 5 || end != 9 {
+		t.Errorf("contiguous run = range[%d,%d) ok=%v, want [5,9)", start, end, ok)
+	}
+	// Dense-but-gappy results above the size floor become bitmaps.
+	ids := make([]int, 0, 500)
+	for i := 0; i < 1000; i += 2 {
+		ids = append(ids, i)
+	}
+	s = rowSetFromSorted(ids)
+	if s.bm == nil {
+		t.Fatalf("every-other-row result should pick the bitmap (ids=%v...)", s.Indices()[:4])
+	}
+	if s.Len() != 500 {
+		t.Errorf("bitmap Len = %d, want 500", s.Len())
+	}
+	if got := s.Indices(); got[0] != 0 || got[499] != 998 || got[250] != 500 {
+		t.Errorf("bitmap indices = [%d ... %d]", got[0], got[499])
+	}
+	if s.Contains(499) || !s.Contains(498) {
+		t.Error("bitmap membership wrong around 498/499")
+	}
+	if lo, _ := s.Min(); lo != 0 {
+		t.Errorf("bitmap Min = %d", lo)
+	}
+	if hi, _ := s.Max(); hi != 998 {
+		t.Errorf("bitmap Max = %d", hi)
+	}
+	if _, _, ok := s.AsRange(); ok {
+		t.Error("bitmap must not report a dense range")
+	}
+	// Sparse results keep the id list.
+	s = rowSetFromSorted([]int{1, 100_000, 3_000_000})
+	if s.bm != nil || s.ids == nil {
+		t.Error("sparse result should keep the explicit id list")
+	}
+	// Small results never pay for a bitmap even when dense in span.
+	s = rowSetFromSorted([]int{1, 3, 5})
+	if s.bm != nil {
+		t.Error("3-row result should not build a bitmap")
+	}
+}
+
+func TestRowSetAlgebra(t *testing.T) {
+	evens := make([]int, 0, 300)
+	byThree := make([]int, 0, 200)
+	for i := 0; i < 600; i += 2 {
+		evens = append(evens, i)
+	}
+	for i := 0; i < 600; i += 3 {
+		byThree = append(byThree, i)
+	}
+	a := rowSetFromSorted(evens)   // bitmap
+	b := rowSetFromSorted(byThree) // bitmap
+	if a.bm == nil || b.bm == nil {
+		t.Fatal("test premise: both operands should be bitmaps")
+	}
+	got := a.Intersect(b).Indices()
+	if len(got) != 100 {
+		t.Fatalf("evens ∩ multiples-of-3 = %d rows, want 100 (multiples of 6)", len(got))
+	}
+	for i, r := range got {
+		if r != i*6 {
+			t.Fatalf("intersection[%d] = %d, want %d", i, r, i*6)
+		}
+	}
+	union := a.Union(b)
+	if union.Len() != 300+200-100 {
+		t.Fatalf("union Len = %d, want 400", union.Len())
+	}
+
+	// Range × range.
+	r1, r2 := RowRange(0, 100), RowRange(50, 200)
+	if s, e, ok := r1.Intersect(r2).AsRange(); !ok || s != 50 || e != 100 {
+		t.Errorf("range ∩ range = [%d,%d) ok=%v", s, e, ok)
+	}
+	if s, e, ok := r1.Union(r2).AsRange(); !ok || s != 0 || e != 200 {
+		t.Errorf("range ∪ range = [%d,%d) ok=%v", s, e, ok)
+	}
+	// Disjoint ranges cannot merge.
+	u := RowRange(0, 10).Union(RowRange(20, 30))
+	if u.Len() != 20 || u.Contains(15) {
+		t.Errorf("disjoint union Len=%d Contains(15)=%v", u.Len(), u.Contains(15))
+	}
+
+	// All is the identity for ∩ and absorbs ∪.
+	ids := RowIndices([]int{3, 9})
+	if got := All.Intersect(ids); got.Len() != 2 || !got.Contains(9) {
+		t.Errorf("All ∩ ids = %v", got.Indices())
+	}
+	if got := ids.Intersect(All); got.Len() != 2 {
+		t.Errorf("ids ∩ All = %v", got.Indices())
+	}
+	if !ids.Union(All).IsAll() || !All.Union(ids).IsAll() {
+		t.Error("union with All must be All")
+	}
+
+	// Empty is the identity for ∪ and absorbs ∩.
+	if !ids.Intersect(RowSet{}).IsEmpty() || !(RowSet{}).Intersect(ids).IsEmpty() {
+		t.Error("intersection with empty must be empty")
+	}
+	if got := ids.Union(RowSet{}); got.Len() != 2 {
+		t.Errorf("ids ∪ empty = %v", got.Indices())
+	}
+
+	// Mixed representations: bitmap ∩ range narrows to the overlap.
+	if got := a.Intersect(RowRange(100, 110)).Indices(); len(got) != 5 || got[0] != 100 {
+		t.Errorf("bitmap ∩ range = %v", got)
+	}
+	// A range covering the other operand absorbs the union.
+	if s, e, ok := RowRange(0, 1000).Union(ids).AsRange(); !ok || s != 0 || e != 1000 {
+		t.Errorf("covering-range union = [%d,%d) ok=%v", s, e, ok)
+	}
+	// Algebra results normalize: intersecting two overlapping ranges of
+	// bitmaps that leave a contiguous run must come back dense.
+	c := rowSetFromSorted(evens)
+	if got := c.Intersect(RowRange(100, 101)); got.Len() != 1 {
+		t.Errorf("singleton intersect = %v", got.Indices())
+	}
+	// A large range with a nearby outlier unions through the word-wise
+	// path (no 100k-id materialization of the range).
+	u = RowRange(0, 100_000).Union(RowIndices([]int{200_000}))
+	if u.Len() != 100_001 || !u.Contains(99_999) || !u.Contains(200_000) || u.Contains(150_000) {
+		t.Errorf("range∪outlier: len=%d contains(99999,200000,150000)=%v,%v,%v",
+			u.Len(), u.Contains(99_999), u.Contains(200_000), u.Contains(150_000))
+	}
+	// A faraway outlier makes the combined span too sparse for a bitmap;
+	// the fallback merge must still be exact.
+	u = RowRange(0, 10).Union(RowIndices([]int{1 << 30}))
+	if u.Len() != 11 || !u.Contains(9) || !u.Contains(1<<30) {
+		t.Errorf("sparse range∪outlier: len=%d", u.Len())
+	}
+}
+
 func TestRowSetIndicesCopies(t *testing.T) {
 	ids := []int{1, 2, 3}
 	s := RowIndices(ids)

@@ -9,17 +9,23 @@ import (
 )
 
 // assertScanRectEquiv checks ScanRect against the linear predicate scan
-// on one rectangle: same rows, same order.
+// on one rectangle: same rows, same order. The zero Rect is the one
+// deliberate divergence from the literal predicate translation — it
+// means "no restriction", agreeing with Scan's empty predicate list.
 func assertScanRectEquiv(t *testing.T, tb *Table, r geom.Rect, label string) {
 	t.Helper()
 	got, err := tb.ScanRect("x", "y", r)
 	if err != nil {
 		t.Fatalf("%s: ScanRect: %v", label, err)
 	}
-	want, err := tb.Scan([]Pred{
+	preds := []Pred{
 		{Column: "x", Min: r.MinX, Max: r.MaxX},
 		{Column: "y", Min: r.MinY, Max: r.MaxY},
-	})
+	}
+	if r == (geom.Rect{}) {
+		preds = nil
+	}
+	want, err := tb.Scan(preds)
 	if err != nil {
 		t.Fatalf("%s: Scan: %v", label, err)
 	}
@@ -99,7 +105,7 @@ func TestScanRectMatchesLinearScan(t *testing.T) {
 		}
 
 		rects := []geom.Rect{
-			{},                                   // zero Rect: in the store a literal point query at the origin
+			{},                                   // zero Rect: "no restriction", every row incl. non-finite
 			{MinX: 5, MinY: 5, MaxX: 4, MaxY: 4}, // empty (inverted)
 			{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9}, // covers everything
 			{MinX: 200, MinY: 200, MaxX: 300, MaxY: 300},   // fully outside the data
@@ -170,6 +176,297 @@ func TestScanRectMatchesLinearScan(t *testing.T) {
 	}
 }
 
+// assertFilteredEquiv checks ScanRectWhere against the linear predicate
+// scan — Scan with the rectangle folded into the predicate list is the
+// reference implementation, since the two are documented row-for-row
+// equivalent. The result is additionally round-tripped through each
+// RowSet representation (ids, bitmap, and the auto-chosen one) to pin
+// that iteration order, length, and membership agree across all three.
+func assertFilteredEquiv(t *testing.T, tb *Table, r geom.Rect, preds []Pred, label string) {
+	t.Helper()
+	got, st, err := tb.ScanRectWhere("x", "y", r, preds)
+	if err != nil {
+		t.Fatalf("%s: ScanRectWhere: %v", label, err)
+	}
+	var ref []Pred
+	if r != (geom.Rect{}) {
+		ref = append(ref,
+			Pred{Column: "x", Min: r.MinX, Max: r.MaxX},
+			Pred{Column: "y", Min: r.MinY, Max: r.MaxY},
+		)
+	}
+	ref = append(ref, preds...)
+	want, err := tb.Scan(ref)
+	if err != nil {
+		t.Fatalf("%s: Scan: %v", label, err)
+	}
+	g, w := got.Indices(), want.Indices()
+	if len(g) != len(w) {
+		t.Fatalf("%s over %v preds %v: ScanRectWhere %d rows, linear %d rows (stats %+v)",
+			label, r, preds, len(g), len(w), st)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s over %v preds %v: row %d: ScanRectWhere %d, linear %d",
+				label, r, preds, i, g[i], w[i])
+		}
+	}
+	if st.CellsPruned > st.CellsTouched {
+		t.Fatalf("%s: pruned %d of %d touched cells", label, st.CellsPruned, st.CellsTouched)
+	}
+	// Representation round-trip: the same row set spelled as explicit
+	// ids, as a bitmap, and as whatever the chooser picked must agree on
+	// every accessor.
+	reps := []RowSet{got, RowIndices(append([]int(nil), w...))}
+	if len(w) > 0 {
+		reps = append(reps, RowSet{bm: bitmapFromSorted(w), end: -1})
+	}
+	for ri, rep := range reps {
+		if rep.Len() != len(w) {
+			t.Fatalf("%s rep %d: Len %d, want %d", label, ri, rep.Len(), len(w))
+		}
+		i := 0
+		rep.ForEach(func(row int) {
+			if i < len(w) && row != w[i] {
+				t.Fatalf("%s rep %d: ForEach[%d] = %d, want %d", label, ri, i, row, w[i])
+			}
+			i++
+		})
+		if i != len(w) {
+			t.Fatalf("%s rep %d: ForEach visited %d rows, want %d", label, ri, i, len(w))
+		}
+		if len(w) > 0 {
+			if lo, _ := rep.Min(); lo != w[0] {
+				t.Fatalf("%s rep %d: Min %d, want %d", label, ri, lo, w[0])
+			}
+			if hi, _ := rep.Max(); hi != w[len(w)-1] {
+				t.Fatalf("%s rep %d: Max %d, want %d", label, ri, hi, w[len(w)-1])
+			}
+			if !rep.Contains(w[len(w)/2]) {
+				t.Fatalf("%s rep %d: Contains(%d) = false", label, ri, w[len(w)/2])
+			}
+		}
+	}
+}
+
+// TestScanRectFilteredMatchesLinearScan is the predicate-pushdown
+// property test: on random 4-column tables — with NaN values injected
+// into the filter columns as well as the coordinate pair — a filtered
+// index probe must return exactly the rows of the linear predicate scan
+// for random viewports × random predicate sets, across indexed and
+// unindexed tables, appended tails, and all three RowSet
+// representations.
+func TestScanRectFilteredMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	randPred := func(col string, n int) Pred {
+		switch rng.Intn(5) {
+		case 0: // selective band
+			lo := rng.Float64() * 100
+			return Pred{Column: col, Min: lo, Max: lo + rng.Float64()*5}
+		case 1: // wide band
+			lo := rng.Float64()*100 - 20
+			return Pred{Column: col, Min: lo, Max: lo + rng.Float64()*120}
+		case 2: // half-open
+			return Pred{Column: col, Min: rng.Float64() * 100, Max: math.Inf(1)}
+		case 3: // NaN bound = unbounded on that side
+			return Pred{Column: col, Min: math.NaN(), Max: rng.Float64() * 100}
+		default: // empty (inverted): matches only NaN rows
+			return Pred{Column: col, Min: 60, Max: 40}
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(3000)
+		if trial == 0 {
+			n = 0
+		}
+		xs, ys := randomPoints(rng, n)
+		// Two attribute columns: a correlates with position (so zone
+		// maps actually prune), b is independent noise.
+		as := make([]float64, n)
+		bs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			as[i] = (xs[i]+ys[i])/2 + rng.NormFloat64()*3
+			bs[i] = rng.Float64() * 100
+		}
+		// Dirty rows in every column on some trials.
+		if trial%3 == 1 && n > 0 {
+			for i := 0; i < n/40+1; i++ {
+				switch j := rng.Intn(n); i % 4 {
+				case 0:
+					as[j] = math.NaN()
+				case 1:
+					bs[j] = math.NaN()
+				case 2:
+					as[j] = math.Inf(1 - 2*(j%2))
+				default:
+					xs[j] = math.NaN()
+				}
+			}
+		}
+		tb, err := NewTable("t", "x", "y", "a", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.BulkLoad(xs, ys, as, bs); err != nil {
+			t.Fatal(err)
+		}
+		indexed := trial%2 == 0
+		if indexed {
+			if err := tb.IndexOn("x", "y"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		label := "filtered-fallback"
+		if indexed {
+			label = "filtered-indexed"
+		}
+		rects := []geom.Rect{
+			{}, // no viewport: pure attribute filtering over the grid
+			{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9},
+			{MinX: 20, MinY: 20, MaxX: 70, MaxY: 70},
+			{MinX: math.NaN(), MinY: 10, MaxX: 90, MaxY: math.NaN()},
+		}
+		for q := 0; q < 6; q++ {
+			rects = append(rects, geom.NewRect(
+				geom.Pt(rng.Float64()*120-10, rng.Float64()*120-10),
+				geom.Pt(rng.Float64()*120-10, rng.Float64()*120-10),
+			))
+		}
+		predSets := [][]Pred{
+			nil,
+			{randPred("a", n)},
+			{randPred("a", n), randPred("b", n)},
+			{randPred("a", n), randPred("b", n), randPred("x", n)},
+			{{Column: "a", Min: math.NaN(), Max: math.NaN()}}, // fully unbounded
+		}
+		for _, r := range rects {
+			for _, preds := range predSets {
+				assertFilteredEquiv(t, tb, r, preds, label)
+			}
+		}
+		// Appended tails are unindexed and must take the full-predicate
+		// linear tail path.
+		if indexed && n > 0 {
+			for i := 0; i < 40; i++ {
+				v := rng.Float64()*150 - 25
+				if err := tb.Append(v, rng.Float64()*150-25, v+rng.NormFloat64(), rng.Float64()*100); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, r := range rects {
+				for _, preds := range predSets {
+					assertFilteredEquiv(t, tb, r, preds, label+"+appended-tail")
+				}
+			}
+		}
+		// Unknown filter column errors.
+		if _, _, err := tb.ScanRectWhere("x", "y", geom.Rect{MaxX: 1, MaxY: 1}, []Pred{{Column: "zzz"}}); err == nil {
+			t.Fatal("unknown filter column: want error")
+		}
+	}
+}
+
+// TestZoneMapsPrune pins that zone maps actually prune: on a spatially
+// correlated column, a selective filter must discard most touched cells
+// without reading their rows, and the stats must say so.
+func TestZoneMapsPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 60_000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	ms := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+		ms[i] = xs[i] + ys[i] // perfectly correlated with position
+	}
+	tb, _ := NewTable("t", "x", "y", "m")
+	if err := tb.BulkLoad(xs, ys, ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.IndexOn("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	// m in [0, 50] selects the lower-left triangle; cells in the upper
+	// right half must be pruned without a row test.
+	rows, st, err := tb.ScanRectWhere("x", "y", geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		[]Pred{{Column: "m", Min: 0, Max: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IndexProbe {
+		t.Fatal("expected an index probe")
+	}
+	if st.CellsPruned == 0 || st.CellsPruned < st.CellsTouched/4 {
+		t.Errorf("zone maps pruned %d of %d cells, want at least a quarter", st.CellsPruned, st.CellsTouched)
+	}
+	if st.CellsBulk == 0 {
+		t.Errorf("no cell was bulk-emitted; deep-interior cells with m-range inside [0,50] should be")
+	}
+	if rows.IsEmpty() {
+		t.Fatal("filter matched nothing")
+	}
+	// The same call without an index agrees (sanity anchor for the ratio).
+	tb2, _ := NewTable("t2", "x", "y", "m")
+	if err := tb2.BulkLoad(xs, ys, ms); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := tb2.ScanRectWhere("x", "y", geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		[]Pred{{Column: "m", Min: 0, Max: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != want.Len() {
+		t.Fatalf("indexed %d rows, fallback %d", rows.Len(), want.Len())
+	}
+}
+
+// TestAllRowsConventionWithAppendedTail is the regression test for the
+// Scan/ScanRect "all rows" agreement: with rows appended after the index
+// build, Scan with an empty predicate list and ScanRect with the zero
+// Rect must BOTH answer with the dense all-rows range — tail included —
+// rather than one taking the indexed path (which would return ids and,
+// before the fix, read the zero Rect as a point query at the origin).
+func TestAllRowsConventionWithAppendedTail(t *testing.T) {
+	tb, _ := NewTable("t", "x", "y")
+	if err := tb.BulkLoad([]float64{0, 1, 2}, []float64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.IndexOn("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	// Tail rows deliberately outside the indexed extent, plus one NaN.
+	if err := tb.Append(500, -500); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(math.NaN(), 3); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := tb.Scan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rect, err := tb.ScanRect("x", "y", geom.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rows := range map[string]RowSet{"Scan(empty)": scan, "ScanRect(zero)": rect} {
+		start, end, ok := rows.AsRange()
+		if !ok || start != 0 || end != 5 {
+			t.Errorf("%s = range[%d,%d) ok=%v, want the dense all-rows range [0,5) incl. the appended tail", name, start, end, ok)
+		}
+	}
+	// The filtered spelling agrees too: zero Rect + no preds from
+	// ScanRectWhere is the same fast path.
+	where, _, err := tb.ScanRectWhere("x", "y", geom.Rect{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start, end, ok := where.AsRange(); !ok || start != 0 || end != 5 {
+		t.Errorf("ScanRectWhere(zero, nil) = range[%d,%d) ok=%v, want [0,5)", start, end, ok)
+	}
+}
+
 func TestScanRectFullExtentIsDenseRange(t *testing.T) {
 	tb, _ := NewTable("t", "x", "y")
 	xs, ys := randomPoints(rand.New(rand.NewSource(3)), 1000)
@@ -213,9 +510,9 @@ func TestIndexOnRebuildAbsorbsAppends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := rows.AsRange(); ok {
-		t.Fatal("appended tail should force the explicit-ids path before the rebuild")
-	}
+	// Pre-rebuild the probe walks cells plus the appended tail; the
+	// result happens to be the contiguous run [0, 10), which the
+	// representation chooser collapses to a dense range.
 	if rows.Len() != 10 {
 		t.Fatalf("pre-rebuild probe found %d rows, want 10", rows.Len())
 	}

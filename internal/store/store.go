@@ -65,6 +65,12 @@ type Table struct {
 type tableCounters struct {
 	indexProbes   atomic.Int64 // ScanRect answered from a spatial index
 	scanFallbacks atomic.Int64 // ScanRect fell back to a linear scan
+
+	// Zone-map counters, accumulated by ScanRectWhere calls that carried
+	// at least one residual predicate.
+	filteredProbes   atomic.Int64 // filtered probes answered from an index
+	zoneCellsTouched atomic.Int64 // cells considered by filtered probes
+	zoneCellsPruned  atomic.Int64 // cells discarded wholesale by zone maps
 }
 
 // tableData is one immutable generation of a table: column storage, row
@@ -181,7 +187,7 @@ func (t *Table) BulkLoad(cols ...[]float64) error {
 	defer t.mu.Unlock()
 	var indexes []*rectIndex
 	for _, p := range t.indexPairs {
-		if ix := buildRectIndex(p[0], p[1], fresh[p[0]], fresh[p[1]], n); ix != nil {
+		if ix := buildRectIndex(p[0], p[1], fresh, n); ix != nil {
 			indexes = append(indexes, ix)
 		}
 	}
@@ -235,7 +241,7 @@ func (t *Table) IndexOn(xCol, yCol string) error {
 			indexes = append(indexes, old)
 		}
 	}
-	if ix := buildRectIndex(xi, yi, d.cols[xi], d.cols[yi], d.n); ix != nil {
+	if ix := buildRectIndex(xi, yi, d.cols, d.n); ix != nil {
 		indexes = append(indexes, ix)
 	}
 	t.data = &tableData{cols: d.cols, n: d.n, indexes: indexes}
@@ -291,33 +297,92 @@ func (t *Table) Scan(preds []Pred) (RowSet, error) {
 	return rowSetFromSorted(scanShards(cols, preds, d.n)), nil
 }
 
+// ScanStats describes how one ScanRect/ScanRectWhere call was answered,
+// for the query layer's pruning report and the /metrics counters. Cell
+// counts are zero on the fallback (linear) path and on the all-rows and
+// full-extent fast paths, which never touch cells at all.
+type ScanStats struct {
+	// IndexProbe is true when a grid spatial index answered the call.
+	IndexProbe bool
+	// CellsTouched counts grid cells the rectangle overlapped.
+	CellsTouched int
+	// CellsPruned counts cells discarded wholesale because a zone map
+	// proved no row in them can satisfy the residual predicates.
+	CellsPruned int
+	// CellsBulk counts cells whose rows were emitted without any
+	// per-row test (geometrically covered and zone-covered).
+	CellsBulk int
+	// RowsExamined counts rows tested individually (boundary ring,
+	// zone-inconclusive cells, extras, and the appended tail).
+	RowsExamined int
+}
+
+// unboundedRect matches every row: each comparison against ±Inf bounds
+// is vacuous, including for rows with NaN or ±Inf coordinates.
+var unboundedRect = geom.Rect{
+	MinX: math.Inf(-1), MinY: math.Inf(-1),
+	MaxX: math.Inf(1), MaxY: math.Inf(1),
+}
+
 // ScanRect returns the rows whose (xCol, yCol) projection lies inside r
-// (boundary inclusive, like Scan's range predicates). When the pair has
-// a spatial index the answer is an index probe: a rectangle covering the
-// whole data extent comes back as a dense range without touching any
-// per-row data, and smaller rectangles read only the grid cells the
-// viewport overlaps. Without an index it degrades to the sharded linear
-// scan.
-//
-// ScanRect is row-for-row equivalent to Scan with the two corresponding
-// range predicates — including IEEE edge cases: an empty rectangle
-// selects no finite row, but rows with NaN coordinates compare false
-// against every bound and therefore match any rectangle, exactly as
-// they match any Scan predicate.
+// (boundary inclusive, like Scan's range predicates). It is
+// ScanRectWhere with no residual predicates; see there for the rectangle
+// conventions.
 func (t *Table) ScanRect(xCol, yCol string, r geom.Rect) (RowSet, error) {
+	rows, _, err := t.ScanRectWhere(xCol, yCol, r, nil)
+	return rows, err
+}
+
+// ScanRectWhere returns the rows whose (xCol, yCol) projection lies
+// inside r (boundary inclusive) AND that satisfy every residual
+// predicate, evaluated against one consistent snapshot. When the pair
+// has a spatial index the answer is an index probe: per-cell zone maps
+// prune cells no row of which can match and bulk-emit cells every row of
+// which must match, so residual predicates are evaluated per row only on
+// boundary cells, zone-inconclusive cells, non-finite extras, and the
+// appended tail. Without an index it degrades to the sharded linear
+// scan with the rectangle folded into the predicate list.
+//
+// Rectangle conventions, shared with Scan:
+//
+//   - The zero Rect means "no viewport restriction" — the same all-rows
+//     answer (a dense range over the snapshot, appended tail included)
+//     that Scan returns for an empty predicate list. A degenerate point
+//     query at the origin is spelled {MinX: 0, MinY: 0, MaxX: 0, MaxY:
+//     math.Copysign(0, -1)} — any rectangle with at least one non-zero
+//     bit — or more naturally via Scan predicates.
+//   - NaN bounds (in r or in a predicate) never exclude anything: every
+//     comparison against NaN is false, exactly how Scan's predicates
+//     treat it, so they fold to the matching infinity.
+//   - Rows with NaN coordinates or NaN predicate-column values compare
+//     false against every bound and therefore match, exactly as in
+//     Scan. ScanRectWhere is row-for-row equivalent to Scan with the
+//     corresponding range predicates.
+func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
+	var st ScanStats
 	xi, ok := t.colIdx[xCol]
 	if !ok {
-		return RowSet{}, fmt.Errorf("store: table %q column %q: %w", t.name, xCol, ErrNotFound)
+		return RowSet{}, st, fmt.Errorf("store: table %q column %q: %w", t.name, xCol, ErrNotFound)
 	}
 	yi, ok := t.colIdx[yCol]
 	if !ok {
-		return RowSet{}, fmt.Errorf("store: table %q column %q: %w", t.name, yCol, ErrNotFound)
+		return RowSet{}, st, fmt.Errorf("store: table %q column %q: %w", t.name, yCol, ErrNotFound)
 	}
-	// A NaN rectangle bound never excludes anything — every comparison
-	// against NaN is false, which is exactly how Scan's predicates treat
-	// it. Fold NaN to the matching infinity so the geometric machinery
-	// (Intersects, cell clamping) sees the same "unbounded" meaning and
-	// the Scan equivalence holds for hostile viewports too.
+	pi := make([]int, len(preds))
+	for i, p := range preds {
+		ci, ok := t.colIdx[p.Column]
+		if !ok {
+			return RowSet{}, st, fmt.Errorf("store: table %q column %q: %w", t.name, p.Column, ErrNotFound)
+		}
+		pi[i] = ci
+	}
+	// The zero Rect selects everything (see the conventions above).
+	if r == (geom.Rect{}) {
+		r = unboundedRect
+	}
+	// Fold NaN bounds to the matching infinity so the geometric
+	// machinery (Intersects, cell clamping, zone comparisons) sees the
+	// same "unbounded" meaning the predicate comparisons give them.
 	if math.IsNaN(r.MinX) {
 		r.MinX = math.Inf(-1)
 	}
@@ -330,32 +395,74 @@ func (t *Table) ScanRect(xCol, yCol string, r geom.Rect) (RowSet, error) {
 	if math.IsNaN(r.MaxY) {
 		r.MaxY = math.Inf(1)
 	}
+	preds = normalizePreds(preds)
 	d := t.snapshot()
+	// All-rows fast path: an unbounded rectangle with no predicates
+	// matches every row — NaN/±Inf coordinates and the appended tail
+	// included — as a dense range, agreeing with Scan(nil).
+	if len(preds) == 0 && r == unboundedRect {
+		return RowRange(0, d.n), st, nil
+	}
 	ix := d.indexFor(xi, yi)
 	if ix == nil {
 		t.counters.scanFallbacks.Add(1)
-		cols := [][]float64{d.cols[xi], d.cols[yi]}
-		preds := []Pred{
-			{Column: xCol, Min: r.MinX, Max: r.MaxX},
-			{Column: yCol, Min: r.MinY, Max: r.MaxY},
+		cols := make([][]float64, 0, 2+len(preds))
+		cols = append(cols, d.cols[xi], d.cols[yi])
+		all := make([]Pred, 0, 2+len(preds))
+		all = append(all,
+			Pred{Column: xCol, Min: r.MinX, Max: r.MaxX},
+			Pred{Column: yCol, Min: r.MinY, Max: r.MaxY},
+		)
+		for i, p := range preds {
+			cols = append(cols, d.cols[pi[i]])
+			all = append(all, p)
 		}
-		return rowSetFromSorted(scanShards(cols, preds, d.n)), nil
+		return rowSetFromSorted(scanShards(cols, all, d.n)), st, nil
 	}
+	st.IndexProbe = true
 	t.counters.indexProbes.Add(1)
-	if ix.n == d.n && ix.coversAll(r) {
-		return RowRange(0, d.n), nil
+	if len(preds) == 0 && ix.n == d.n && ix.coversAll(r) {
+		return RowRange(0, d.n), st, nil
 	}
-	xs, ys := d.cols[xi], d.cols[yi]
-	ids := ix.collect(xs, ys, r)
+	ids := ix.collect(d.cols, r, preds, pi, &st)
 	// Rows appended after the index was built are unindexed; filter them
-	// linearly. They are larger than every indexed id, so the result
-	// stays sorted.
+	// linearly with the full predicate list. They are larger than every
+	// indexed id, so the result stays sorted.
+	xs, ys := d.cols[xi], d.cols[yi]
 	for row := ix.n; row < d.n; row++ {
-		if inRect(xs[row], ys[row], r) {
+		st.RowsExamined++
+		if inRect(xs[row], ys[row], r) && matchPreds(d.cols, pi, preds, row) {
 			ids = append(ids, row)
 		}
 	}
-	return rowSetFromSorted(ids), nil
+	if len(preds) > 0 {
+		t.counters.filteredProbes.Add(1)
+		t.counters.zoneCellsTouched.Add(int64(st.CellsTouched))
+		t.counters.zoneCellsPruned.Add(int64(st.CellsPruned))
+	}
+	return rowSetFromSorted(ids), st, nil
+}
+
+// normalizePreds folds NaN predicate bounds to the matching infinity
+// (both mean "unbounded" under the comparison semantics), copying the
+// slice only when a fold is needed.
+func normalizePreds(preds []Pred) []Pred {
+	for i, p := range preds {
+		if !math.IsNaN(p.Min) && !math.IsNaN(p.Max) {
+			continue
+		}
+		out := append([]Pred(nil), preds...)
+		for j := i; j < len(out); j++ {
+			if math.IsNaN(out[j].Min) {
+				out[j].Min = math.Inf(-1)
+			}
+			if math.IsNaN(out[j].Max) {
+				out[j].Max = math.Inf(1)
+			}
+		}
+		return out
+	}
+	return preds
 }
 
 // scanShards evaluates preds over rows [0, n), splitting the row space
@@ -441,6 +548,10 @@ func (t *Table) Points(xCol, yCol string, rows RowSet) ([]geom.Point, error) {
 		return nil, err
 	}
 	pts := make([]geom.Point, 0, rows.Len())
+	if rows.bm != nil {
+		rows.bm.forEach(func(r int) { pts = append(pts, geom.Pt(xs[r], ys[r])) })
+		return pts, nil
+	}
 	for _, r := range rows.ids {
 		pts = append(pts, geom.Pt(xs[r], ys[r]))
 	}
@@ -468,6 +579,10 @@ func (t *Table) Gather(col string, rows RowSet) ([]float64, error) {
 		return nil, err
 	}
 	out := make([]float64, 0, rows.Len())
+	if rows.bm != nil {
+		rows.bm.forEach(func(r int) { out = append(out, c[r]) })
+		return out, nil
+	}
 	for _, r := range rows.ids {
 		out = append(out, c[r])
 	}
@@ -717,6 +832,15 @@ type IndexStats struct {
 	// Fallbacks counts ScanRect calls that fell back to a linear scan,
 	// including by since-dropped tables (monotonic).
 	Fallbacks int64
+	// FilteredProbes counts index probes that carried at least one
+	// residual predicate (monotonic, survives drops).
+	FilteredProbes int64
+	// ZoneCellsTouched and ZoneCellsPruned count, across filtered
+	// probes, the grid cells considered and the cells discarded
+	// wholesale by zone maps (monotonic, survive drops). Their ratio is
+	// the zone-map prune rate.
+	ZoneCellsTouched int64
+	ZoneCellsPruned  int64
 }
 
 // IndexStats returns a point-in-time aggregate over all tables.
@@ -741,12 +865,18 @@ func (s *Store) IndexStats() IndexStats {
 			st.IndexedRows += int64(ix.n)
 			st.Cells += int64(ix.cells())
 		}
-		st.Probes += t.counters.indexProbes.Load()
-		st.Fallbacks += t.counters.scanFallbacks.Load()
+		st.addCounters(t.counters)
 	}
 	for _, c := range retired {
-		st.Probes += c.indexProbes.Load()
-		st.Fallbacks += c.scanFallbacks.Load()
+		st.addCounters(c)
 	}
 	return st
+}
+
+func (st *IndexStats) addCounters(c *tableCounters) {
+	st.Probes += c.indexProbes.Load()
+	st.Fallbacks += c.scanFallbacks.Load()
+	st.FilteredProbes += c.filteredProbes.Load()
+	st.ZoneCellsTouched += c.zoneCellsTouched.Load()
+	st.ZoneCellsPruned += c.zoneCellsPruned.Load()
 }

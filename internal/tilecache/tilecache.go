@@ -44,6 +44,13 @@ type Key struct {
 	Z, X, Y int
 	// Size is the tile edge in pixels.
 	Size int
+	// Filters is the canonical encoding of the request's pushed-down
+	// predicates (sorted, normalized by the server), empty for an
+	// unfiltered tile. Two requests with the same predicate set in
+	// different spellings must canonicalize to the same string, and any
+	// differing predicate set must differ here — otherwise one filter's
+	// pixels would surface under another's key.
+	Filters string
 }
 
 const numShards = 16
@@ -114,6 +121,8 @@ func (c *Cache) shardOf(k Key) *shard {
 	h.Write([]byte(k.Table))
 	h.Write([]byte{0})
 	h.Write([]byte(k.Sample))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Filters))
 	var b [20]byte
 	for i, v := range [5]int{k.Z, k.X, k.Y, k.Size, int(uint32(k.Epoch))} {
 		b[4*i] = byte(v)

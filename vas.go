@@ -56,6 +56,16 @@ type Rect = geom.Rect
 // Pt constructs a Point.
 func Pt(x, y float64) Point { return geom.Pt(x, y) }
 
+// Pred is a conjunctive range predicate over a named column — the shape
+// dashboards emit for attribute slicing (time window, magnitude band).
+// A row matches when Min <= value <= Max; NaN bounds mean unbounded.
+type Pred = store.Pred
+
+// ScanStats reports how a query's row selection was answered: index
+// probe vs linear fallback, and how many grid cells the zone maps
+// pruned for filtered queries.
+type ScanStats = store.ScanStats
+
 // Options configures Build.
 type Options struct {
 	// K is the sample size (required, positive).
@@ -412,15 +422,28 @@ type QueryResult struct {
 	SampleSize int
 	// PredictedTime is the latency-model estimate for this answer.
 	PredictedTime time.Duration
+	// Scan reports how the rows were selected (index probe, zone-map
+	// pruning for filtered queries).
+	Scan ScanStats
 }
 
 // Query answers a visualization request over table within the latency
 // budget (0 means the 2s interactive limit), restricted to viewport (zero
 // Rect = full extent).
 func (c *Catalog) Query(table string, viewport Rect, budget time.Duration) (*QueryResult, error) {
+	return c.QueryFiltered(table, viewport, nil, budget)
+}
+
+// QueryFiltered answers a visualization request restricted to viewport
+// AND every filter predicate, pushed down into the same index probe the
+// viewport uses (per-cell zone maps prune cells no matching row can
+// occupy). Filter columns are resolved against the served sample table —
+// "x", "y", and "density" for samples built by BuildSamples with
+// density embedding.
+func (c *Catalog) QueryFiltered(table string, viewport Rect, filters []Pred, budget time.Duration) (*QueryResult, error) {
 	resp, err := c.planner.Plan(query.Request{
 		Table: table, XCol: "x", YCol: "y",
-		Viewport: viewport, Budget: budget,
+		Viewport: viewport, Filters: filters, Budget: budget,
 	})
 	if err != nil {
 		return nil, err
@@ -430,6 +453,7 @@ func (c *Catalog) Query(table string, viewport Rect, budget time.Duration) (*Que
 		Counts:        resp.Values,
 		SampleSize:    resp.Sample.Size,
 		PredictedTime: resp.PredictedTime,
+		Scan:          resp.Scan,
 	}, nil
 }
 
@@ -445,5 +469,6 @@ func (c *Catalog) QueryExact(table string, viewport Rect) (*QueryResult, error) 
 	return &QueryResult{
 		Points:        resp.Points,
 		PredictedTime: resp.PredictedTime,
+		Scan:          resp.Scan,
 	}, nil
 }

@@ -296,6 +296,62 @@ func TestCatalogEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCatalogQueryFiltered: attribute filters ride down into the sample
+// scan through the public façade, compose with the viewport, and report
+// how the probe was answered.
+func TestCatalogQueryFiltered(t *testing.T) {
+	data := skewedData(20000, 13)
+	cat := vas.NewCatalog()
+	if err := cat.LoadTable("gps", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.BuildSamples("gps", data, []int{500}, true, vas.Options{Passes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	bounds := boundsOf(data)
+	cx := bounds.Center().X
+	unfiltered, err := cat.Query("gps", vas.Rect{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cat.QueryFiltered("gps", vas.Rect{},
+		[]vas.Pred{{Column: "x", Min: bounds.MinX, Max: cx}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 || len(res.Points) >= len(unfiltered.Points) {
+		t.Fatalf("x-half filter kept %d of %d points", len(res.Points), len(unfiltered.Points))
+	}
+	for _, p := range res.Points {
+		if p.X > cx {
+			t.Errorf("point %v escapes the x filter", p)
+		}
+	}
+	if len(res.Counts) != len(res.Points) {
+		t.Errorf("density counts desynced: %d counts for %d points", len(res.Counts), len(res.Points))
+	}
+	if !res.Scan.IndexProbe {
+		t.Error("catalog samples are indexed; the filtered query should probe")
+	}
+	// Filter + viewport compose; density filters hit the §V counts.
+	vp, err := vas.Zoom(bounds, bounds.Center(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = cat.QueryFiltered("gps", vp, []vas.Pred{{Column: "density", Min: 2, Max: 1e18}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Points {
+		if !vp.Contains(p) {
+			t.Fatalf("point %v outside viewport", p)
+		}
+		if res.Counts[i] < 2 {
+			t.Errorf("density filter leaked count %g", res.Counts[i])
+		}
+	}
+}
+
 func boundsOf(pts []vas.Point) vas.Rect {
 	b := vas.Rect{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
 	for _, p := range pts {
