@@ -7,6 +7,9 @@ GO ?= go
 # zero-row-id-allocation projection, and the predicate-pushdown probe
 # (zone-map pruning) vs the filtered linear baseline.
 SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered
+# The cold-start benchmarks (root package): bringing a 1M-row catalog
+# up by full offline rebuild vs restoring it from a snapshot file.
+SNAPSHOT_BENCH ?= ColdStart
 
 .PHONY: all build test race bench bench-smoke fmt vet fuzz-smoke
 
@@ -27,20 +30,24 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# bench runs the serving benchmarks and commits the numbers as
-# BENCH_PR3.json (the repo's benchmark trajectory; BENCH_PR2.json is the
-# previous point on it).
+# bench runs the serving + cold-start benchmarks and commits the
+# numbers as BENCH_PR4.json (the repo's benchmark trajectory;
+# BENCH_PR2.json / BENCH_PR3.json are the previous points on it).
 bench:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem ./internal/store | tee /tmp/bench_serving.txt
-	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR3.json
-	@echo wrote BENCH_PR3.json
+	$(GO) test -run '^$$' -bench '$(SNAPSHOT_BENCH)' -benchmem . | tee -a /tmp/bench_serving.txt
+	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR4.json
+	@echo wrote BENCH_PR4.json
 
-# bench-smoke is the CI guard: every serving benchmark must still
+# bench-smoke is the CI guard: every committed benchmark must still
 # compile and complete one iteration.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchtime 1x ./internal/store
+	$(GO) test -run '^$$' -bench '$(SNAPSHOT_BENCH)' -benchtime 1x .
 
-# fuzz-smoke gives the RowSet algebra fuzzer a short budget against its
-# checked-in corpus (testdata/fuzz); CI runs it on every push.
+# fuzz-smoke gives the RowSet algebra and snapshot decoder fuzzers a
+# short budget against their checked-in corpora (testdata/fuzz); CI
+# runs it on every push.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRowSetAlgebra -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/snapshot

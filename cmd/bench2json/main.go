@@ -1,6 +1,7 @@
 // Command bench2json converts `go test -bench` text output (read from
 // stdin) into a small JSON document, so benchmark trajectories can be
-// committed and diffed across PRs (`make bench` writes BENCH_PR3.json).
+// committed and diffed across PRs (`make bench` writes the
+// BENCH_PR<N>.json file named in the Makefile).
 package main
 
 import (

@@ -10,6 +10,19 @@
 // format):
 //
 //	vasgen -in data.csv -method vas -k 10000 -density -out sample.csv
+//
+// With -snapshot DIR (vas method only) vasgen additionally assembles a
+// serving catalog — the base table plus the sample it just built, both
+// spatially indexed — and saves it as a snapshot for embedders to
+// restore with vas.Catalog.LoadSnapshot (zero offline work at load):
+//
+//	vasgen -in data.csv -k 10000 -density -out sample.csv -snapshot /var/lib/vas
+//
+// Note the demo servers manage their own snapshot directories: vasserve
+// and vasquery generate their dataset and check the snapshot's
+// provenance against their own flags, so they treat a vasgen-produced
+// snapshot (different table, different data) as stale and rebuild over
+// it. Point them at separate directories.
 package main
 
 import (
@@ -36,10 +49,19 @@ func main() {
 		density = flag.Bool("density", false, "attach §V density counts (vas only)")
 		passes  = flag.Int("passes", 2, "Interchange passes over the data")
 		variant = flag.String("variant", "es", "Interchange variant: es | no-es | es+loc")
+		snapDir = flag.String("snapshot", "", "also save a serving-catalog snapshot (base table + sample) to this directory (vas only)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fail("missing -out")
+	}
+	if *snapDir != "" && *method != "vas" {
+		fail("-snapshot requires -method vas")
+	}
+	if *snapDir != "" && *gen != "" {
+		// The -gen branch only writes a dataset; silently skipping the
+		// snapshot would strand a scripted producer flow.
+		fail("-snapshot requires -in (a snapshot captures a built sample, not a generated dataset)")
 	}
 
 	if *gen != "" {
@@ -81,9 +103,11 @@ func main() {
 				fail("save: %v", err)
 			}
 			fmt.Printf("wrote %d-point vas+density sample (objective %.4g) to %s\n", len(pts), s.Objective, *out)
+			saveSnapshot(*snapDir, d, s, ws.Counts)
 			return
 		}
 		fmt.Printf("vas objective: %.4g after %d pass(es)\n", s.Objective, s.Passes)
+		saveSnapshot(*snapDir, d, s, nil)
 	case "uniform":
 		pts, ids, err = vas.Uniform(d.Points, *k, *seed)
 		if err != nil {
@@ -108,6 +132,28 @@ func main() {
 		fail("save: %v", err)
 	}
 	fmt.Printf("wrote %d-point %s sample to %s\n", len(pts), *method, *out)
+}
+
+// saveSnapshot assembles a serving catalog — base table "data" plus the
+// sample main already built (registered as-is, no second Interchange
+// run), both spatially indexed — and persists it for embedders to
+// restore with vas.Catalog.LoadSnapshot.
+func saveSnapshot(dir string, d *dataset.Dataset, s *vas.Sample, counts []int64) {
+	if dir == "" {
+		return
+	}
+	cat := vas.NewCatalog()
+	if err := cat.LoadTable("data", d.Points); err != nil {
+		fail("snapshot: %v", err)
+	}
+	if err := cat.RegisterSample("data", s, counts); err != nil {
+		fail("snapshot: %v", err)
+	}
+	if err := cat.SaveSnapshot(dir); err != nil {
+		fail("snapshot: %v", err)
+	}
+	fmt.Printf("wrote catalog snapshot (table %q, %d rows, %d-point sample) to %s\n",
+		"data", d.Len(), len(s.Points), dir)
 }
 
 func generate(kind string, n int, seed int64) *dataset.Dataset {

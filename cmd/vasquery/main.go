@@ -21,9 +21,10 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("n", 200_000, "dataset rows")
-		seed  = flag.Int64("seed", 42, "random seed")
-		sizes = flag.String("sizes", "100,1000,5000", "comma-separated sample sizes to prebuild")
+		n       = flag.Int("n", 200_000, "dataset rows")
+		seed    = flag.Int64("seed", 42, "random seed")
+		sizes   = flag.String("sizes", "100,1000,5000", "comma-separated sample sizes to prebuild")
+		snapDir = flag.String("snapshot", "", "catalog snapshot directory: load when present and fresh, else build then save")
 	)
 	flag.Parse()
 	var ks []int
@@ -39,16 +40,35 @@ func main() {
 	fmt.Printf("generating %d-row geolife-like dataset...\n", *n)
 	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: *n, Seed: *seed})
 
-	cat := vas.NewCatalog()
-	if err := cat.LoadTable("gps", d.Points); err != nil {
-		fail(err)
-	}
-	fmt.Printf("building VAS samples %v (offline preprocessing)...\n", ks)
+	opt := vas.Options{Passes: 1}
 	start := time.Now()
-	if err := cat.BuildSamples("gps", d.Points, ks, true, vas.Options{Passes: 1}); err != nil {
-		fail(err)
+	var cat *vas.Catalog
+	if *snapDir != "" {
+		restored := vas.NewCatalog()
+		if err := restored.LoadSnapshot(*snapDir); err == nil &&
+			restored.SnapshotFresh("gps", d.Points, ks, true, opt) {
+			cat = restored
+			fmt.Printf("loaded catalog snapshot from %s in %s (no offline rebuild)\n\n",
+				*snapDir, time.Since(start).Round(time.Millisecond))
+		}
 	}
-	fmt.Printf("samples built in %s\n\n", time.Since(start).Round(time.Millisecond))
+	if cat == nil {
+		cat = vas.NewCatalog()
+		if err := cat.LoadTable("gps", d.Points); err != nil {
+			fail(err)
+		}
+		fmt.Printf("building VAS samples %v (offline preprocessing)...\n", ks)
+		if err := cat.BuildSamples("gps", d.Points, ks, true, opt); err != nil {
+			fail(err)
+		}
+		fmt.Printf("samples built in %s\n\n", time.Since(start).Round(time.Millisecond))
+		if *snapDir != "" {
+			if err := cat.SaveSnapshot(*snapDir); err != nil {
+				fail(err)
+			}
+			fmt.Printf("saved catalog snapshot to %s (the next run cold-starts from it)\n\n", *snapDir)
+		}
+	}
 
 	bounds := vas.Rect{}
 	zoomed, err := vas.Zoom(geomBounds(d), geomBounds(d).Center(), 8)

@@ -9,6 +9,15 @@
 //	curl 'localhost:8080/v1/query?table=gps&budget=1600ms'
 //	curl -o tile.png 'localhost:8080/v1/tile/gps/2/1/1.png?size=256'
 //	curl 'localhost:8080/metrics'
+//
+// With -snapshot DIR the offline cost is paid once: the first start
+// builds the samples and saves a catalog snapshot into DIR, and every
+// later start with the same data and build flags restores it — zero
+// BuildSamples or index-build work on the serving path. A stale
+// snapshot (different data, sizes, or options) or a corrupt file is
+// detected and triggers a rebuild + re-save instead.
+//
+//	vasserve -n 1000000 -sizes 1000,10000 -snapshot /var/lib/vas
 package main
 
 import (
@@ -33,6 +42,7 @@ func main() {
 		sizes   = flag.String("sizes", "100,1000,10000", "comma-separated sample sizes to prebuild")
 		density = flag.Bool("density", true, "attach the §V density embedding to each sample")
 		passes  = flag.Int("passes", 1, "Interchange passes per sample build")
+		snapDir = flag.String("snapshot", "", "catalog snapshot directory: load when present and fresh, else build then save")
 	)
 	flag.Parse()
 	var ks []int
@@ -48,16 +58,12 @@ func main() {
 	fmt.Printf("generating %d-row geolife-like dataset...\n", *n)
 	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: *n, Seed: *seed})
 
-	cat := vas.NewCatalog()
-	if err := cat.LoadTable("gps", d.Points); err != nil {
-		fail(err)
-	}
-	fmt.Printf("building VAS samples %v (offline preprocessing)...\n", ks)
+	opt := vas.Options{Passes: *passes}
 	start := time.Now()
-	if err := cat.BuildSamples("gps", d.Points, ks, *density, vas.Options{Passes: *passes}); err != nil {
-		fail(err)
-	}
-	fmt.Printf("samples built in %s\n", time.Since(start).Round(time.Millisecond))
+	cat, source := loadOrBuild(*snapDir, d, ks, *density, opt)
+	cold := time.Since(start)
+	cat.RecordColdStart(source, cold)
+	fmt.Printf("catalog ready via %s in %s\n", source, cold.Round(time.Millisecond))
 
 	fmt.Printf("serving on %s\n", *addr)
 	fmt.Printf("  GET /v1/tables\n")
@@ -72,6 +78,46 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil {
 		fail(err)
 	}
+}
+
+// loadOrBuild restores the catalog from a fresh snapshot when one is
+// available, and otherwise rebuilds from scratch (saving the result for
+// the next start when a snapshot directory was given). The returned
+// source is "snapshot" or "rebuild", for the cold-start metric.
+func loadOrBuild(snapDir string, d *dataset.Dataset, ks []int, density bool, opt vas.Options) (*vas.Catalog, string) {
+	if snapDir != "" {
+		cat := vas.NewCatalog()
+		err := cat.LoadSnapshot(snapDir)
+		switch {
+		case err == nil && cat.SnapshotFresh("gps", d.Points, ks, density, opt):
+			fmt.Printf("loaded catalog snapshot from %s (no sample or index rebuild)\n", snapDir)
+			return cat, "snapshot"
+		case err == nil:
+			fmt.Printf("snapshot in %s is stale for these flags; rebuilding\n", snapDir)
+		case os.IsNotExist(err):
+			fmt.Printf("no snapshot in %s yet; building\n", snapDir)
+		default:
+			fmt.Fprintf(os.Stderr, "vasserve: snapshot unusable (%v); rebuilding\n", err)
+		}
+	}
+	// Rebuild path: a fresh catalog, so nothing from a stale or partial
+	// snapshot can linger next to the new samples.
+	cat := vas.NewCatalog()
+	if err := cat.LoadTable("gps", d.Points); err != nil {
+		fail(err)
+	}
+	fmt.Printf("building VAS samples %v (offline preprocessing)...\n", ks)
+	if err := cat.BuildSamples("gps", d.Points, ks, density, opt); err != nil {
+		fail(err)
+	}
+	if snapDir != "" {
+		if err := cat.SaveSnapshot(snapDir); err != nil {
+			fmt.Fprintf(os.Stderr, "vasserve: saving snapshot: %v\n", err)
+		} else {
+			fmt.Printf("saved catalog snapshot to %s\n", snapDir)
+		}
+	}
+	return cat, "rebuild"
 }
 
 func fail(err error) {

@@ -1,16 +1,14 @@
 package dataset
 
 import (
-	"bufio"
-	"encoding/binary"
 	"encoding/csv"
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"strconv"
 
+	"repro/internal/binio"
 	"repro/internal/geom"
 )
 
@@ -104,92 +102,91 @@ const (
 	flagHasValues = 1
 )
 
-// WriteBinary writes d in the compact binary format.
+// WriteBinary writes d in the compact binary format (via the shared
+// binio codec — the same primitives the catalog snapshot format uses).
 func WriteBinary(w io.Writer, d *Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
-		return err
-	}
+	bw := binio.NewWriter(w)
+	bw.Raw([]byte(binaryMagic))
 	var flags uint32
 	if d.Values != nil {
 		flags |= flagHasValues
 	}
-	for _, v := range []uint32{binaryVersion, flags} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(d.Points))); err != nil {
-		return err
-	}
-	buf := make([]byte, 16)
+	bw.U32(binaryVersion)
+	bw.U32(flags)
+	bw.U64(uint64(len(d.Points)))
 	for _, p := range d.Points {
-		binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(p.X))
-		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(p.Y))
-		if _, err := bw.Write(buf); err != nil {
-			return err
-		}
+		bw.F64(p.X)
+		bw.F64(p.Y)
 	}
-	if d.Values != nil {
-		for _, v := range d.Values {
-			binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(v))
-			if _, err := bw.Write(buf[0:8]); err != nil {
-				return err
-			}
-		}
+	for _, v := range d.Values {
+		bw.F64(v)
 	}
 	return bw.Flush()
 }
 
-// ReadBinary parses the compact binary format.
+// ReadBinary parses the compact binary format from a stream of unknown
+// size; the header row count is capped but a hostile header can still
+// demand a large allocation. Prefer ReadBinarySized (what LoadFile
+// uses) when the input's size is known.
 func ReadBinary(r io.Reader, name string) (*Dataset, error) {
-	br := bufio.NewReader(r)
+	return ReadBinarySized(r, name, -1)
+}
+
+// ReadBinarySized parses the compact binary format from an input known
+// to hold size bytes: a header that claims more points than the bytes
+// behind it can supply is rejected before anything is allocated. A
+// negative size means unknown.
+func ReadBinarySized(r io.Reader, name string, size int64) (*Dataset, error) {
+	br := binio.NewReader(r, size)
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
+	br.Raw(magic)
+	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("dataset: read magic: %w", err)
 	}
 	if string(magic) != binaryMagic {
 		return nil, fmt.Errorf("dataset: bad magic %q", magic)
 	}
-	var version, flags uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, err
+	version := br.U32()
+	flags := br.U32()
+	n := br.U64()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
 	}
 	if version != binaryVersion {
 		return nil, fmt.Errorf("dataset: unsupported version %d", version)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
-		return nil, err
-	}
-	var n uint64
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
 	}
 	const maxPoints = 1 << 31 // refuse absurd headers rather than OOM
 	if n > maxPoints {
 		return nil, fmt.Errorf("dataset: header claims %d points, limit %d", n, maxPoints)
 	}
+	// With a known size, reject a header whose claimed rows cannot fit
+	// in the bytes behind it before allocating for them.
+	if rem := br.Remaining(); rem >= 0 {
+		need := int64(n) * 16
+		if flags&flagHasValues != 0 {
+			need += int64(n) * 8
+		}
+		if need > rem {
+			return nil, fmt.Errorf("dataset: header claims %d points (%d bytes), %d bytes remain", n, need, rem)
+		}
+	}
 	d := &Dataset{Name: name, Points: make([]geom.Point, n)}
-	buf := make([]byte, 16)
 	for i := range d.Points {
-		if _, err := io.ReadFull(br, buf); err != nil {
+		d.Points[i] = geom.Pt(br.F64(), br.F64())
+		if err := br.Err(); err != nil {
 			return nil, fmt.Errorf("dataset: point %d: %w", i, err)
 		}
-		d.Points[i] = geom.Pt(
-			math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8])),
-			math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16])),
-		)
 	}
 	if flags&flagHasValues != 0 {
 		d.Values = make([]float64, n)
 		for i := range d.Values {
-			if _, err := io.ReadFull(br, buf[0:8]); err != nil {
+			d.Values[i] = br.F64()
+			if err := br.Err(); err != nil {
 				return nil, fmt.Errorf("dataset: value %d: %w", i, err)
 			}
-			d.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8]))
 		}
 	}
 	return d, d.Validate()
@@ -214,7 +211,7 @@ func SaveFile(path string, d *Dataset) error {
 }
 
 // LoadFile reads a dataset from path, choosing the format from the
-// extension.
+// extension. The file size bounds the binary decoder's allocations.
 func LoadFile(path, name string) (*Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -224,7 +221,11 @@ func LoadFile(path, name string) (*Dataset, error) {
 	if hasCSVExt(path) {
 		return ReadCSV(f, name)
 	}
-	return ReadBinary(f, name)
+	size := int64(-1)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	return ReadBinarySized(f, name, size)
 }
 
 func hasCSVExt(path string) bool {

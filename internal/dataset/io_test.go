@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -134,6 +135,31 @@ func TestBinaryRejectsHugeHeader(t *testing.T) {
 	buf.Write([]byte{0, 0, 0, 0, 0, 1, 0, 0})
 	if _, err := ReadBinary(&buf, "huge"); err == nil {
 		t.Error("absurd point count: want error")
+	}
+}
+
+// TestSizedReadRejectsOverclaimingHeader: with a known input size, a
+// header claiming more points than the bytes behind it can hold must be
+// rejected before the points are allocated — even when the claim is
+// under the absolute maxPoints cap.
+func TestSizedReadRejectsOverclaimingHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("VASD")
+	buf.Write([]byte{1, 0, 0, 0})              // version 1
+	buf.Write([]byte{0, 0, 0, 0})              // flags
+	buf.Write([]byte{0, 0, 0, 64, 0, 0, 0, 0}) // n = 2^30, under maxPoints
+	data := buf.Bytes()
+	if _, err := ReadBinarySized(bytes.NewReader(data), "hostile", int64(len(data))); err == nil {
+		t.Error("over-claiming header with known size: want error")
+	}
+	// The same bytes through LoadFile (which stats the file) must also
+	// be rejected up front.
+	path := filepath.Join(t.TempDir(), "hostile.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, "hostile"); err == nil {
+		t.Error("over-claiming header via LoadFile: want error")
 	}
 }
 

@@ -101,7 +101,9 @@ func (m *metrics) record(route string, status int, d time.Duration) {
 }
 
 // write emits the metrics in Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats) {
+// coldSource/coldSeconds describe how the catalog was populated at
+// startup (snapshot load vs full rebuild); empty means not recorded.
+func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats, coldSource string, coldSeconds float64) {
 	routes := make([]string, 0, len(m.requests))
 	for r := range m.requests {
 		routes = append(routes, r)
@@ -129,4 +131,7 @@ func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats) {
 	fmt.Fprintf(w, "vasserve_store_filtered_probes_total %d\n", idx.FilteredProbes)
 	fmt.Fprintf(w, "vasserve_store_zone_cells_touched_total %d\n", idx.ZoneCellsTouched)
 	fmt.Fprintf(w, "vasserve_store_zone_cells_pruned_total %d\n", idx.ZoneCellsPruned)
+	if coldSource != "" {
+		fmt.Fprintf(w, "vasserve_coldstart_seconds{source=%q} %g\n", coldSource, coldSeconds)
+	}
 }

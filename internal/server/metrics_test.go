@@ -38,7 +38,7 @@ func TestHistogramOverflowReportsInf(t *testing.T) {
 		t.Errorf("saturated p99 = %g, want +Inf", got)
 	}
 	var sb strings.Builder
-	m.write(&sb, cacheStats{}, store.IndexStats{})
+	m.write(&sb, cacheStats{}, store.IndexStats{}, "", 0)
 	if !strings.Contains(sb.String(), "vasserve_request_latency_p99_seconds +Inf") {
 		t.Errorf("metrics output hides tail saturation:\n%s", sb.String())
 	}

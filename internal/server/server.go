@@ -88,6 +88,27 @@ type Server struct {
 	boundsMu    sync.RWMutex
 	boundsCache map[string]geom.Rect
 	epochs      map[string]uint64
+
+	// coldMu guards the cold-start record (how the catalog behind this
+	// server was populated, and how long it took), set once at startup.
+	coldMu      sync.Mutex
+	coldSource  string
+	coldSeconds float64
+}
+
+// SetColdStart records how the serving catalog was populated
+// ("snapshot" or "rebuild") and the time it took, for /metrics.
+func (s *Server) SetColdStart(source string, d time.Duration) {
+	s.coldMu.Lock()
+	s.coldSource, s.coldSeconds = source, d.Seconds()
+	s.coldMu.Unlock()
+}
+
+// coldStart returns the recorded cold-start mode and duration.
+func (s *Server) coldStart() (string, float64) {
+	s.coldMu.Lock()
+	defer s.coldMu.Unlock()
+	return s.coldSource, s.coldSeconds
 }
 
 // New returns a server over the given store and planner.
@@ -643,5 +664,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, s.cache.Stats(), s.st.IndexStats())
+	source, seconds := s.coldStart()
+	s.metrics.write(w, s.cache.Stats(), s.st.IndexStats(), source, seconds)
 }

@@ -1,0 +1,310 @@
+package vas_test
+
+// End-to-end tests of catalog persistence (ISSUE 4 acceptance): a
+// catalog saved with SaveSnapshot and restored with LoadSnapshot into a
+// fresh process must serve queries and tiles byte-identical to the
+// rebuilt original with zero BuildSamples/index-build work, stale or
+// corrupt snapshots must be detected, and /metrics must report which
+// cold-start path was taken.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+
+	vas "repro"
+)
+
+// buildOpts are the sample-build options both sides of the snapshot
+// comparison use.
+var snapBuildSizes = []int{50, 200}
+
+func snapBuildOpts() vas.Options { return vas.Options{Passes: 1} }
+
+// newSnapshotCatalog builds the original (rebuilt-from-scratch) catalog.
+func newSnapshotCatalog(t *testing.T, d *dataset.Dataset) *vas.Catalog {
+	t.Helper()
+	cat := vas.NewCatalog()
+	if err := cat.LoadTable("gps", d.Points); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.BuildSamples("gps", d.Points, snapBuildSizes, true, snapBuildOpts()); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestSnapshotServesByteIdentical(t *testing.T) {
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 4000, Seed: 7})
+	orig := newSnapshotCatalog(t, d)
+	dir := t.TempDir()
+	if err := orig.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := vas.NewCatalog()
+	if err := loaded.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.SnapshotFresh("gps", d.Points, snapBuildSizes, true, snapBuildOpts()) {
+		t.Fatal("freshly saved snapshot reports stale")
+	}
+	// Staleness must be detected for changed data, sizes, or options.
+	if loaded.SnapshotFresh("gps", d.Points[:len(d.Points)-1], snapBuildSizes, true, snapBuildOpts()) {
+		t.Fatal("snapshot fresh despite different data")
+	}
+	if loaded.SnapshotFresh("gps", d.Points, []int{50}, true, snapBuildOpts()) {
+		t.Fatal("snapshot fresh despite different sample sizes")
+	}
+	if loaded.SnapshotFresh("gps", d.Points, snapBuildSizes, false, snapBuildOpts()) {
+		t.Fatal("snapshot fresh despite different density option")
+	}
+	if loaded.SnapshotFresh("gps", d.Points, snapBuildSizes, true, vas.Options{Passes: 2}) {
+		t.Fatal("snapshot fresh despite different passes")
+	}
+
+	// Catalog-level queries: identical points, counts, sample choice,
+	// and scan statistics across viewports, budgets, and filters.
+	bounds := d.Bounds()
+	zoomed, err := vas.Zoom(bounds, bounds.Center(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		viewport vas.Rect
+		filters  []vas.Pred
+		budget   time.Duration
+	}{
+		{"full extent", vas.Rect{}, nil, 0},
+		{"zoomed", zoomed, nil, 0},
+		{"tight budget", zoomed, nil, 1600 * time.Millisecond},
+		{"filtered", zoomed, []vas.Pred{{Column: "density", Min: 2, Max: 1e18}}, 0},
+	}
+	for _, tc := range cases {
+		want, err := orig.QueryFiltered("gps", tc.viewport, tc.filters, tc.budget)
+		if err != nil {
+			t.Fatalf("%s: original: %v", tc.name, err)
+		}
+		got, err := loaded.QueryFiltered("gps", tc.viewport, tc.filters, tc.budget)
+		if err != nil {
+			t.Fatalf("%s: loaded: %v", tc.name, err)
+		}
+		if got.SampleSize != want.SampleSize {
+			t.Fatalf("%s: sample size %d vs %d", tc.name, got.SampleSize, want.SampleSize)
+		}
+		if len(got.Points) != len(want.Points) {
+			t.Fatalf("%s: %d points vs %d", tc.name, len(got.Points), len(want.Points))
+		}
+		for i := range want.Points {
+			if got.Points[i] != want.Points[i] {
+				t.Fatalf("%s: point %d: %v vs %v", tc.name, i, got.Points[i], want.Points[i])
+			}
+		}
+		if len(got.Counts) != len(want.Counts) {
+			t.Fatalf("%s: %d counts vs %d", tc.name, len(got.Counts), len(want.Counts))
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("%s: count %d: %v vs %v", tc.name, i, got.Counts[i], want.Counts[i])
+			}
+		}
+		if got.Scan != want.Scan {
+			t.Fatalf("%s: scan stats %+v vs %+v", tc.name, got.Scan, want.Scan)
+		}
+	}
+
+	// HTTP layer: tile bytes from the loaded catalog must be identical
+	// to the original's (same sample resolution, same pixels).
+	origSrv := httptest.NewServer(orig.Handler())
+	defer origSrv.Close()
+	loadedSrv := httptest.NewServer(loaded.Handler())
+	defer loadedSrv.Close()
+	for _, path := range []string{
+		"/v1/tile/gps/0/0/0.png",
+		"/v1/tile/gps/2/1/1.png?size=128",
+		"/v1/tile/gps/1/0/1.png?budget=30s",
+	} {
+		a := fetchBytes(t, origSrv.URL+path)
+		b := fetchBytes(t, loadedSrv.URL+path)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("tile %s differs between rebuilt and snapshot-loaded catalogs (%d vs %d bytes)",
+				path, len(a), len(b))
+		}
+	}
+}
+
+func fetchBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func TestLoadSnapshotRejectsCorruptionAndKeepsServing(t *testing.T) {
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 3000, Seed: 11})
+	cat := newSnapshotCatalog(t, d)
+	dir := t.TempDir()
+	if err := cat.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, vas.SnapshotFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := cat.Query("gps", vas.Rect{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutants := map[string][]byte{
+		"truncated":  data[:len(data)/2],
+		"bit-flip":   flipByte(data, len(data)/3),
+		"bad magic":  flipByte(data, 0),
+		"empty file": {},
+	}
+	for name, mutant := range mutants {
+		if err := os.WriteFile(path, mutant, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Into a fresh catalog: must fail and leave it empty.
+		fresh := vas.NewCatalog()
+		if err := fresh.LoadSnapshot(dir); err == nil {
+			t.Fatalf("%s snapshot was accepted", name)
+		}
+		if _, err := fresh.Query("gps", vas.Rect{}, 0); err == nil {
+			t.Fatalf("%s: partial state was published into a fresh catalog", name)
+		}
+		// Into the live catalog: must fail and leave it serving as before.
+		if err := cat.LoadSnapshot(dir); err == nil {
+			t.Fatalf("%s snapshot was accepted by a live catalog", name)
+		}
+		after, err := cat.Query("gps", vas.Rect{}, 0)
+		if err != nil {
+			t.Fatalf("%s: live catalog stopped serving: %v", name, err)
+		}
+		if len(after.Points) != len(before.Points) || after.SampleSize != before.SampleSize {
+			t.Fatalf("%s: live catalog changed after a failed load", name)
+		}
+	}
+
+	// A missing snapshot directory is a plain error, not a panic.
+	if err := vas.NewCatalog().LoadSnapshot(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("missing snapshot dir was accepted")
+	}
+}
+
+func flipByte(data []byte, pos int) []byte {
+	out := append([]byte(nil), data...)
+	out[pos] ^= 0x40
+	return out
+}
+
+// TestRegisterSampleSnapshot covers the vasgen offline-producer path: a
+// sample built once with vas.Build is registered as-is (no second
+// Interchange run), snapshotted, and restored into a serving catalog.
+func TestRegisterSampleSnapshot(t *testing.T) {
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 3000, Seed: 5})
+	s, err := vas.Build(d.Points, vas.Options{K: 150, Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := s.DensityEmbed(d.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := vas.NewCatalog()
+	if err := cat.LoadTable("data", d.Points); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.RegisterSample("data", s, ws.Counts); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.RegisterSample("data", nil, nil); err == nil {
+		t.Fatal("nil sample was accepted")
+	}
+	if err := cat.RegisterSample("data", s, ws.Counts[:1]); err == nil {
+		t.Fatal("mismatched counts were accepted")
+	}
+	dir := t.TempDir()
+	if err := cat.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := vas.NewCatalog()
+	if err := loaded.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Query("data", vas.Rect{}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize != 150 || len(res.Points) != 150 {
+		t.Fatalf("restored catalog served %d points from a %d-sample", len(res.Points), res.SampleSize)
+	}
+	if len(res.Counts) != 150 {
+		t.Fatalf("density embedding lost: %d counts", len(res.Counts))
+	}
+	for i, p := range s.Points {
+		if res.Points[i] != p {
+			t.Fatalf("point %d diverged from the registered sample", i)
+		}
+	}
+	// Registered catalogs are not "fresh" in BuildSamples terms — their
+	// provenance records the registration, not a rebuildable spec.
+	if loaded.SnapshotFresh("data", d.Points, []int{150}, true, vas.Options{Passes: 1}) {
+		t.Fatal("registered catalog claims BuildSamples freshness")
+	}
+}
+
+func TestMetricsReportColdStart(t *testing.T) {
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 2000, Seed: 3})
+	cat := newSnapshotCatalog(t, d)
+	dir := t.TempDir()
+	if err := cat.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := vas.NewCatalog()
+	start := time.Now()
+	if err := loaded.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded.RecordColdStart("snapshot", time.Since(start))
+	srv := httptest.NewServer(loaded.Handler())
+	defer srv.Close()
+	metrics := string(fetchBytes(t, srv.URL+"/metrics"))
+	if !strings.Contains(metrics, `vasserve_coldstart_seconds{source="snapshot"}`) {
+		t.Fatalf("metrics lack the snapshot cold-start line:\n%s", metrics)
+	}
+
+	// RecordColdStart after the handler exists must also land.
+	cat.RecordColdStart("rebuild", 123*time.Millisecond)
+	srv2 := httptest.NewServer(cat.Handler())
+	defer srv2.Close()
+	cat.RecordColdStart("rebuild", 456*time.Millisecond)
+	metrics2 := string(fetchBytes(t, srv2.URL+"/metrics"))
+	if !strings.Contains(metrics2, `vasserve_coldstart_seconds{source="rebuild"} 0.456`) {
+		t.Fatalf("metrics lack the rebuild cold-start line:\n%s", metrics2)
+	}
+}

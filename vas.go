@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 	"repro/internal/render"
 	"repro/internal/sampling"
 	"repro/internal/server"
+	"repro/internal/snapshot"
 	"repro/internal/store"
 	core "repro/internal/vas"
 	"repro/internal/viztime"
@@ -318,6 +320,15 @@ type Catalog struct {
 
 	srvMu sync.Mutex
 	srv   *server.Server
+
+	// provMu guards prov, the per-base-table provenance the snapshot
+	// subsystem persists (and staleness checks compare against).
+	provMu sync.Mutex
+	prov   map[string]snapshot.Provenance
+	// coldStart remembers how this catalog was populated (snapshot load
+	// vs full rebuild) and how long that took, for /metrics.
+	coldSource string
+	coldDur    time.Duration
 }
 
 // NewCatalog returns an empty catalog using the paper's Tableau latency
@@ -325,7 +336,11 @@ type Catalog struct {
 // internal/query for other deployments.)
 func NewCatalog() *Catalog {
 	st := store.New()
-	return &Catalog{st: st, planner: query.NewPlanner(st, viztime.Tableau())}
+	return &Catalog{
+		st:      st,
+		planner: query.NewPlanner(st, viztime.Tableau()),
+		prov:    make(map[string]snapshot.Provenance),
+	}
 }
 
 // LoadTable registers a base table named name with columns x and y, or
@@ -355,6 +370,16 @@ func (c *Catalog) LoadTable(name string, points []Point) error {
 	if err := t.IndexOn("x", "y"); err != nil {
 		return err
 	}
+	// New contents, new provenance; the empty build spec marks that no
+	// samples have been built against these contents yet, so a snapshot
+	// saved now can never be mistaken for one carrying fresh samples.
+	c.provMu.Lock()
+	c.prov[name] = snapshot.Provenance{
+		Table:      name,
+		SourceHash: snapshot.HashColumns(xs, ys),
+		Rows:       int64(len(points)),
+	}
+	c.provMu.Unlock()
 	c.srvMu.Lock()
 	if c.srv != nil {
 		c.srv.InvalidateTable(name)
@@ -387,6 +412,15 @@ func (c *Catalog) BuildSamples(table string, points []Point, sizes []int, withDe
 			return err
 		}
 	}
+	// Record how the samples were built, completing the table's
+	// provenance: a later SaveSnapshot persists it, and SnapshotFresh
+	// compares against it to decide load-vs-rebuild.
+	c.provMu.Lock()
+	p := c.prov[table]
+	p.Table = table
+	p.Build = buildSpec(sizes, withDensity, opt)
+	c.prov[table] = p
+	c.provMu.Unlock()
 	// Registering samples changes what tile requests resolve to; drop any
 	// tiles the HTTP layer rendered from the previous sample set.
 	c.srvMu.Lock()
@@ -395,6 +429,58 @@ func (c *Catalog) BuildSamples(table string, points []Point, sizes []int, withDe
 	}
 	c.srvMu.Unlock()
 	return nil
+}
+
+// RegisterSample publishes an externally built sample for table without
+// re-running the Interchange build — the path cmd/vasgen uses to
+// assemble a snapshot from the sample it already built for its output
+// file. counts attaches the §V density embedding when non-nil (parallel
+// to s.Points). The sample table is indexed and registered exactly as
+// BuildSamples would register one of the same size.
+//
+// Provenance: the table's build spec gains a "registered k=…" entry
+// rather than the canonical BuildSamples spec, so SnapshotFresh —
+// which answers "would BuildSamples(args) reproduce this catalog?" —
+// reports catalogs assembled this way as stale; their freshness is the
+// assembling caller's to decide.
+func (c *Catalog) RegisterSample(table string, s *Sample, counts []int64) error {
+	if s == nil || len(s.Points) == 0 {
+		return errors.New("vas: RegisterSample: empty sample")
+	}
+	if counts != nil && len(counts) != len(s.Points) {
+		return fmt.Errorf("vas: RegisterSample: %d counts for %d points", len(counts), len(s.Points))
+	}
+	name := fmt.Sprintf("%s_vas_%d", table, len(s.Points))
+	meta := store.SampleMeta{Source: table, Method: "vas", XCol: "x", YCol: "y"}
+	if err := query.LoadSample(c.st, name, meta, s.Points, counts); err != nil {
+		return err
+	}
+	c.provMu.Lock()
+	p := c.prov[table]
+	p.Table = table
+	spec := fmt.Sprintf("registered k=%d density=%t", len(s.Points), counts != nil)
+	if p.Build == "" {
+		p.Build = spec
+	} else {
+		p.Build += "; " + spec
+	}
+	c.prov[table] = p
+	c.provMu.Unlock()
+	c.srvMu.Lock()
+	if c.srv != nil {
+		c.srv.InvalidateTable(table)
+	}
+	c.srvMu.Unlock()
+	return nil
+}
+
+// buildSpec canonicalizes the arguments of BuildSamples into the
+// provenance string snapshots persist: two builds agree on the spec
+// exactly when they would produce the same sample set from the same
+// data.
+func buildSpec(sizes []int, withDensity bool, opt Options) string {
+	return fmt.Sprintf("sizes=%v density=%t epsilon=%g kernel=%q variant=%q passes=%d",
+		sizes, withDensity, opt.Epsilon, opt.Kernel, opt.Variant, opt.Passes)
 }
 
 // Handler returns the catalog's HTTP serving layer (created on first use
@@ -408,8 +494,118 @@ func (c *Catalog) Handler() http.Handler {
 	defer c.srvMu.Unlock()
 	if c.srv == nil {
 		c.srv = server.New(c.st, c.planner, server.Config{})
+		if c.coldSource != "" {
+			c.srv.SetColdStart(c.coldSource, c.coldDur)
+		}
 	}
 	return c.srv
+}
+
+// SnapshotFile is the file name SaveSnapshot writes (and LoadSnapshot
+// reads) inside the snapshot directory.
+const SnapshotFile = "catalog.snap"
+
+// SaveSnapshot persists the catalog's entire serving state —
+// every table's columns, CSR grid indexes and zone maps, the sample
+// lineage, and the per-table provenance — to dir/catalog.snap in the
+// versioned, checksummed binary format of internal/snapshot. The write
+// is atomic (temp file + rename), so a crash mid-save leaves the
+// previous snapshot intact. A later LoadSnapshot restores the catalog
+// without re-running BuildSamples or any index build.
+func (c *Catalog) SaveSnapshot(dir string) error {
+	cat := &snapshot.Catalog{}
+	// One critical section for membership + lineage: a BuildSamples
+	// racing the save can never leave a lineage entry in the snapshot
+	// whose sample table is missing from it (which would make the file
+	// unloadable).
+	cat.Tables, cat.Samples = c.st.SnapshotCatalog()
+	c.provMu.Lock()
+	for _, p := range c.prov {
+		cat.Provenance = append(cat.Provenance, p)
+	}
+	c.provMu.Unlock()
+	return snapshot.Save(filepath.Join(dir, SnapshotFile), cat)
+}
+
+// LoadSnapshot restores a catalog saved by SaveSnapshot from
+// dir/catalog.snap. Every table is validated (framing and checksums by
+// the decoder, every structural index invariant by the store) before
+// anything is published, and the whole batch then lands in one critical
+// section under the same tile-invalidation machinery LoadTable uses —
+// a corrupt, truncated, or version-skewed snapshot returns an error and
+// leaves the catalog exactly as it was, never partially loaded.
+//
+// Freshness is the caller's decision: compare SnapshotFresh against the
+// data a rebuild would use, and rebuild (then SaveSnapshot again) when
+// it reports stale.
+func (c *Catalog) LoadSnapshot(dir string) error {
+	cat, err := snapshot.Load(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		return err
+	}
+	tables := make([]*store.Table, 0, len(cat.Tables))
+	for _, ts := range cat.Tables {
+		t, err := store.TableFromSnapshot(ts)
+		if err != nil {
+			return fmt.Errorf("vas: snapshot %s: %w", filepath.Join(dir, SnapshotFile), err)
+		}
+		tables = append(tables, t)
+	}
+	if err := c.st.PublishCatalog(tables, cat.Samples); err != nil {
+		return fmt.Errorf("vas: snapshot %s: %w", filepath.Join(dir, SnapshotFile), err)
+	}
+	c.provMu.Lock()
+	for _, p := range cat.Provenance {
+		c.prov[p.Table] = p
+	}
+	c.provMu.Unlock()
+	// Loaded tables replace whatever the HTTP layer may have cached.
+	c.srvMu.Lock()
+	if c.srv != nil {
+		for _, t := range tables {
+			c.srv.InvalidateTable(t.Name())
+		}
+	}
+	c.srvMu.Unlock()
+	return nil
+}
+
+// SnapshotFresh reports whether the catalog's current provenance for
+// table — typically just restored by LoadSnapshot — matches what
+// LoadTable(points) followed by BuildSamples(sizes, withDensity, opt)
+// would record: same data fingerprint, same row count, same build
+// options. A fresh snapshot can be served as-is; a stale one should be
+// rebuilt and re-saved.
+func (c *Catalog) SnapshotFresh(table string, points []Point, sizes []int, withDensity bool, opt Options) bool {
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	want := snapshot.Provenance{
+		Table:      table,
+		SourceHash: snapshot.HashColumns(xs, ys),
+		Rows:       int64(len(points)),
+		Build:      buildSpec(sizes, withDensity, opt),
+	}
+	c.provMu.Lock()
+	got, ok := c.prov[table]
+	c.provMu.Unlock()
+	return ok && got == want
+}
+
+// RecordColdStart tells the catalog how it was populated ("snapshot"
+// for a LoadSnapshot restore, "rebuild" for LoadTable+BuildSamples) and
+// how long that took; /metrics exposes both so operators can see what a
+// restart cost and whether the snapshot path was taken.
+func (c *Catalog) RecordColdStart(source string, d time.Duration) {
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
+	c.coldSource, c.coldDur = source, d
+	if c.srv != nil {
+		c.srv.SetColdStart(source, d)
+	}
 }
 
 // QueryResult is the answer to a visualization query.
