@@ -4,9 +4,11 @@
 GO ?= go
 # The serving benchmarks of the read path (internal/store): index probe
 # vs linear baseline, parallel fallback scan, full-extent
-# zero-row-id-allocation projection, and the predicate-pushdown probe
-# (zone-map pruning) vs the filtered linear baseline.
-SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered
+# zero-row-id-allocation projection, the predicate-pushdown probe
+# (zone-map pruning) vs the filtered linear baseline, and the
+# live-ingest scans (delta-index probe vs seed-state linear tail) plus
+# append throughput.
+SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered|ScanAfterAppend|AppendThroughput
 # The cold-start benchmarks (root package): bringing a 1M-row catalog
 # up by full offline rebuild vs restoring it from a snapshot file.
 SNAPSHOT_BENCH ?= ColdStart
@@ -31,13 +33,13 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the serving + cold-start benchmarks and commits the
-# numbers as BENCH_PR4.json (the repo's benchmark trajectory;
-# BENCH_PR2.json / BENCH_PR3.json are the previous points on it).
+# numbers as BENCH_PR5.json (the repo's benchmark trajectory;
+# BENCH_PR2.json .. BENCH_PR4.json are the previous points on it).
 bench:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem ./internal/store | tee /tmp/bench_serving.txt
 	$(GO) test -run '^$$' -bench '$(SNAPSHOT_BENCH)' -benchmem . | tee -a /tmp/bench_serving.txt
-	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR4.json
-	@echo wrote BENCH_PR4.json
+	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR5.json
+	@echo wrote BENCH_PR5.json
 
 # bench-smoke is the CI guard: every committed benchmark must still
 # compile and complete one iteration.

@@ -42,7 +42,8 @@ func main() {
 		sizes   = flag.String("sizes", "100,1000,10000", "comma-separated sample sizes to prebuild")
 		density = flag.Bool("density", true, "attach the §V density embedding to each sample")
 		passes  = flag.Int("passes", 1, "Interchange passes per sample build")
-		snapDir = flag.String("snapshot", "", "catalog snapshot directory: load when present and fresh, else build then save")
+		snapDir = flag.String("snapshot", "", "catalog snapshot directory: load when present and fresh, else build then save; appended batches land in its tail log")
+		compact = flag.Float64("compact", vas.DefaultCompactFraction, "background-compaction threshold: delta/indexed-rows fraction that triggers a merge (<=0 disables)")
 	)
 	flag.Parse()
 	var ks []int
@@ -60,16 +61,17 @@ func main() {
 
 	opt := vas.Options{Passes: *passes}
 	start := time.Now()
-	cat, source := loadOrBuild(*snapDir, d, ks, *density, opt)
+	cat, source := loadOrBuild(*snapDir, d, ks, *density, *compact, opt)
 	cold := time.Since(start)
 	cat.RecordColdStart(source, cold)
 	fmt.Printf("catalog ready via %s in %s\n", source, cold.Round(time.Millisecond))
 
 	fmt.Printf("serving on %s\n", *addr)
-	fmt.Printf("  GET /v1/tables\n")
-	fmt.Printf("  GET /v1/query?table=gps&budget=1600ms&minx=..&miny=..&maxx=..&maxy=..\n")
-	fmt.Printf("  GET /v1/tile/gps/{z}/{x}/{y}.png?size=256&budget=1600ms\n")
-	fmt.Printf("  GET /healthz | GET /metrics\n")
+	fmt.Printf("  GET  /v1/tables\n")
+	fmt.Printf("  GET  /v1/query?table=gps&budget=1600ms&minx=..&miny=..&maxx=..&maxy=..\n")
+	fmt.Printf("  GET  /v1/tile/gps/{z}/{x}/{y}.png?size=256&budget=1600ms\n")
+	fmt.Printf("  POST /v1/append/gps  (JSON {\"points\": [[x,y],...]})\n")
+	fmt.Printf("  GET  /healthz | GET /metrics\n")
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           cat.Handler(),
@@ -81,12 +83,14 @@ func main() {
 }
 
 // loadOrBuild restores the catalog from a fresh snapshot when one is
-// available, and otherwise rebuilds from scratch (saving the result for
-// the next start when a snapshot directory was given). The returned
+// available — replaying any ingest tail log, so appended rows survive
+// the restart — and otherwise rebuilds from scratch (saving the result
+// for the next start when a snapshot directory was given). The returned
 // source is "snapshot" or "rebuild", for the cold-start metric.
-func loadOrBuild(snapDir string, d *dataset.Dataset, ks []int, density bool, opt vas.Options) (*vas.Catalog, string) {
+func loadOrBuild(snapDir string, d *dataset.Dataset, ks []int, density bool, compact float64, opt vas.Options) (*vas.Catalog, string) {
 	if snapDir != "" {
 		cat := vas.NewCatalog()
+		cat.SetCompactFraction(compact)
 		err := cat.LoadSnapshot(snapDir)
 		switch {
 		case err == nil && cat.SnapshotFresh("gps", d.Points, ks, density, opt):
@@ -103,6 +107,7 @@ func loadOrBuild(snapDir string, d *dataset.Dataset, ks []int, density bool, opt
 	// Rebuild path: a fresh catalog, so nothing from a stale or partial
 	// snapshot can linger next to the new samples.
 	cat := vas.NewCatalog()
+	cat.SetCompactFraction(compact)
 	if err := cat.LoadTable("gps", d.Points); err != nil {
 		fail(err)
 	}

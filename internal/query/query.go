@@ -62,8 +62,15 @@ type Response struct {
 	// PlanTime is how long planning+scan took inside the engine.
 	PlanTime time.Duration
 	// Scan reports how the row selection was answered — index probe vs
-	// fallback, and the zone-map pruning the filters achieved.
+	// fallback, zone-map pruning for filtered queries, and how many
+	// rows came out of delta buckets (appended but not yet compacted).
 	Scan store.ScanStats
+	// ServedRows is the row count of the table the answer was scanned
+	// from (the chosen sample, or the base table for an exact scan) —
+	// under live ingest, how current the served data is. It is read
+	// just before the scan, so under a concurrent append it can trail
+	// the scanned snapshot by a batch; it never overstates currency.
+	ServedRows int
 }
 
 // Planner answers visualization requests against a store.
@@ -90,6 +97,9 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Before the scan: a count taken after could exceed the scanned
+		// snapshot under concurrent appends and overstate currency.
+		servedRows := base.NumRows()
 		rows, scanStats, err := pl.viewportRows(base, req.XCol, req.YCol, req.Viewport, req.Filters)
 		if err != nil {
 			return nil, err
@@ -104,6 +114,7 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 			PredictedTime: pl.model.Time(len(pts)),
 			PlanTime:      time.Since(start),
 			Scan:          scanStats,
+			ServedRows:    servedRows,
 		}, nil
 	}
 
@@ -134,6 +145,7 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 	}
 	// One index probe (or fallback scan) serves both the point projection
 	// and the density gather; this is the serving hot path.
+	servedRows := st.NumRows()
 	rows, scanStats, err := pl.viewportRows(st, chosen.XCol, chosen.YCol, req.Viewport, req.Filters)
 	if err != nil {
 		return nil, err
@@ -148,6 +160,7 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 		PredictedTime: pl.model.Time(len(pts)),
 		PlanTime:      time.Since(start),
 		Scan:          scanStats,
+		ServedRows:    servedRows,
 	}
 	if chosen.HasDensity {
 		// A sample registered with HasDensity whose density column cannot

@@ -77,6 +77,10 @@ type metrics struct {
 	requests map[string]*atomic.Int64 // route -> count; fixed at construction
 	errors   atomic.Int64             // responses with status >= 400
 	latency  histogram
+
+	// Ingest counters for the /v1/append endpoint.
+	ingestBatches atomic.Int64
+	ingestRows    atomic.Int64
 }
 
 func newMetrics(routes ...string) *metrics {
@@ -131,6 +135,21 @@ func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats, col
 	fmt.Fprintf(w, "vasserve_store_filtered_probes_total %d\n", idx.FilteredProbes)
 	fmt.Fprintf(w, "vasserve_store_zone_cells_touched_total %d\n", idx.ZoneCellsTouched)
 	fmt.Fprintf(w, "vasserve_store_zone_cells_pruned_total %d\n", idx.ZoneCellsPruned)
+	fmt.Fprintf(w, "vasserve_store_zone_skips_total %d\n", idx.ZoneSkips)
+	fmt.Fprintf(w, "vasserve_store_delta_rows %d\n", idx.DeltaRows)
+	fmt.Fprintf(w, "vasserve_store_tail_rows %d\n", idx.TailRows)
+	fmt.Fprintf(w, "vasserve_store_compactions_total %d\n", idx.Compactions)
+	fmt.Fprintf(w, "vasserve_store_compaction_seconds_total %g\n", idx.CompactionSeconds)
+	// Per-table ingest pressure: how many appended rows sit outside the
+	// base index (tail) and how many of those the delta has absorbed —
+	// visible before it ever shows up as latency.
+	for _, ti := range idx.PerTable {
+		fmt.Fprintf(w, "vasserve_store_table_rows{table=%q} %d\n", ti.Table, ti.Rows)
+		fmt.Fprintf(w, "vasserve_store_table_tail_rows{table=%q} %d\n", ti.Table, ti.TailRows)
+		fmt.Fprintf(w, "vasserve_store_table_delta_rows{table=%q} %d\n", ti.Table, ti.DeltaRows)
+	}
+	fmt.Fprintf(w, "vasserve_ingest_batches_total %d\n", m.ingestBatches.Load())
+	fmt.Fprintf(w, "vasserve_ingest_rows_total %d\n", m.ingestRows.Load())
 	if coldSource != "" {
 		fmt.Fprintf(w, "vasserve_coldstart_seconds{source=%q} %g\n", coldSource, coldSeconds)
 	}

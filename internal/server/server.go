@@ -53,6 +53,14 @@ type Config struct {
 	// XCol, YCol name the plotted column pair; empty means "x", "y" (the
 	// pair the vas.Catalog façade loads).
 	XCol, YCol string
+	// AppendHook, when set, handles POST /v1/append/{table} batches
+	// instead of the server appending straight into the store table —
+	// the catalog layer uses it to also patch the rows into its
+	// snapshot tail log. It receives the batch as parallel column
+	// slices in schema order and returns the number of rows appended.
+	AppendHook func(table string, cols [][]float64) (int, error)
+	// MaxAppendBytes caps the /v1/append request body; 0 means 64 MiB.
+	MaxAppendBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.YCol == "" {
 		c.YCol = "y"
+	}
+	if c.MaxAppendBytes <= 0 {
+		c.MaxAppendBytes = 64 << 20
 	}
 	return c
 }
@@ -118,7 +129,7 @@ func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
 		st:          st,
 		planner:     planner,
 		cache:       tilecache.New(cfg.TileCacheBytes),
-		metrics:     newMetrics("tables", "query", "tile", "healthz", "metrics"),
+		metrics:     newMetrics("tables", "query", "tile", "append", "healthz", "metrics"),
 		boundsCache: make(map[string]geom.Rect),
 		epochs:      make(map[string]uint64),
 	}
@@ -126,6 +137,7 @@ func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/tables", s.instrument("tables", s.handleTables))
 	mux.HandleFunc("GET /v1/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("GET /v1/tile/{table}/{z}/{x}/{y}", s.instrument("tile", s.handleTile))
+	mux.HandleFunc("POST /v1/append/{table}", s.instrument("append", s.handleAppend))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
@@ -313,6 +325,9 @@ type QueryResponse struct {
 	// SampleSize is the size of the served sample (0 for an exact scan).
 	SampleSize int  `json:"sampleSize"`
 	Exact      bool `json:"exact"`
+	// ServedRows is the row count of the table the answer was scanned
+	// from — under live ingest, how current the served data is.
+	ServedRows int `json:"servedRows"`
 	// PredictedMillis is the latency-model estimate for rendering Points.
 	PredictedMillis float64 `json:"predictedMillis"`
 	// PlanMillis is the engine-side planning+scan time.
@@ -329,6 +344,8 @@ type ScanStatsJSON struct {
 	CellsPruned  int  `json:"cellsPruned"`
 	CellsBulk    int  `json:"cellsBulk"`
 	RowsExamined int  `json:"rowsExamined"`
+	DeltaRows    int  `json:"deltaRows"`
+	ZonesSkipped int  `json:"zonesSkipped"`
 }
 
 func scanStatsJSON(st store.ScanStats) ScanStatsJSON {
@@ -477,6 +494,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Sample:          resp.Sample.Table,
 		SampleSize:      resp.Sample.Size,
 		Exact:           resp.ExactScan,
+		ServedRows:      resp.ServedRows,
 		PredictedMillis: float64(resp.PredictedTime) / float64(time.Millisecond),
 		PlanMillis:      float64(resp.PlanTime) / float64(time.Millisecond),
 		Scan:            scanStatsJSON(resp.Scan),
@@ -485,6 +503,139 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out.Points[i] = [2]float64{p.X, p.Y}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- /v1/append ----
+
+// AppendRequest is the JSON body of POST /v1/append/{table}. Exactly
+// one of Points and Rows must be non-empty: Points is the [x, y]
+// convenience shape for two-column tables, Rows the general row-major
+// shape (each inner slice one row, in schema column order). Points is
+// deliberately [][]float64, not [][2]float64: encoding/json silently
+// zero-fills and truncates fixed-size arrays, and a malformed point
+// must be rejected, not ingested as (x, 0).
+type AppendRequest struct {
+	Points [][]float64 `json:"points,omitempty"`
+	Rows   [][]float64 `json:"rows,omitempty"`
+}
+
+// AppendResponse is the JSON answer to /v1/append.
+type AppendResponse struct {
+	// Appended is the number of rows this batch added.
+	Appended int `json:"appended"`
+	// Rows is the table's row count after the batch.
+	Rows int `json:"rows"`
+}
+
+// handleAppend serves POST /v1/append/{table}: a batch of rows lands in
+// the table (absorbed into the spatial indexes' deltas, so scans keep
+// answering at indexed speed), the table's tile-cache epoch is bumped —
+// tiles rendered from the pre-append contents can never be served again
+// — and the ingest counters on /metrics advance.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	var req AppendRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxAppendBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// Distinguish "split the batch and retry" from "payload is
+			// broken".
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
+				"error": fmt.Sprintf("append body exceeds %d bytes; split the batch", s.cfg.MaxAppendBytes),
+			})
+			return
+		}
+		badRequest(w, "bad append body: %v", err)
+		return
+	}
+	if (len(req.Points) == 0) == (len(req.Rows) == 0) {
+		badRequest(w, "append body needs exactly one of points, rows")
+		return
+	}
+	var cols [][]float64
+	if len(req.Points) > 0 {
+		xs := make([]float64, len(req.Points))
+		ys := make([]float64, len(req.Points))
+		for i, p := range req.Points {
+			if len(p) != 2 {
+				badRequest(w, "append point %d has %d values, want [x, y]", i, len(p))
+				return
+			}
+			xs[i], ys[i] = p[0], p[1]
+		}
+		cols = [][]float64{xs, ys}
+	} else {
+		width := len(req.Rows[0])
+		if width == 0 {
+			badRequest(w, "append rows must not be empty")
+			return
+		}
+		cols = make([][]float64, width)
+		for i := range cols {
+			cols[i] = make([]float64, len(req.Rows))
+		}
+		for ri, row := range req.Rows {
+			if len(row) != width {
+				badRequest(w, "append row %d has %d values, row 0 has %d", ri, len(row), width)
+				return
+			}
+			for ci, v := range row {
+				cols[ci][ri] = v
+			}
+		}
+	}
+	n, err := s.appendCols(table, cols)
+	if n > 0 {
+		// Rows became visible — even when a durability step failed
+		// afterwards — so the epoch must move: no tile rendered from
+		// the pre-append generation may survive as a cache hit, and the
+		// cached extent is recomputed.
+		s.InvalidateTable(table)
+		s.metrics.ingestBatches.Add(1)
+		s.metrics.ingestRows.Add(int64(n))
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			httpError(w, err)
+		case n > 0:
+			// The batch is live but a server-side step (the snapshot
+			// tail log) failed: that is our fault, not the payload's —
+			// and the client must know a blind retry would duplicate
+			// the now-visible rows.
+			writeJSON(w, http.StatusInternalServerError, map[string]string{
+				"error": fmt.Sprintf("rows appended and serving, but not durable: %v", err),
+			})
+		default:
+			// Everything else an append can fail on before any row
+			// lands is a payload/schema mismatch (wrong column count
+			// for the table).
+			badRequest(w, "%v", err)
+		}
+		return
+	}
+	rows := 0
+	if t, err := s.st.Table(table); err == nil {
+		rows = t.NumRows()
+	}
+	writeJSON(w, http.StatusOK, AppendResponse{Appended: n, Rows: rows})
+}
+
+// appendCols routes one parsed batch to the configured AppendHook or
+// straight into the store table.
+func (s *Server) appendCols(table string, cols [][]float64) (int, error) {
+	if s.cfg.AppendHook != nil {
+		return s.cfg.AppendHook(table, cols)
+	}
+	t, err := s.st.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.AppendRows(cols...); err != nil {
+		return 0, err
+	}
+	return len(cols[0]), nil
 }
 
 // ---- /v1/tile ----

@@ -362,6 +362,129 @@ func TestTileErrors(t *testing.T) {
 	}
 }
 
+func postJSON(t *testing.T, s *Server, url, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", url, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestAppendEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	// Index the base table (as the catalog façade does at load time) so
+	// appended rows land in a delta and the ingest gauges are live.
+	tb, err := s.st.Table("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.IndexOn("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	// Warm a tile and the bounds cache so the invalidation is observable.
+	if rec := get(t, s, "/v1/tile/base/0/0/0.png?budget=150us&size=64"); rec.Code != http.StatusOK {
+		t.Fatalf("warm tile = %d", rec.Code)
+	}
+	epochBefore := s.tableEpoch("base")
+
+	rec := postJSON(t, s, "/v1/append/base", `{"points": [[500, 500], [501, 501], [502, 502]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append = %d, body %s", rec.Code, rec.Body)
+	}
+	var out AppendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Appended != 3 || out.Rows != 403 {
+		t.Fatalf("append response = %+v, want 3 appended / 403 rows", out)
+	}
+	// Appends invalidate the table's tiles: the epoch must have moved so
+	// no pre-append pixels can be served again.
+	if got := s.tableEpoch("base"); got == epochBefore {
+		t.Fatal("append did not bump the tile-cache epoch")
+	}
+	// The appended rows are immediately visible to exact queries.
+	rec = get(t, s, "/v1/query?table=base&exact=true&minx=450&miny=450&maxx=550&maxy=550")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("exact query = %d, body %s", rec.Code, rec.Body)
+	}
+	var q QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Points) != 3 || q.ServedRows != 403 {
+		t.Fatalf("exact query after append: %d points, servedRows %d", len(q.Points), q.ServedRows)
+	}
+
+	// The row-major shape works too.
+	rec = postJSON(t, s, "/v1/append/base", `{"rows": [[600, 600]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rows append = %d, body %s", rec.Code, rec.Body)
+	}
+
+	// Error cases.
+	for _, c := range []struct {
+		url, body string
+		code      int
+	}{
+		{"/v1/append/ghost", `{"points": [[1, 2]]}`, http.StatusNotFound},
+		{"/v1/append/base", `{}`, http.StatusBadRequest},
+		{"/v1/append/base", `{"points": [[5]]}`, http.StatusBadRequest},        // missing y
+		{"/v1/append/base", `{"points": [[1, 2, 99]]}`, http.StatusBadRequest}, // stray value
+		{"/v1/append/base", `{"points": [[1,2]], "rows": [[1,2]]}`, http.StatusBadRequest},
+		{"/v1/append/base", `{"rows": [[1, 2, 3]]}`, http.StatusBadRequest}, // width != schema
+		{"/v1/append/base", `{"rows": [[1, 2], [3]]}`, http.StatusBadRequest},
+		{"/v1/append/base", `not json`, http.StatusBadRequest},
+	} {
+		if rec := postJSON(t, s, c.url, c.body); rec.Code != c.code {
+			t.Errorf("POST %s %s = %d, want %d (body %s)", c.url, c.body, rec.Code, c.code, rec.Body)
+		}
+	}
+
+	// Ingest counters on /metrics.
+	body := get(t, s, "/metrics").Body.String()
+	for _, want := range []string{
+		"vasserve_ingest_batches_total 2",
+		"vasserve_ingest_rows_total 4",
+		`vasserve_store_table_tail_rows{table="base"} 4`,
+		`vasserve_store_table_delta_rows{table="base"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestAppendHookRoutesBatches verifies a configured AppendHook receives
+// the parsed batch instead of the store being written directly.
+func TestAppendHookRoutesBatches(t *testing.T) {
+	st := store.New()
+	if _, err := st.CreateTable("base", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	var gotTable string
+	var gotCols [][]float64
+	s := New(st, query.NewPlanner(st, fixedModel{}), Config{
+		AppendHook: func(table string, cols [][]float64) (int, error) {
+			gotTable, gotCols = table, cols
+			return len(cols[0]), nil
+		},
+	})
+	rec := postJSON(t, s, "/v1/append/base", `{"points": [[1, 2], [3, 4]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append = %d, body %s", rec.Code, rec.Body)
+	}
+	if gotTable != "base" || len(gotCols) != 2 || gotCols[0][1] != 3 || gotCols[1][1] != 4 {
+		t.Fatalf("hook saw table %q cols %v", gotTable, gotCols)
+	}
+	// The hook owns the store write; the table itself must be untouched.
+	tb, _ := st.Table("base")
+	if tb.NumRows() != 0 {
+		t.Fatalf("server wrote the store despite the hook: %d rows", tb.NumRows())
+	}
+}
+
 func TestHealthAndMetrics(t *testing.T) {
 	s := newTestServer(t)
 	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {

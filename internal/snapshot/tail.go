@@ -1,0 +1,212 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"repro/internal/binio"
+)
+
+// The tail log is the incremental half of catalog persistence: while
+// catalog.snap captures a full serving catalog, the tail log records
+// the row batches appended since that capture, so live ingest never
+// forces a wholesale re-save. Each Append lands as one self-framed,
+// CRC-checked record appended to the log; a restart loads the base
+// snapshot (indexes restored verbatim) and replays the tail through the
+// store's delta-index append path — no sample build, no index rebuild.
+// A full re-save folds the tail into the base and deletes the log.
+//
+// Layout (little-endian), append-only:
+//
+//	header: magic "VTLG" | uint32 format version
+//	record: uint64 payload length | payload | uint32 CRC32(payload)
+//	payload: table name | uint32 ncols | uint64 rows | ncols × F64s
+//
+// Crash semantics: a record is written with one Write call after the
+// previous records are already durable in the file's byte order, so the
+// only torn state a crash can leave is an incomplete final record.
+// LoadTail detects that (fewer bytes than the frame claims) and drops
+// the partial batch silently — the in-memory rows it described died
+// with the process that was appending them. A complete frame whose CRC
+// does not match is real corruption and fails the load.
+
+const (
+	// TailMagic identifies a snapshot tail log.
+	TailMagic = "VTLG"
+	// TailFormatVersion is bumped on incompatible record layout changes.
+	TailFormatVersion = 1
+
+	tailHeaderLen = 8 // magic + version
+	tailFrameLen  = 12
+)
+
+// TailRecord is one replayable append batch.
+type TailRecord struct {
+	// Table names the table the batch was appended to.
+	Table string
+	// Cols holds the appended rows as parallel column slices in the
+	// table's schema order.
+	Cols [][]float64
+}
+
+// AppendTail appends one batch record to the tail log at path, creating
+// the log (with its header) when absent. Columns must be non-empty and
+// of equal length. The whole record is issued as a single write on an
+// O_APPEND descriptor, so concurrent readers of the file never observe
+// a frame boundary inside it.
+func AppendTail(path, table string, cols [][]float64) error {
+	if table == "" {
+		return errors.New("snapshot: tail append: empty table name")
+	}
+	if len(cols) == 0 {
+		return errors.New("snapshot: tail append: no columns")
+	}
+	rows := len(cols[0])
+	for i, c := range cols {
+		if len(c) != rows {
+			return fmt.Errorf("snapshot: tail append: column %d has %d rows, column 0 has %d", i, len(c), rows)
+		}
+	}
+	if rows == 0 {
+		return nil
+	}
+	var payload bytes.Buffer
+	pw := binio.NewWriter(&payload)
+	pw.String(table)
+	pw.U32(uint32(len(cols)))
+	pw.U64(uint64(rows))
+	for _, c := range cols {
+		pw.F64s(c)
+	}
+	if err := pw.Flush(); err != nil {
+		return fmt.Errorf("snapshot: tail append: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("snapshot: tail append: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("snapshot: tail append: %w", err)
+	}
+	buf := make([]byte, 0, tailHeaderLen+tailFrameLen+payload.Len())
+	if st.Size() == 0 {
+		buf = append(buf, TailMagic...)
+		buf = binary.LittleEndian.AppendUint32(buf, TailFormatVersion)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(payload.Len()))
+	buf = append(buf, payload.Bytes()...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := f.Write(buf); err != nil {
+		// Best effort: cut any partially written frame back off. A torn
+		// FINAL record is tolerated by LoadTail, but if a later append
+		// succeeded after it the tear would sit mid-file and condemn
+		// the whole log; callers additionally stop appending after an
+		// error (the catalog marks the log degraded until the next full
+		// save), so a failed truncate still cannot be built upon.
+		_ = f.Truncate(st.Size())
+		return fmt.Errorf("snapshot: tail append: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("snapshot: tail append: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadTail reads every complete record of the tail log at path. A
+// missing file is an empty tail (nil, nil). An incomplete final record
+// — the expected remnant of a crash mid-append — is dropped silently;
+// checksum mismatches, bad framing, and version skew return an error
+// (ErrCorrupt / ErrVersionSkew) so the caller can fall back to a full
+// rebuild instead of serving a half-trusted tail.
+func LoadTail(path string) ([]TailRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if len(raw) < tailHeaderLen {
+		// Too short to even hold the header: a torn first write.
+		return nil, nil
+	}
+	if string(raw[:4]) != TailMagic {
+		return nil, corrupt("tail log: bad magic %q", raw[:4])
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != TailFormatVersion {
+		return nil, fmt.Errorf("%w: tail log is format v%d, this build reads v%d", ErrVersionSkew, v, TailFormatVersion)
+	}
+	var recs []TailRecord
+	off := tailHeaderLen
+	for ri := 0; off < len(raw); ri++ {
+		if len(raw)-off < 8 {
+			break // torn final frame header
+		}
+		plen := binary.LittleEndian.Uint64(raw[off : off+8])
+		if plen > uint64(math.MaxInt64) || int64(plen) > int64(len(raw)-off-tailFrameLen) {
+			break // frame claims more bytes than exist: torn final record
+		}
+		payload := raw[off+8 : off+8+int(plen)]
+		sum := binary.LittleEndian.Uint32(raw[off+8+int(plen) : off+tailFrameLen+int(plen)])
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, corrupt("tail log record %d checksum mismatch", ri)
+		}
+		rec, err := decodeTailRecord(payload, ri)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+		off += tailFrameLen + int(plen)
+	}
+	return recs, nil
+}
+
+func decodeTailRecord(payload []byte, ri int) (TailRecord, error) {
+	var rec TailRecord
+	pr := binio.NewReader(bytes.NewReader(payload), int64(len(payload)))
+	rec.Table = pr.String(maxNameLen)
+	ncols := pr.U32()
+	rows := pr.U64()
+	if err := pr.Err(); err != nil {
+		return rec, corrupt("tail log record %d: %v", ri, err)
+	}
+	if ncols == 0 || ncols > maxColumns {
+		return rec, corrupt("tail log record %d claims %d columns", ri, ncols)
+	}
+	if rows > math.MaxInt32 {
+		return rec, corrupt("tail log record %d claims %d rows", ri, rows)
+	}
+	for i := uint32(0); i < ncols; i++ {
+		col := pr.F64s()
+		if pr.Err() != nil {
+			break
+		}
+		if uint64(len(col)) != rows {
+			return rec, corrupt("tail log record %d column %d has %d rows, header says %d", ri, i, len(col), rows)
+		}
+		rec.Cols = append(rec.Cols, col)
+	}
+	if err := pr.Err(); err != nil {
+		return rec, corrupt("tail log record %d: %v", ri, err)
+	}
+	if pr.Remaining() != 0 {
+		return rec, corrupt("tail log record %d has %d trailing bytes", ri, pr.Remaining())
+	}
+	return rec, nil
+}
+
+// RemoveTail deletes the tail log at path; a missing log is fine (the
+// caller just folded it into a full snapshot, or never wrote one).
+func RemoveTail(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

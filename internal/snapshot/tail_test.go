@@ -1,0 +1,151 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTailRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.tail")
+	batches := []struct {
+		table string
+		cols  [][]float64
+	}{
+		{"gps", [][]float64{{1, 2, 3}, {4, 5, 6}}},
+		{"gps", [][]float64{{math.NaN(), math.Inf(1)}, {7, -0.0}}},
+		{"other", [][]float64{{9}, {10}, {11}}},
+	}
+	for _, b := range batches {
+		if err := AppendTail(path, b.table, b.cols); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := LoadTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(batches) {
+		t.Fatalf("loaded %d records, wrote %d", len(recs), len(batches))
+	}
+	for i, b := range batches {
+		if recs[i].Table != b.table {
+			t.Fatalf("record %d table %q, want %q", i, recs[i].Table, b.table)
+		}
+		if len(recs[i].Cols) != len(b.cols) {
+			t.Fatalf("record %d has %d cols, want %d", i, len(recs[i].Cols), len(b.cols))
+		}
+		for ci := range b.cols {
+			for ri := range b.cols[ci] {
+				got, want := recs[i].Cols[ci][ri], b.cols[ci][ri]
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("record %d col %d row %d: %g != %g", i, ci, ri, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTailMissingIsEmpty(t *testing.T) {
+	recs, err := LoadTail(filepath.Join(t.TempDir(), "nope.tail"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing tail: recs %v err %v, want nil/nil", recs, err)
+	}
+}
+
+// TestTailTornFinalRecordDropped simulates a crash mid-append: every
+// truncation point inside the final record must load cleanly with that
+// record dropped and every earlier record intact.
+func TestTailTornFinalRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.tail")
+	if err := AppendTail(path, "gps", [][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTail(path, "gps", [][]float64{{5, 6, 7}, {8, 9, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(whole); cut < len(full); cut++ {
+		torn := filepath.Join(dir, "torn.tail")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := LoadTail(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(recs) != 1 || len(recs[0].Cols[0]) != 2 {
+			t.Fatalf("cut at %d: got %d records, want the 1 intact one", cut, len(recs))
+		}
+	}
+}
+
+// TestTailCorruptionRejected flips one byte inside a complete record's
+// payload: the CRC must catch it and fail the load (unlike a torn
+// tail, this is not a crash artifact).
+func TestTailCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.tail")
+	if err := AppendTail(path, "gps", [][]float64{{1, 2, 3}, {4, 5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte (inside the record, past header + frame len).
+	raw[tailHeaderLen+8+4] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTail(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted tail loaded: err %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTailVersionSkewRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.tail")
+	if err := AppendTail(path, "gps", [][]float64{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(raw[4:8], TailFormatVersion+1)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTail(path); !errors.Is(err, ErrVersionSkew) {
+		t.Fatalf("version-skewed tail loaded: err %v, want ErrVersionSkew", err)
+	}
+}
+
+func TestRemoveTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.tail")
+	if err := RemoveTail(path); err != nil {
+		t.Fatalf("removing a missing tail: %v", err)
+	}
+	if err := AppendTail(path, "gps", [][]float64{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveTail(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("tail still present after RemoveTail")
+	}
+}

@@ -1,0 +1,401 @@
+package store
+
+import (
+	"math"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// This file is the live-ingest side of the spatial index: a mutable
+// delta index that absorbs appended rows as they arrive, and the
+// background compaction that periodically folds the delta back into a
+// fresh immutable generation.
+//
+// The base CSR index (index.go) is immutable by design — it is built
+// against one generation of column storage and published atomically
+// with it. Before deltas, every Append therefore landed in an unindexed
+// linear tail that each probe re-walked until the next full rebuild:
+// under steady ingest the read path degraded back toward the linear
+// baseline. The delta index closes that gap without giving up the
+// immutable-generation read model:
+//
+//   - geometry is shared with the base index (same bounds, same grid),
+//     so a probe's cell range addresses base cells and delta buckets
+//     with one computation;
+//   - appended rows are binned into per-cell append-only buckets, with
+//     running per-(column, cell) zone maps maintained in the same
+//     critical section, so filtered probes prune delta cells exactly
+//     like base cells;
+//   - readers never lock the table: they take the delta's read lock,
+//     and snapshot consistency falls out of row-id monotonicity — a
+//     reader holding a generation with n rows ignores every delta row
+//     id >= n, so rows appended after its snapshot are invisible to it.
+//     Delta zone maps may cover rows past the reader's snapshot; that
+//     only widens them, which makes pruning and bulk-passing strictly
+//     more conservative, never wrong.
+//
+// Points appended outside the base grid's bounds clamp into edge cells,
+// mirroring how probe rectangles clamp (both are monotonic in the
+// coordinate), so a probe's clamped cell range always covers the
+// clamped cells of every matching row; the per-row rectangle test keeps
+// the answer exact.
+
+// compactMinRows is the smallest delta (in rows) that can trigger an
+// automatic compaction; below it the rebuild costs more than the tail
+// it absorbs ever will.
+const compactMinRows = 256
+
+// deltaIndex accumulates rows appended after base was built. Guarded by
+// its own RWMutex: writers (Append/AppendRows, under the table write
+// lock) take the write lock per batch; probes take the read lock and
+// never touch the table lock, so ingest and serving contend only here
+// and only briefly.
+type deltaIndex struct {
+	mu    sync.RWMutex
+	base  *rectIndex // immutable geometry donor; covers rows [0, base.n)
+	ncols int
+	rows  int // absorbed rows: ids [base.n, base.n+rows)
+	// saturated stops absorption permanently when a row id cannot be
+	// represented (or arrives out of order, which cannot happen under
+	// the table lock but is cheap to guard); rows past the watermark
+	// fall back to the caller's linear tail filter.
+	saturated bool
+	// buckets holds, per base-grid cell, the ascending rows binned
+	// there, each entry carrying its coordinates inline so the per-row
+	// rectangle test reads the bucket sequentially instead of paying a
+	// random access into the (multi-MB) column arrays per row;
+	// allocated on first absorbed row. When the base index has no grid
+	// (it was built over zero rows), every row lands in extra.
+	buckets [][]deltaEntry
+	// extra holds rows with a non-finite coordinate (and every row when
+	// there is no grid), ascending; filtered per probe like base extras.
+	extra []int32
+	// Running zone maps over the delta, laid out like the base's:
+	// [col·cells + cell]. Only meaningful for cells with a non-empty
+	// bucket.
+	zmin, zmax []float64
+	znan       []bool
+}
+
+// deltaEntry is one binned delta row: its id plus its coordinates,
+// denormalized so probes test the rectangle without touching column
+// storage.
+type deltaEntry struct {
+	id   int32
+	x, y float64
+}
+
+func newDeltaIndex(base *rectIndex, ncols int) *deltaIndex {
+	return &deltaIndex{base: base, ncols: ncols}
+}
+
+// coveredRows returns how many appended rows the delta has absorbed.
+func (dx *deltaIndex) coveredRows() int {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	return dx.rows
+}
+
+// absorbRange bins rows [lo, hi) of cols into the delta. Callers hold
+// the table write lock, so lo always equals the current watermark; the
+// guard only trips on unrepresentable ids.
+func (dx *deltaIndex) absorbRange(cols [][]float64, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	dx.mu.Lock()
+	defer dx.mu.Unlock()
+	cells := dx.base.nx * dx.base.ny
+	for row := lo; row < hi; row++ {
+		// row must stay strictly below MaxInt32: the watermark
+		// baseN+rows is converted to an int32 limit by collect, so
+		// absorbing id MaxInt32 itself would overflow it.
+		if dx.saturated || row != dx.base.n+dx.rows || row >= math.MaxInt32 {
+			dx.saturated = true
+			return
+		}
+		x, y := cols[dx.base.xi][row], cols[dx.base.yi][row]
+		if cells == 0 || !isFinite(x) || !isFinite(y) {
+			dx.extra = append(dx.extra, int32(row))
+			dx.rows++
+			continue
+		}
+		if dx.buckets == nil {
+			dx.buckets = make([][]deltaEntry, cells)
+			dx.zmin = make([]float64, dx.ncols*cells)
+			dx.zmax = make([]float64, dx.ncols*cells)
+			dx.znan = make([]bool, dx.ncols*cells)
+			for zi := range dx.zmin {
+				dx.zmin[zi] = math.Inf(1)
+				dx.zmax[zi] = math.Inf(-1)
+			}
+		}
+		c := dx.base.cellIndex(x, y)
+		dx.buckets[c] = append(dx.buckets[c], deltaEntry{id: int32(row), x: x, y: y})
+		for ci := 0; ci < dx.ncols; ci++ {
+			v := cols[ci][row]
+			zi := ci*cells + int(c)
+			if math.IsNaN(v) {
+				dx.znan[zi] = true
+				continue
+			}
+			if v < dx.zmin[zi] {
+				dx.zmin[zi] = v
+			}
+			if v > dx.zmax[zi] {
+				dx.zmax[zi] = v
+			}
+		}
+		dx.rows++
+	}
+}
+
+// collect appends to ids the delta rows inside r that satisfy every
+// predicate (skip[k] marks predicates whose zone checks the adaptive
+// planner disabled), bounded by the caller's snapshot row count snapN:
+// rows absorbed after the caller's snapshot are ignored. It returns the
+// extended ids — the delta segment sorted ascending, so appending it
+// after the (sorted, all-smaller) base ids keeps the whole result
+// sorted — and the watermark up to which appended rows are covered;
+// rows in [watermark, snapN) are the caller's to filter linearly.
+func (dx *deltaIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, snapN int, st *ScanStats, ids []int) ([]int, int) {
+	dx.mu.RLock()
+	defer dx.mu.RUnlock()
+	covered := dx.base.n + dx.rows
+	if covered > snapN {
+		covered = snapN
+	}
+	if dx.rows == 0 || covered <= dx.base.n {
+		return ids, covered
+	}
+	limit := int32(covered)
+	start := len(ids)
+	xs, ys := cols[dx.base.xi], cols[dx.base.yi]
+	if dx.buckets != nil {
+		// The same clamped cell range the base probe uses. No bounds-
+		// intersection gate here: delta rows outside the base bounds
+		// clamp into edge cells, and so do out-of-range rectangles, so
+		// the clamped range always covers them.
+		c0, r0 := dx.base.cellCoords(r.MinX, r.MinY)
+		c1, r1 := dx.base.cellCoords(r.MaxX, r.MaxY)
+		cells := dx.base.nx * dx.base.ny
+		// Upper-bound the delta contribution in one cheap pass so
+		// appending to the caller's (exactly base-bound-sized) buffer
+		// cannot force a reallocation that copies the whole base result.
+		var bound int
+		for row := r0; row <= r1; row++ {
+			base := row * dx.base.nx
+			for c := c0; c <= c1; c++ {
+				bound += len(dx.buckets[base+c])
+			}
+		}
+		ids = slices.Grow(ids, bound+len(dx.extra))
+		residual := make([]Pred, 0, len(preds))
+		residualCols := make([]int, 0, len(preds))
+		for row := r0; row <= r1; row++ {
+			base := row * dx.base.nx
+			// Geometric coverage, exactly as the base probe computes it:
+			// cells strictly interior to the touched range whose combined
+			// rectangle is contained in r skip the per-row rectangle
+			// test. Strict interiority also keeps grid-edge cells out —
+			// the only cells that can hold rows clamped in from outside
+			// the bounds, which must always be tested per row.
+			spanCovered := false
+			if row > r0 && row < r1 && c0+1 <= c1-1 {
+				span := geom.Rect{
+					MinX: dx.base.bounds.MinX + float64(c0+1)*dx.base.cellW,
+					MinY: dx.base.bounds.MinY + float64(row)*dx.base.cellH,
+					MaxX: dx.base.bounds.MinX + float64(c1)*dx.base.cellW,
+					MaxY: dx.base.bounds.MinY + float64(row+1)*dx.base.cellH,
+				}
+				spanCovered = r.ContainsRect(span)
+			}
+			for c := c0; c <= c1; c++ {
+				b := dx.buckets[base+c]
+				if len(b) == 0 || b[0].id >= limit {
+					continue
+				}
+				st.CellsTouched++
+				pruned := false
+				residual = residual[:0]
+				residualCols = residualCols[:0]
+				for k := range preds {
+					if skip != nil && skip[k] {
+						residual = append(residual, preds[k])
+						residualCols = append(residualCols, pi[k])
+						continue
+					}
+					p := preds[k]
+					zi := pi[k]*cells + base + c
+					if !dx.znan[zi] && (dx.zmax[zi] < p.Min || dx.zmin[zi] > p.Max) {
+						pruned = true
+						break
+					}
+					if !(dx.zmin[zi] >= p.Min && dx.zmax[zi] <= p.Max) {
+						residual = append(residual, p)
+						residualCols = append(residualCols, pi[k])
+					}
+				}
+				if pruned {
+					st.CellsPruned++
+					continue
+				}
+				needRect := !(spanCovered && c > c0 && c < c1)
+				if !needRect && len(residual) == 0 {
+					st.CellsBulk++
+					for _, e := range b {
+						if e.id >= limit {
+							break
+						}
+						st.DeltaRows++
+						ids = append(ids, int(e.id))
+					}
+					continue
+				}
+				for _, e := range b {
+					if e.id >= limit {
+						break
+					}
+					st.RowsExamined++
+					st.DeltaRows++
+					if needRect && !inRect(e.x, e.y, r) {
+						continue
+					}
+					if matchPreds(cols, residualCols, residual, int(e.id)) {
+						ids = append(ids, int(e.id))
+					}
+				}
+			}
+		}
+	}
+	for _, id := range dx.extra {
+		if id >= limit {
+			break
+		}
+		st.RowsExamined++
+		st.DeltaRows++
+		if inRect(xs[id], ys[id], r) && matchPreds(cols, pi, preds, int(id)) {
+			ids = append(ids, int(id))
+		}
+	}
+	// Bucket runs are ascending but interleave across cells (and with
+	// extras); sort just the delta segment — every base id is smaller.
+	slices.Sort(ids[start:])
+	return ids, covered
+}
+
+// ---- background compaction ----
+
+// SetAutoCompact enables threshold-triggered background compaction:
+// after an append, when any spatial index's uncompacted tail exceeds
+// frac of its indexed rows (and at least a small absolute floor), a
+// background goroutine rebuilds the table's indexes against the current
+// generation and publishes them atomically — off the read path, which
+// keeps serving from the old generation plus delta until the publish.
+// frac <= 0 disables the trigger (the default); Compact can always be
+// called explicitly.
+func (t *Table) SetAutoCompact(frac float64) {
+	t.autoCompact.Store(math.Float64bits(frac))
+}
+
+// maybeCompact fires one background compaction when the auto-compact
+// threshold is crossed. At most one compaction runs at a time.
+func (t *Table) maybeCompact() {
+	frac := math.Float64frombits(t.autoCompact.Load())
+	if frac <= 0 {
+		return
+	}
+	d := t.snapshot()
+	trigger := false
+	for _, ix := range d.indexes {
+		tail := d.n - ix.n
+		if tail >= compactMinRows && float64(tail) >= frac*float64(ix.n) {
+			trigger = true
+			break
+		}
+	}
+	if !trigger || !t.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer t.compacting.Store(false)
+		t.Compact()
+	}()
+}
+
+// Compact folds every appended row into fresh immutable spatial indexes
+// and publishes them as a new generation. The expensive part — the
+// index builds — runs against a read snapshot with no table lock held;
+// only the publish takes the write lock, where rows appended during the
+// build are absorbed into the fresh indexes' (empty) deltas so no row
+// is ever outside an index for longer than one publish. Readers observe
+// either the old generation (base + delta) or the new one — never a
+// mix. A BulkLoad or snapshot restore racing the build makes the built
+// indexes obsolete; the publish detects the generation change and
+// discards them. Compact is a no-op when every index already covers
+// every row.
+func (t *Table) Compact() {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	d := t.snapshot()
+	t.mu.RLock()
+	pairs := append([][2]int(nil), t.indexPairs...)
+	t.mu.RUnlock()
+	if len(pairs) == 0 {
+		return
+	}
+	need := false
+	for _, ix := range d.indexes {
+		if ix.n < d.n {
+			need = true
+			break
+		}
+	}
+	if !need {
+		return
+	}
+	start := time.Now()
+	built := make(map[[2]int]*rectIndex, len(pairs))
+	for _, p := range pairs {
+		if ix := buildRectIndex(p[0], p[1], d.cols, d.n); ix != nil {
+			built[p] = ix
+		}
+	}
+	t.mu.Lock()
+	cur := t.data
+	if cur.loadGen != d.loadGen {
+		// The table was reloaded mid-build: the fresh contents came with
+		// their own freshly built indexes, and ours describe dead data.
+		t.mu.Unlock()
+		return
+	}
+	indexes := make([]*rectIndex, 0, len(pairs))
+	for _, p := range pairs {
+		nw := built[p]
+		old := cur.indexFor(p[0], p[1])
+		if nw == nil || (old != nil && old.n >= nw.n) {
+			// A concurrent IndexOn absorbed at least as much; keep it.
+			if old != nil {
+				indexes = append(indexes, old)
+			}
+			continue
+		}
+		// Rows appended while we were building are already in cur; bin
+		// them into the fresh delta so the new generation starts fully
+		// covered.
+		nw.delta.absorbRange(cur.cols, nw.n, cur.n)
+		indexes = append(indexes, nw)
+	}
+	t.data = &tableData{cols: cur.cols, n: cur.n, indexes: indexes, loadGen: cur.loadGen}
+	t.mu.Unlock()
+	// Appended rows may have shifted a column's value distribution (an
+	// uncorrelated column can become correlated, and vice versa); the
+	// fresh zone maps deserve fresh evidence, and a compaction is the
+	// natural probation point for a previously earned skip.
+	t.resetZoneStat()
+	t.counters.compactions.Add(1)
+	t.counters.compactionNanos.Add(int64(time.Since(start)))
+}

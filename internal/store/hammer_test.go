@@ -9,18 +9,24 @@ import (
 	"repro/internal/geom"
 )
 
-// TestFilteredScanHammer hammers one table with concurrent Append,
-// IndexOn rebuilds, store-level DropTable/CreateTable churn, and
-// filtered ScanRectWhere readers. It extends the PR 1 scan-vs-reload
-// pattern to the predicate-pushdown path and asserts, under -race, that
-// a reader can never panic, never see rows outside its snapshot
-// generation, and never receive a row that fails its predicates.
+// TestFilteredScanHammer hammers one table with concurrent Append
+// (absorbed into delta buckets), IndexOn rebuilds, background-style
+// Compact calls, store-level DropTable/CreateTable churn, and filtered
+// ScanRectWhere readers. It extends the PR 1 scan-vs-reload pattern to
+// the predicate-pushdown and delta-compaction paths and asserts, under
+// -race, snapshot consistency: a reader can never panic, never sees a
+// row twice or out of order, never sees rows outside its snapshot
+// generation, never receives a row that fails its predicates — and
+// never MISSES a published matching row: every row that existed before
+// the scan started and satisfies viewport + predicates must be in the
+// result, no matter how many compactions published mid-scan.
 //
 // The validation leans on the generation contract: rows are append-only
 // while this test runs, so any row id a scan returns must be < NumRows
-// observed AFTER the scan, and the first-n-rows prefix of every column
-// is immutable — a Column snapshot taken after the scan therefore holds
-// exactly the values the scan evaluated.
+// observed AFTER the scan, every row id < NumRows observed BEFORE the
+// scan is in whatever snapshot the scan used, and the first-n-rows
+// prefix of every column is immutable — a Column snapshot taken after
+// the scan therefore holds exactly the values the scan evaluated.
 func TestFilteredScanHammer(t *testing.T) {
 	st := New()
 	tb, err := st.CreateTable("h", "x", "y", "m")
@@ -85,6 +91,18 @@ func TestFilteredScanHammer(t *testing.T) {
 		}
 	}()
 
+	// Compactor: folds the delta into fresh generations while scans and
+	// appends are in flight — the background-compaction publish racing
+	// the read path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			tb.Compact()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
 	// Catalog churn: drop and recreate the table name in the store, the
 	// way sample replacement does. Readers keep their handle to the
 	// original table, which stays fully usable after the drop.
@@ -117,6 +135,7 @@ func TestFilteredScanHammer(t *testing.T) {
 				if rng.Intn(4) == 0 {
 					vp = geom.Rect{} // pure attribute filter over the grid
 				}
+				nBefore := tb.NumRows()
 				rows, _, err := tb.ScanRectWhere("x", "y", vp, preds)
 				if err != nil {
 					report(err)
@@ -156,6 +175,20 @@ func TestFilteredScanHammer(t *testing.T) {
 				})
 				if bad {
 					return
+				}
+				// Completeness: every row published before the scan
+				// started that satisfies viewport + predicate must be
+				// in the result — a compaction or rebuild publishing
+				// mid-scan may neither hide a row nor double it (the
+				// r <= prev check above catches duplicates).
+				for r := 0; r < nBefore; r++ {
+					inVp := vp == (geom.Rect{}) || inRect(xc[r], yc[r], vp)
+					match := inVp && !(mc[r] < preds[0].Min || mc[r] > preds[0].Max)
+					if match && !rows.Contains(r) {
+						t.Errorf("published row %d (%g,%g m=%g) missing from scan (nBefore %d)",
+							r, xc[r], yc[r], mc[r], nBefore)
+						return
+					}
 				}
 			}
 		}(int64(100 + w))

@@ -56,6 +56,12 @@ type rectIndex struct {
 	// NaN) bound every other row.
 	zmin, zmax []float64
 	znan       []bool
+
+	// delta accumulates rows appended after this index was built (see
+	// delta.go): a mutable, independently locked side structure sharing
+	// the grid geometry. The rectIndex itself stays immutable; the delta
+	// pointer is set once at construction.
+	delta *deltaIndex
 }
 
 // buildRectIndex indexes the n-row (xi, yi) pair of cols, building zone
@@ -69,6 +75,7 @@ func buildRectIndex(xi, yi int, cols [][]float64, n int) *rectIndex {
 	}
 	xs, ys := cols[xi], cols[yi]
 	ix := &rectIndex{xi: xi, yi: yi, n: n, bounds: geom.EmptyRect()}
+	ix.delta = newDeltaIndex(ix, len(cols))
 	if n == 0 {
 		return ix
 	}
@@ -214,27 +221,37 @@ func inRect(x, y float64, r geom.Rect) bool {
 	return !(x < r.MinX || x > r.MaxX || y < r.MinY || y > r.MaxY)
 }
 
+// zoneTally is the per-predicate zone-consult record one probe
+// accumulates for the adaptive planner: eval counts cells where the
+// predicate's zone was consulted, decisive the consults that pruned the
+// cell or settled the predicate as all-pass. Slices are indexed by
+// predicate position, nil when the probe carries no predicates.
+type zoneTally struct {
+	eval, decisive []int64
+}
+
 // collect returns the sorted ids of indexed rows inside r that satisfy
 // every residual predicate (preds[k] over column pi[k], bounds already
-// NaN-normalized). Cells of one grid row are contiguous in the CSR
-// packing, so cells that are both geometrically covered (strictly inside
-// the touched range, with the combined row span contained in r) and
-// zone-covered (every predicate's zone proves all rows pass) are emitted
-// as bulk runs with no per-point tests; the boundary ring and cells
-// whose zones are inconclusive are filtered per point, evaluating only
-// the predicates the zone could not settle. Cells whose zone proves no
-// row can match are pruned without reading a single row. The
-// strictly-interior requirement (on top of the geometric containment
-// check) leaves a one-cell margin that absorbs the float rounding slack
-// between a point's binned cell and its true coordinates, keeping
-// collect equivalent to the linear predicate scan.
-func (ix *rectIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, st *ScanStats) []int {
+// NaN-normalized; skip[k] marks predicates whose zone checks the
+// adaptive planner disabled). Cells of one grid row are contiguous in
+// the CSR packing, so cells that are both geometrically covered
+// (strictly inside the touched range, with the combined row span
+// contained in r) and zone-covered (every predicate's zone proves all
+// rows pass) are emitted as bulk runs with no per-point tests; the
+// boundary ring and cells whose zones are inconclusive are filtered per
+// point, evaluating only the predicates the zone could not settle.
+// Cells whose zone proves no row can match are pruned without reading a
+// single row. The strictly-interior requirement (on top of the
+// geometric containment check) leaves a one-cell margin that absorbs
+// the float rounding slack between a point's binned cell and its true
+// coordinates, keeping collect equivalent to the linear predicate scan.
+func (ix *rectIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats) []int {
 	if ix.n == 0 {
 		return nil
 	}
 	var ids []int
 	if r.Intersects(ix.bounds) {
-		ids = ix.collectCells(cols, r, preds, pi, st)
+		ids = ix.collectCells(cols, r, preds, pi, skip, tally, st)
 	}
 	// Non-finite rows live outside the grid; filter them with the same
 	// predicate form the linear scan uses (NaN matches everything, ±Inf
@@ -268,8 +285,9 @@ func matchPreds(cols [][]float64, pi []int, preds []Pred, row int) bool {
 }
 
 // collectCells gathers the grid-binned rows inside r passing preds
-// (unsorted across cells), accumulating zone-map statistics into st.
-func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, pi []int, st *ScanStats) []int {
+// (unsorted across cells), accumulating zone-map statistics into st and
+// per-predicate consult tallies into tally.
+func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats) []int {
 	xs, ys := cols[ix.xi], cols[ix.yi]
 	c0, r0 := ix.cellCoords(r.MinX, r.MinY)
 	c1, r1 := ix.cellCoords(r.MaxX, r.MaxY)
@@ -315,10 +333,20 @@ func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, p
 			residualCols = residualCols[:0]
 			for k := range preds {
 				p := preds[k]
+				// The adaptive planner proved this column's zones
+				// useless here; evaluate the predicate per row without
+				// loading its zone entries.
+				if skip != nil && skip[k] {
+					residual = append(residual, p)
+					residualCols = append(residualCols, pi[k])
+					continue
+				}
 				zi := pi[k]*cells + base + c
+				tally.eval[k]++
 				// Prune: every non-NaN row is outside [Min, Max], and no
 				// NaN row (which would match anything) is present.
 				if !ix.znan[zi] && (ix.zmax[zi] < p.Min || ix.zmin[zi] > p.Max) {
+					tally.decisive[k]++
 					pruned = true
 					break
 				}
@@ -329,6 +357,8 @@ func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, p
 				if !(ix.zmin[zi] >= p.Min && ix.zmax[zi] <= p.Max) {
 					residual = append(residual, p)
 					residualCols = append(residualCols, pi[k])
+				} else {
+					tally.decisive[k]++
 				}
 			}
 			if pruned {
@@ -339,6 +369,24 @@ func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, p
 			if !needRect && len(residual) == 0 {
 				st.CellsBulk++
 				for _, id := range ix.rowID[lo:hi] {
+					ids = append(ids, int(id))
+				}
+				continue
+			}
+			if len(residual) == 1 {
+				// The dominant filtered-probe case (one zone-
+				// inconclusive predicate): hoist the column and bounds
+				// out of the per-row loop.
+				rc := cols[residualCols[0]]
+				pmin, pmax := residual[0].Min, residual[0].Max
+				for _, id := range ix.rowID[lo:hi] {
+					st.RowsExamined++
+					if needRect && !inRect(xs[id], ys[id], r) {
+						continue
+					}
+					if v := rc[id]; v < pmin || v > pmax {
+						continue
+					}
 					ids = append(ids, int(id))
 				}
 				continue

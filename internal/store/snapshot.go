@@ -144,6 +144,15 @@ func TableFromSnapshot(snap TableSnapshot) (*Table, error) {
 		// if IndexOn had been called.
 		t.indexPairs = append(t.indexPairs, pair)
 	}
+	// A snapshot saved mid-ingest carries rows past its indexes'
+	// coverage (the appended tail at save time, and any tail-log rows
+	// replayed by the loader land the same way via Append). Absorb them
+	// into the fresh deltas now so the restored table probes at indexed
+	// speed from its first request, exactly like the live table it was
+	// captured from.
+	for _, ix := range d.indexes {
+		ix.delta.absorbRange(d.cols, ix.n, d.n)
+	}
 	t.data = d
 	return t, nil
 }
@@ -168,6 +177,7 @@ func indexFromSnapshot(table string, is IndexSnapshot, ncols, tableRows int) (*r
 		n:       is.NumRows,
 		zmin:    is.ZMin, zmax: is.ZMax, znan: is.ZNaN,
 	}
+	ix.delta = newDeltaIndex(ix, ncols)
 	if is.NumRows == 0 {
 		// An empty index has no grid at all (buildRectIndex returns
 		// before sizing one); any grid payload here is corruption.

@@ -55,7 +55,39 @@ type Table struct {
 	indexPairs [][2]int // registered index column pairs; rebuilt by BulkLoad
 
 	counters *tableCounters
+
+	// zoneStat is the per-column zone-map usefulness record feeding the
+	// adaptive planner: when a column's zones have been consulted many
+	// times and almost never pruned or settled a cell, later probes skip
+	// its zone checks (and a pure attribute filter falls back to the
+	// sharded linear scan) instead of paying for them on every cell.
+	zoneStat []zoneColStat
+
+	// autoCompact holds the float64 bits of the auto-compaction
+	// threshold fraction (0 = disabled); compacting gates the single
+	// background compaction goroutine; compactMu serializes Compact
+	// bodies (manual and automatic).
+	autoCompact atomic.Uint64
+	compacting  atomic.Bool
+	compactMu   sync.Mutex
 }
+
+// zoneColStat accumulates, for one column, how often its per-cell zone
+// maps were consulted by filtered probes and how often the consult was
+// decisive (pruned the cell or settled the predicate as all-pass).
+type zoneColStat struct {
+	evaluated atomic.Int64
+	decisive  atomic.Int64
+}
+
+const (
+	// zoneAdaptMinCells is how many zone consults a column must
+	// accumulate before the adaptive skip may engage.
+	zoneAdaptMinCells = 4096
+	// zoneAdaptDecisiveDiv defines "useless": fewer than 1 decisive
+	// consult per this many is noise, not pruning.
+	zoneAdaptDecisiveDiv = 64
+)
 
 // tableCounters is a table's read-path usage block, for /metrics. It is
 // allocated separately from the Table so a Store can retain it past
@@ -71,6 +103,11 @@ type tableCounters struct {
 	filteredProbes   atomic.Int64 // filtered probes answered from an index
 	zoneCellsTouched atomic.Int64 // cells considered by filtered probes
 	zoneCellsPruned  atomic.Int64 // cells discarded wholesale by zone maps
+	zoneSkips        atomic.Int64 // predicates whose zone checks were skipped
+
+	// Ingest counters.
+	compactions     atomic.Int64 // delta-into-generation compactions published
+	compactionNanos atomic.Int64 // wall time spent building + publishing them
 }
 
 // tableData is one immutable generation of a table: column storage, row
@@ -81,6 +118,12 @@ type tableData struct {
 	cols    [][]float64
 	n       int
 	indexes []*rectIndex
+	// loadGen counts content replacements (BulkLoad, snapshot restore);
+	// Append, IndexOn, and Compact preserve it. A background compaction
+	// uses it to detect that the columns it built against were replaced
+	// mid-build, in which case its indexes describe dead data and must
+	// not be published.
+	loadGen uint64
 }
 
 // indexFor returns this generation's index over the column pair, or nil.
@@ -108,6 +151,7 @@ func NewTable(name string, columns ...string) (*Table, error) {
 		colIdx:   make(map[string]int, len(columns)),
 		data:     &tableData{cols: make([][]float64, len(columns))},
 		counters: &tableCounters{},
+		zoneStat: make([]zoneColStat, len(columns)),
 	}
 	for i, c := range columns {
 		if c == "" {
@@ -143,22 +187,66 @@ func (t *Table) snapshot() *tableData {
 	return t.data
 }
 
-// Append adds one row; values must match the column count. Existing
-// spatial indexes remain valid for the rows they were built over;
-// appended rows take the unindexed tail path of ScanRect until the next
-// BulkLoad or IndexOn rebuild.
+// Append adds one row; values must match the column count. The row is
+// absorbed into every spatial index's delta in the same critical
+// section it becomes visible in, so scans keep answering at indexed
+// speed under ingest (rows appended before the delta machinery existed
+// — or past its id capacity — take the linear tail path until the next
+// compaction or rebuild). When auto-compaction is enabled
+// (SetAutoCompact), crossing the delta threshold fires a background
+// merge into a fresh immutable generation.
 func (t *Table) Append(values ...float64) error {
 	if len(values) != len(t.colName) {
 		return fmt.Errorf("store: table %q: %d values for %d columns", t.name, len(values), len(t.colName))
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	d := t.data
 	cols := make([][]float64, len(d.cols))
 	for i, v := range values {
 		cols[i] = append(d.cols[i], v)
 	}
-	t.data = &tableData{cols: cols, n: d.n + 1, indexes: d.indexes}
+	for _, ix := range d.indexes {
+		if ix.delta != nil {
+			ix.delta.absorbRange(cols, d.n, d.n+1)
+		}
+	}
+	t.data = &tableData{cols: cols, n: d.n + 1, indexes: d.indexes, loadGen: d.loadGen}
+	t.mu.Unlock()
+	t.maybeCompact()
+	return nil
+}
+
+// AppendRows adds a batch of rows given as parallel column slices (the
+// ingest endpoint's shape): one lock acquisition, one generation
+// publish, and one delta absorption pass for the whole batch. Column
+// order must match the schema and all slices must have equal length.
+func (t *Table) AppendRows(cols ...[]float64) error {
+	if len(cols) != len(t.colName) {
+		return fmt.Errorf("store: table %q: %d columns for %d-column schema", t.name, len(cols), len(t.colName))
+	}
+	n := len(cols[0])
+	for i, c := range cols {
+		if len(c) != n {
+			return fmt.Errorf("store: table %q: column %q has %d rows, expected %d", t.name, t.colName[i], len(c), n)
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	d := t.data
+	fresh := make([][]float64, len(d.cols))
+	for i := range fresh {
+		fresh[i] = append(d.cols[i], cols[i]...)
+	}
+	for _, ix := range d.indexes {
+		if ix.delta != nil {
+			ix.delta.absorbRange(fresh, d.n, d.n+n)
+		}
+	}
+	t.data = &tableData{cols: fresh, n: d.n + n, indexes: d.indexes, loadGen: d.loadGen}
+	t.mu.Unlock()
+	t.maybeCompact()
 	return nil
 }
 
@@ -191,8 +279,22 @@ func (t *Table) BulkLoad(cols ...[]float64) error {
 			indexes = append(indexes, ix)
 		}
 	}
-	t.data = &tableData{cols: fresh, n: n, indexes: indexes}
+	t.data = &tableData{cols: fresh, n: n, indexes: indexes, loadGen: t.data.loadGen + 1}
+	// New contents, new value distribution: the adaptive zone-skip
+	// verdicts earned against the old data no longer apply, and a
+	// frozen skip could permanently disable pruning that the new data
+	// would reward. Start the evidence over.
+	t.resetZoneStat()
 	return nil
+}
+
+// resetZoneStat zeroes the adaptive zone-consult record so skip
+// decisions are re-earned against current data.
+func (t *Table) resetZoneStat() {
+	for i := range t.zoneStat {
+		t.zoneStat[i].evaluated.Store(0)
+		t.zoneStat[i].decisive.Store(0)
+	}
 }
 
 // IndexOn registers a grid spatial index over the (xCol, yCol) pair and
@@ -244,7 +346,7 @@ func (t *Table) IndexOn(xCol, yCol string) error {
 	if ix := buildRectIndex(xi, yi, d.cols, d.n); ix != nil {
 		indexes = append(indexes, ix)
 	}
-	t.data = &tableData{cols: d.cols, n: d.n, indexes: indexes}
+	t.data = &tableData{cols: d.cols, n: d.n, indexes: indexes, loadGen: d.loadGen}
 	return nil
 }
 
@@ -313,8 +415,16 @@ type ScanStats struct {
 	// per-row test (geometrically covered and zone-covered).
 	CellsBulk int
 	// RowsExamined counts rows tested individually (boundary ring,
-	// zone-inconclusive cells, extras, and the appended tail).
+	// zone-inconclusive cells, extras, delta buckets, and any appended
+	// tail the delta does not cover).
 	RowsExamined int
+	// DeltaRows counts the rows examined out of delta buckets — the
+	// appended-but-not-yet-compacted set the probe reached through the
+	// grid instead of a linear tail walk.
+	DeltaRows int
+	// ZonesSkipped counts predicates whose zone checks the adaptive
+	// planner skipped because that column's zones had proven useless.
+	ZonesSkipped int
 }
 
 // unboundedRect matches every row: each comparison against ±Inf bounds
@@ -404,7 +514,26 @@ func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (Row
 		return RowRange(0, d.n), st, nil
 	}
 	ix := d.indexFor(xi, yi)
-	if ix == nil {
+	// Adaptive zone planning: columns whose zone maps have consulted
+	// thousands of cells without ever pruning or settling one (an
+	// uncorrelated filter column) stop paying the zone checks.
+	var skip []bool
+	if ix != nil && len(preds) > 0 {
+		skip = t.zoneSkipFor(pi)
+		if skip != nil {
+			for _, s := range skip {
+				if s {
+					st.ZonesSkipped++
+				}
+			}
+			t.counters.zoneSkips.Add(int64(st.ZonesSkipped))
+		}
+	}
+	// With no viewport restriction and every predicate's zones useless,
+	// the probe would walk the entire grid cell by cell only to evaluate
+	// the predicates per row — the sharded linear scan does the same
+	// work with none of the cell overhead.
+	if ix == nil || (r == unboundedRect && st.ZonesSkipped == len(preds) && len(preds) > 0) {
 		t.counters.scanFallbacks.Add(1)
 		cols := make([][]float64, 0, 2+len(preds))
 		cols = append(cols, d.cols[xi], d.cols[yi])
@@ -424,12 +553,24 @@ func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (Row
 	if len(preds) == 0 && ix.n == d.n && ix.coversAll(r) {
 		return RowRange(0, d.n), st, nil
 	}
-	ids := ix.collect(d.cols, r, preds, pi, &st)
-	// Rows appended after the index was built are unindexed; filter them
-	// linearly with the full predicate list. They are larger than every
-	// indexed id, so the result stays sorted.
+	var tally zoneTally
+	if len(preds) > 0 {
+		tally.eval = make([]int64, len(preds))
+		tally.decisive = make([]int64, len(preds))
+	}
+	ids := ix.collect(d.cols, r, preds, pi, skip, &tally, &st)
+	// Rows appended after the index was built: the delta holds them
+	// binned under the same grid, so the probe reaches them through
+	// cells (zone-pruned like base cells) instead of walking the tail.
+	// All delta ids exceed every base id, so the result stays sorted.
+	covered := ix.n
+	if ix.delta != nil {
+		ids, covered = ix.delta.collect(d.cols, r, preds, pi, skip, d.n, &st, ids)
+	}
+	// Anything past the delta watermark (pre-delta generations, id
+	// overflow) is filtered linearly with the full predicate list.
 	xs, ys := d.cols[xi], d.cols[yi]
-	for row := ix.n; row < d.n; row++ {
+	for row := covered; row < d.n; row++ {
 		st.RowsExamined++
 		if inRect(xs[row], ys[row], r) && matchPreds(d.cols, pi, preds, row) {
 			ids = append(ids, row)
@@ -439,8 +580,34 @@ func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (Row
 		t.counters.filteredProbes.Add(1)
 		t.counters.zoneCellsTouched.Add(int64(st.CellsTouched))
 		t.counters.zoneCellsPruned.Add(int64(st.CellsPruned))
+		for k := range preds {
+			if skip != nil && skip[k] {
+				continue
+			}
+			t.zoneStat[pi[k]].evaluated.Add(tally.eval[k])
+			t.zoneStat[pi[k]].decisive.Add(tally.decisive[k])
+		}
 	}
 	return rowSetFromSorted(ids), st, nil
+}
+
+// zoneSkipFor returns, per predicate, whether its column's zone checks
+// should be skipped, or nil when none should. Skipping engages only
+// after zoneAdaptMinCells consults with a decisive rate below
+// 1/zoneAdaptDecisiveDiv.
+func (t *Table) zoneSkipFor(pi []int) []bool {
+	var skip []bool
+	for k, ci := range pi {
+		s := &t.zoneStat[ci]
+		ev := s.evaluated.Load()
+		if ev >= zoneAdaptMinCells && s.decisive.Load() < ev/zoneAdaptDecisiveDiv {
+			if skip == nil {
+				skip = make([]bool, len(pi))
+			}
+			skip[k] = true
+		}
+	}
+	return skip
 }
 
 // normalizePreds folds NaN predicate bounds to the matching infinity
@@ -841,6 +1008,39 @@ type IndexStats struct {
 	// the zone-map prune rate.
 	ZoneCellsTouched int64
 	ZoneCellsPruned  int64
+	// ZoneSkips counts predicates whose zone checks the adaptive
+	// planner skipped (monotonic, survives drops).
+	ZoneSkips int64
+	// DeltaRows and TailRows are point-in-time gauges summed over every
+	// live table: rows absorbed into delta indexes since the last
+	// compaction, and rows not covered by a base index at all (the two
+	// agree unless a delta saturated) — the ingest pressure operators
+	// watch before it turns into latency.
+	DeltaRows int64
+	TailRows  int64
+	// Compactions counts published delta-into-generation merges;
+	// CompactionSeconds is the wall time they spent building off the
+	// read path (both monotonic, survive drops).
+	Compactions       int64
+	CompactionSeconds float64
+	// PerTable breaks the ingest gauges down by live table, name-sorted,
+	// for tables carrying at least one spatial index.
+	PerTable []TableIngestStats
+}
+
+// TableIngestStats is one table's ingest-pressure gauge set.
+type TableIngestStats struct {
+	// Table is the table name.
+	Table string
+	// Rows is the table's current row count.
+	Rows int64
+	// TailRows is the largest per-index count of rows not covered by
+	// the base index (appended since its build).
+	TailRows int64
+	// DeltaRows is the largest per-index count of appended rows the
+	// delta has absorbed; it trails TailRows only when a delta
+	// saturated.
+	DeltaRows int64
 }
 
 // IndexStats returns a point-in-time aggregate over all tables.
@@ -860,16 +1060,38 @@ func (s *Store) IndexStats() IndexStats {
 		if len(d.indexes) > 0 {
 			st.IndexedTables++
 		}
+		var tailRows, deltaRows int64
 		for _, ix := range d.indexes {
 			st.Indexes++
 			st.IndexedRows += int64(ix.n)
 			st.Cells += int64(ix.cells())
+			if tail := int64(d.n - ix.n); tail > tailRows {
+				tailRows = tail
+			}
+			if ix.delta != nil {
+				absorbed := int64(ix.delta.coveredRows())
+				if beyond := int64(d.n - ix.n); absorbed > beyond {
+					// Absorbed rows past this reader's snapshot.
+					absorbed = beyond
+				}
+				if absorbed > deltaRows {
+					deltaRows = absorbed
+				}
+			}
+		}
+		if len(d.indexes) > 0 {
+			st.TailRows += tailRows
+			st.DeltaRows += deltaRows
+			st.PerTable = append(st.PerTable, TableIngestStats{
+				Table: t.name, Rows: int64(d.n), TailRows: tailRows, DeltaRows: deltaRows,
+			})
 		}
 		st.addCounters(t.counters)
 	}
 	for _, c := range retired {
 		st.addCounters(c)
 	}
+	sort.Slice(st.PerTable, func(a, b int) bool { return st.PerTable[a].Table < st.PerTable[b].Table })
 	return st
 }
 
@@ -879,4 +1101,7 @@ func (st *IndexStats) addCounters(c *tableCounters) {
 	st.FilteredProbes += c.filteredProbes.Load()
 	st.ZoneCellsTouched += c.zoneCellsTouched.Load()
 	st.ZoneCellsPruned += c.zoneCellsPruned.Load()
+	st.ZoneSkips += c.zoneSkips.Load()
+	st.Compactions += c.compactions.Load()
+	st.CompactionSeconds += float64(c.compactionNanos.Load()) / 1e9
 }

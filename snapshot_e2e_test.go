@@ -277,6 +277,225 @@ func TestRegisterSampleSnapshot(t *testing.T) {
 	}
 }
 
+// TestIncrementalSnapshotRefresh is the live-ingest persistence e2e
+// (ISSUE 5 acceptance): batches appended to a snapshot-bound catalog —
+// through the API and through POST /v1/append — land in the tail log,
+// and a restart restores base + tail with no sample or index rebuild:
+// same sample set, appended rows visible, provenance still fresh for
+// the ORIGINAL data (appends must not invalidate it wholesale). A
+// subsequent full save folds the tail into the base file and truncates
+// the log.
+func TestIncrementalSnapshotRefresh(t *testing.T) {
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 3000, Seed: 21})
+	cat := newSnapshotCatalog(t, d)
+	dir := t.TempDir()
+	if err := cat.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ingest while serving: one batch through the catalog API, one
+	// through the HTTP endpoint.
+	if err := cat.Append("gps", []vas.Point{vas.Pt(1000, 1000), vas.Pt(1001, 1001)}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cat.Handler())
+	resp, err := http.Post(srv.URL+"/v1/append/gps", "application/json",
+		strings.NewReader(`{"points": [[1002, 1002], [1003, 1003], [1004, 1004]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	srv.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/append: %d: %s", resp.StatusCode, body)
+	}
+	if _, err := os.Stat(filepath.Join(dir, vas.TailFile)); err != nil {
+		t.Fatalf("appends left no tail log: %v", err)
+	}
+
+	// "Restart": a fresh catalog restored from the same directory.
+	restored := vas.NewCatalog()
+	if err := restored.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The base data's provenance is untouched by appends: the snapshot
+	// still reads as fresh for the original dataset, so a server using
+	// the stock load-or-rebuild decision serves it without rebuilding.
+	if !restored.SnapshotFresh("gps", d.Points, snapBuildSizes, true, snapBuildOpts()) {
+		t.Fatal("appends invalidated the base provenance wholesale")
+	}
+	// Every appended row must have survived the restart, visible to an
+	// exact query and answered as an index probe (the replayed tail
+	// sits in delta buckets, not an unindexed linear tail).
+	got, err := restored.QueryExact("gps", vas.Rect{MinX: 999, MinY: 999, MaxX: 1005, MaxY: 1005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 5 {
+		t.Fatalf("restored catalog sees %d appended rows, want 5", len(got.Points))
+	}
+	if !got.Scan.IndexProbe || got.Scan.DeltaRows == 0 {
+		t.Fatalf("replayed tail not served from the delta index: %+v", got.Scan)
+	}
+	// Sampled answers must match the pre-restart catalog's (no rebuild,
+	// same samples byte for byte).
+	want, err := cat.Query("gps", vas.Rect{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := restored.Query("gps", vas.Rect{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Points) != len(want.Points) || after.SampleSize != want.SampleSize {
+		t.Fatalf("restored sample answer diverged: %d/%d points, sample %d/%d",
+			len(after.Points), len(want.Points), after.SampleSize, want.SampleSize)
+	}
+
+	// A full save folds the tail into the base and truncates the log;
+	// a second restart then needs no replay and still has every row.
+	if err := restored.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, vas.TailFile)); !os.IsNotExist(err) {
+		t.Fatal("full save left the folded tail log behind")
+	}
+	again := vas.NewCatalog()
+	if err := again.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := again.QueryExact("gps", vas.Rect{MinX: 999, MinY: 999, MaxX: 1005, MaxY: 1005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Points) != 5 {
+		t.Fatalf("after fold + reload: %d appended rows, want 5", len(got2.Points))
+	}
+}
+
+// TestAppendDurabilityDegradation pins the tail-log failure contract:
+// when the log cannot be written, the rows still go live and serve, the
+// error is surfaced (and sticky — later appends stop touching the
+// broken log), and a successful full save heals the catalog.
+func TestAppendDurabilityDegradation(t *testing.T) {
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 2000, Seed: 29})
+	cat := newSnapshotCatalog(t, d)
+	dir := t.TempDir()
+	if err := cat.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Break the log: a non-empty directory where the tail file should
+	// be makes every append's tail write fail — and the background
+	// re-save retry too (it cannot truncate the "log"), so the
+	// degradation deterministically persists until the test heals it.
+	if err := os.Mkdir(filepath.Join(dir, vas.TailFile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, vas.TailFile, "block"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cat.Append("gps", []vas.Point{vas.Pt(1, 2)})
+	if err == nil {
+		t.Fatal("append with a broken tail log reported success")
+	}
+	if cat.SnapshotErr() == nil {
+		t.Fatal("degradation not recorded")
+	}
+	// The rows are live regardless.
+	got, qerr := cat.QueryExact("gps", vas.Rect{MinX: 0.5, MinY: 1.5, MaxX: 1.5, MaxY: 2.5})
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if len(got.Points) != 1 {
+		t.Fatalf("appended row not serving under degradation: %d points", len(got.Points))
+	}
+	// Later appends keep reporting the degradation without touching the
+	// broken log.
+	if err := cat.Append("gps", []vas.Point{vas.Pt(3, 4)}); err == nil {
+		t.Fatal("degraded catalog reported a durable append")
+	}
+	// A successful full save folds the live rows in and heals.
+	if err := os.RemoveAll(filepath.Join(dir, vas.TailFile)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if cat.SnapshotErr() != nil {
+		t.Fatalf("degradation survived a successful save: %v", cat.SnapshotErr())
+	}
+	restored := vas.NewCatalog()
+	if err := restored.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := restored.QueryExact("gps", vas.Rect{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Points) != 2 {
+		t.Fatalf("healed snapshot lost rows appended under degradation: %d points", len(got2.Points))
+	}
+	if err := cat.Append("gps", []vas.Point{vas.Pt(5, 6)}); err != nil {
+		t.Fatalf("append after healing still failing: %v", err)
+	}
+}
+
+// TestTailReplayValidation pins the all-or-nothing load contract for
+// the tail log: a tail that cannot replay (unknown table) fails the
+// whole load and leaves the catalog unpublished.
+func TestTailReplayValidation(t *testing.T) {
+	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 2000, Seed: 23})
+	cat := newSnapshotCatalog(t, d)
+	dir := t.TempDir()
+	if err := cat.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Append("ghost", []vas.Point{vas.Pt(1, 2)}); err == nil {
+		t.Fatal("append to a missing table was accepted")
+	}
+	// Forge a tail record for a table the snapshot does not carry.
+	if err := snapshotAppendTail(dir, "ghost"); err != nil {
+		t.Fatal(err)
+	}
+	fresh := vas.NewCatalog()
+	if err := fresh.LoadSnapshot(dir); err == nil {
+		t.Fatal("tail targeting an unknown table was accepted")
+	}
+	if _, err := fresh.Query("gps", vas.Rect{}, 0); err == nil {
+		t.Fatal("partial catalog was published despite the bad tail")
+	}
+}
+
+// snapshotAppendTail writes a syntactically valid tail record for an
+// arbitrary table name next to the snapshot, via the public Append path
+// of a throwaway catalog pointed at the same directory layout.
+func snapshotAppendTail(dir, table string) error {
+	// The tail format is internal; reuse it through a scratch catalog
+	// that has the target table, then move its log into place.
+	scratch := vas.NewCatalog()
+	pts := []vas.Point{vas.Pt(5, 6)}
+	if err := scratch.LoadTable(table, pts); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp("", "tail")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	if err := scratch.SaveSnapshot(tmp); err != nil {
+		return err
+	}
+	if err := scratch.Append(table, pts); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(filepath.Join(tmp, vas.TailFile))
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, vas.TailFile), data, 0o644)
+}
+
 func TestMetricsReportColdStart(t *testing.T) {
 	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 2000, Seed: 3})
 	cat := newSnapshotCatalog(t, d)

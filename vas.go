@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -329,7 +330,38 @@ type Catalog struct {
 	// vs full rebuild) and how long that took, for /metrics.
 	coldSource string
 	coldDur    time.Duration
+
+	// snapMu serializes everything that must agree about what is on
+	// disk versus in memory: appends (store write + tail-log record are
+	// one critical section), full saves (catalog capture + save + tail
+	// truncation), and loads. snapDir is the snapshot directory the
+	// catalog is bound to ("" = no persistence); tailRows counts, per
+	// table, the rows living only in the tail log since the last full
+	// save (the re-save threshold is per table — a big table's backlog
+	// must not trigger a full-catalog save on a small table's behalf).
+	snapMu   sync.Mutex
+	snapDir  string
+	tailRows map[string]int64
+	resaving atomic.Bool
+	// snapErr marks the snapshot persistence as degraded: a tail-log
+	// write or background re-save failed. While set, appends no longer
+	// touch the log (a failed write followed by successful ones would
+	// turn a tolerated torn-final-record into mid-file corruption) and
+	// keep returning the error; a successful SaveSnapshot — retried in
+	// the background with backoff — folds everything and clears it.
+	snapErr     error
+	lastResave  time.Time
+	resaveEvery time.Duration
+
+	// compactFrac is the auto-compaction threshold applied to every
+	// base table the catalog loads (see store.Table.SetAutoCompact).
+	compactFrac float64
 }
+
+// DefaultCompactFraction is the auto-compaction threshold applied to
+// base tables the catalog loads: a background compaction fires when a
+// table's delta exceeds this fraction of its indexed rows.
+const DefaultCompactFraction = 0.10
 
 // NewCatalog returns an empty catalog using the paper's Tableau latency
 // model to convert budgets to tuple counts. (The model is pluggable in
@@ -337,10 +369,27 @@ type Catalog struct {
 func NewCatalog() *Catalog {
 	st := store.New()
 	return &Catalog{
-		st:      st,
-		planner: query.NewPlanner(st, viztime.Tableau()),
-		prov:    make(map[string]snapshot.Provenance),
+		st:          st,
+		planner:     query.NewPlanner(st, viztime.Tableau()),
+		prov:        make(map[string]snapshot.Provenance),
+		compactFrac: DefaultCompactFraction,
 	}
+}
+
+// SetCompactFraction overrides the auto-compaction threshold applied to
+// tables loaded AFTER the call (LoadTable, LoadSnapshot): a table whose
+// delta exceeds frac of its indexed rows compacts in the background.
+// frac <= 0 disables automatic compaction.
+func (c *Catalog) SetCompactFraction(frac float64) {
+	c.snapMu.Lock()
+	c.compactFrac = frac
+	c.snapMu.Unlock()
+}
+
+func (c *Catalog) compactFraction() float64 {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	return c.compactFrac
 }
 
 // LoadTable registers a base table named name with columns x and y, or
@@ -370,6 +419,7 @@ func (c *Catalog) LoadTable(name string, points []Point) error {
 	if err := t.IndexOn("x", "y"); err != nil {
 		return err
 	}
+	t.SetAutoCompact(c.compactFraction())
 	// New contents, new provenance; the empty build spec marks that no
 	// samples have been built against these contents yet, so a snapshot
 	// saved now can never be mistaken for one carrying fresh samples.
@@ -474,6 +524,145 @@ func (c *Catalog) RegisterSample(table string, s *Sample, counts []int64) error 
 	return nil
 }
 
+// Append adds a batch of points to a base table while it serves: the
+// rows are absorbed into the table's delta index in the same critical
+// section they become visible in (scans stay at indexed speed; crossing
+// the compaction threshold folds them into a fresh immutable generation
+// in the background), the batch is recorded in the snapshot tail log
+// when the catalog is bound to a snapshot directory (a restart replays
+// it — no rebuild), and the table's cached tiles are invalidated.
+//
+// A non-nil error with rows already visible (tail-log write failure)
+// means durability is degraded, not that the append was rejected: the
+// rows serve until the process exits, and the catalog keeps retrying a
+// full re-save in the background to restore persistence. Samples are
+// not refreshed by Append: they keep representing the distribution they
+// were built from until the next BuildSamples. Exact queries and
+// tail-aware probes see appended rows immediately.
+func (c *Catalog) Append(table string, pts []Point) error {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	n, err := c.appendCols(table, [][]float64{xs, ys})
+	if n > 0 {
+		// The table changed: stale tiles must go even when the tail log
+		// write failed afterwards.
+		c.srvMu.Lock()
+		if c.srv != nil {
+			c.srv.InvalidateTable(table)
+		}
+		c.srvMu.Unlock()
+	}
+	return err
+}
+
+// tailResaveFraction is how large the tail log may grow, relative to
+// its table's rows, before a background full re-save folds it into the
+// base snapshot file. resaveRetryInterval bounds how often a FAILING
+// re-save is retried — each attempt encodes the whole catalog under
+// snapMu, so back-to-back retries against a broken directory would
+// stall every append.
+const (
+	tailResaveFraction  = 0.25
+	resaveRetryInterval = 30 * time.Second
+)
+
+// appendCols is the shared append path (Catalog.Append and the HTTP
+// /v1/append hook): one snapMu critical section covers the store write
+// and the tail-log record, so a concurrent SaveSnapshot can never
+// capture the rows into the base file AND leave them in the tail log
+// (which a later load would replay twice). Returns the rows appended —
+// n > 0 with a non-nil error means the rows are live but not durable
+// (see Append). Tile invalidation is the caller's (both callers already
+// bump the epoch).
+func (c *Catalog) appendCols(table string, cols [][]float64) (int, error) {
+	t, err := c.st.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	if len(cols) == 0 || len(cols[0]) == 0 {
+		return 0, nil
+	}
+	n := len(cols[0])
+	c.snapMu.Lock()
+	if err := t.AppendRows(cols...); err != nil {
+		c.snapMu.Unlock()
+		return 0, err
+	}
+	var tailErr error
+	resave := false
+	if c.snapDir != "" {
+		switch {
+		case c.snapErr != nil:
+			// The log is degraded; appending past an earlier failed
+			// write could corrupt it mid-file. Keep surfacing the
+			// degradation and lean on the re-save retry below.
+			tailErr = fmt.Errorf("vas: append not durable (snapshot persistence degraded): %w", c.snapErr)
+			resave = true
+		default:
+			if err := snapshot.AppendTail(filepath.Join(c.snapDir, TailFile), table, cols); err != nil {
+				c.snapErr = err
+				tailErr = fmt.Errorf("vas: append durable tail: %w", err)
+				resave = true
+			} else {
+				if c.tailRows == nil {
+					c.tailRows = make(map[string]int64)
+				}
+				c.tailRows[table] += int64(n)
+				resave = float64(c.tailRows[table]) >= tailResaveFraction*float64(t.NumRows())
+			}
+		}
+		if resave && time.Since(c.lastResave) < c.resaveInterval() {
+			resave = false
+		}
+	}
+	c.snapMu.Unlock()
+	if resave && c.resaving.CompareAndSwap(false, true) {
+		go func() {
+			defer c.resaving.Store(false)
+			c.snapMu.Lock()
+			dir := c.snapDir
+			c.lastResave = time.Now()
+			c.snapMu.Unlock()
+			if dir != "" {
+				// A full save folds the in-memory rows (tail included)
+				// into the base file, truncates the log, and clears any
+				// degradation; losing the race to a concurrent explicit
+				// save is fine — it does the same thing. A failure stays
+				// recorded in snapErr until a retry succeeds.
+				if err := c.SaveSnapshot(dir); err != nil {
+					c.snapMu.Lock()
+					c.snapErr = err
+					c.snapMu.Unlock()
+				}
+			}
+		}()
+	}
+	return n, tailErr
+}
+
+// resaveInterval returns the minimum gap between background re-save
+// attempts. Caller holds snapMu.
+func (c *Catalog) resaveInterval() time.Duration {
+	if c.resaveEvery > 0 {
+		return c.resaveEvery
+	}
+	return resaveRetryInterval
+}
+
+// SnapshotErr reports whether snapshot persistence is degraded: the
+// last tail-log write or background re-save failed and no save has
+// succeeded since. A degraded catalog keeps serving (appended rows stay
+// live in memory) and keeps retrying a full re-save in the background.
+func (c *Catalog) SnapshotErr() error {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	return c.snapErr
+}
+
 // buildSpec canonicalizes the arguments of BuildSamples into the
 // provenance string snapshots persist: two builds agree on the spec
 // exactly when they would produce the same sample set from the same
@@ -493,7 +682,12 @@ func (c *Catalog) Handler() http.Handler {
 	c.srvMu.Lock()
 	defer c.srvMu.Unlock()
 	if c.srv == nil {
-		c.srv = server.New(c.st, c.planner, server.Config{})
+		c.srv = server.New(c.st, c.planner, server.Config{
+			// Ingest batches route through the catalog so every append
+			// also lands in the snapshot tail log (durable across a
+			// restart); the server bumps the tile epoch itself.
+			AppendHook: c.appendCols,
+		})
 		if c.coldSource != "" {
 			c.srv.SetColdStart(c.coldSource, c.coldDur)
 		}
@@ -502,17 +696,33 @@ func (c *Catalog) Handler() http.Handler {
 }
 
 // SnapshotFile is the file name SaveSnapshot writes (and LoadSnapshot
-// reads) inside the snapshot directory.
-const SnapshotFile = "catalog.snap"
+// reads) inside the snapshot directory. TailFile is the append-only
+// ingest log that rides next to it: batches appended since the last
+// full save, replayed by LoadSnapshot and folded in (then deleted) by
+// the next SaveSnapshot.
+const (
+	SnapshotFile = "catalog.snap"
+	TailFile     = "catalog.tail"
+)
 
 // SaveSnapshot persists the catalog's entire serving state —
-// every table's columns, CSR grid indexes and zone maps, the sample
-// lineage, and the per-table provenance — to dir/catalog.snap in the
-// versioned, checksummed binary format of internal/snapshot. The write
-// is atomic (temp file + rename), so a crash mid-save leaves the
-// previous snapshot intact. A later LoadSnapshot restores the catalog
-// without re-running BuildSamples or any index build.
+// every table's columns (appended rows included), CSR grid indexes and
+// zone maps, the sample lineage, and the per-table provenance — to
+// dir/catalog.snap in the versioned, checksummed binary format of
+// internal/snapshot. The write is atomic (temp file + rename), so a
+// crash mid-save leaves the previous snapshot intact. Rows that were
+// living only in the tail log are folded into the base file by the
+// capture, so the log is truncated in the same critical section; the
+// save also binds the catalog to dir, making later Appends durable
+// there. A later LoadSnapshot restores the catalog without re-running
+// BuildSamples or any index build.
 func (c *Catalog) SaveSnapshot(dir string) error {
+	// snapMu makes capture + save + tail truncation atomic with respect
+	// to appendCols: no append can slip between the capture (which
+	// folds every in-memory row into the base file) and the tail
+	// removal, where its log record would be deleted unfolded.
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
 	cat := &snapshot.Catalog{}
 	// One critical section for membership + lineage: a BuildSamples
 	// racing the save can never leave a lineage entry in the snapshot
@@ -524,36 +734,88 @@ func (c *Catalog) SaveSnapshot(dir string) error {
 		cat.Provenance = append(cat.Provenance, p)
 	}
 	c.provMu.Unlock()
-	return snapshot.Save(filepath.Join(dir, SnapshotFile), cat)
+	if err := snapshot.Save(filepath.Join(dir, SnapshotFile), cat); err != nil {
+		return err
+	}
+	if err := snapshot.RemoveTail(filepath.Join(dir, TailFile)); err != nil {
+		return fmt.Errorf("vas: truncating folded tail log: %w", err)
+	}
+	c.snapDir = dir
+	c.tailRows = nil
+	// Everything in memory is now in the base file: any earlier tail or
+	// re-save failure is healed.
+	c.snapErr = nil
+	return nil
 }
 
 // LoadSnapshot restores a catalog saved by SaveSnapshot from
-// dir/catalog.snap. Every table is validated (framing and checksums by
-// the decoder, every structural index invariant by the store) before
-// anything is published, and the whole batch then lands in one critical
-// section under the same tile-invalidation machinery LoadTable uses —
-// a corrupt, truncated, or version-skewed snapshot returns an error and
-// leaves the catalog exactly as it was, never partially loaded.
+// dir/catalog.snap, then replays dir/catalog.tail — the batches
+// appended since that save — through the delta-index append path, so a
+// server restarted mid-ingest comes back with every appended row and
+// never rebuilds a sample or an index. Every table is validated
+// (framing and checksums by the decoder, every structural index
+// invariant by the store) and the tail log fully parsed and
+// shape-checked before anything is published; the whole batch then
+// lands in one critical section under the same tile-invalidation
+// machinery LoadTable uses — a corrupt, truncated, or version-skewed
+// snapshot (or tail log) returns an error and leaves the catalog
+// exactly as it was, never partially loaded.
 //
 // Freshness is the caller's decision: compare SnapshotFresh against the
 // data a rebuild would use, and rebuild (then SaveSnapshot again) when
-// it reports stale.
+// it reports stale. Appended batches do not enter that comparison —
+// provenance describes the loaded base data, and the tail rides on top.
 func (c *Catalog) LoadSnapshot(dir string) error {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
 	cat, err := snapshot.Load(filepath.Join(dir, SnapshotFile))
 	if err != nil {
 		return err
 	}
+	tail, err := snapshot.LoadTail(filepath.Join(dir, TailFile))
+	if err != nil {
+		return fmt.Errorf("vas: snapshot tail %s: %w", filepath.Join(dir, TailFile), err)
+	}
+	frac := c.compactFrac
 	tables := make([]*store.Table, 0, len(cat.Tables))
+	byName := make(map[string]*store.Table, len(cat.Tables))
 	for _, ts := range cat.Tables {
 		t, err := store.TableFromSnapshot(ts)
 		if err != nil {
 			return fmt.Errorf("vas: snapshot %s: %w", filepath.Join(dir, SnapshotFile), err)
 		}
+		t.SetAutoCompact(frac)
 		tables = append(tables, t)
+		byName[t.Name()] = t
+	}
+	// Validate the tail against the decoded tables before publishing
+	// anything: a replay that cannot land (unknown table, wrong column
+	// count) must fail the whole load, not half-apply it.
+	tailRows := make(map[string]int64)
+	for ri, rec := range tail {
+		t, ok := byName[rec.Table]
+		if !ok {
+			return fmt.Errorf("vas: snapshot tail record %d targets unknown table %q", ri, rec.Table)
+		}
+		if len(rec.Cols) != len(t.Columns()) {
+			return fmt.Errorf("vas: snapshot tail record %d has %d columns for %d-column table %q",
+				ri, len(rec.Cols), len(t.Columns()), rec.Table)
+		}
+		tailRows[rec.Table] += int64(len(rec.Cols[0]))
 	}
 	if err := c.st.PublishCatalog(tables, cat.Samples); err != nil {
 		return fmt.Errorf("vas: snapshot %s: %w", filepath.Join(dir, SnapshotFile), err)
 	}
+	// Replay the tail: AppendRows bins every batch into the restored
+	// indexes' deltas — cheap, incremental, and cannot fail after the
+	// shape checks above.
+	for _, rec := range tail {
+		if err := byName[rec.Table].AppendRows(rec.Cols...); err != nil {
+			return fmt.Errorf("vas: snapshot tail replay into %q: %w", rec.Table, err)
+		}
+	}
+	c.snapDir = dir
+	c.tailRows = tailRows
 	c.provMu.Lock()
 	for _, p := range cat.Provenance {
 		c.prov[p.Table] = p
