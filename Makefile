@@ -10,10 +10,12 @@ GO ?= go
 # append throughput.
 SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered|ScanAfterAppend|AppendThroughput
 # The cold-start benchmarks (root package): bringing a 1M-row catalog
-# up by full offline rebuild vs restoring it from a snapshot file.
-SNAPSHOT_BENCH ?= ColdStart
+# up by full offline rebuild vs restoring it from a snapshot file —
+# plus the parallel HTTP query path, which guards the observability
+# middleware (tracing must stay free when nobody is watching).
+SNAPSHOT_BENCH ?= ColdStart|ServerQueryParallel
 
-.PHONY: all build test race bench bench-smoke fmt vet fuzz-smoke
+.PHONY: all build test race bench bench-smoke fmt vet fuzz-smoke obs-smoke
 
 all: build test
 
@@ -33,19 +35,28 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the serving + cold-start benchmarks and commits the
-# numbers as BENCH_PR5.json (the repo's benchmark trajectory;
-# BENCH_PR2.json .. BENCH_PR4.json are the previous points on it).
+# numbers as BENCH_PR6.json (the repo's benchmark trajectory;
+# BENCH_PR2.json .. BENCH_PR5.json are the previous points on it).
 bench:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem ./internal/store | tee /tmp/bench_serving.txt
 	$(GO) test -run '^$$' -bench '$(SNAPSHOT_BENCH)' -benchmem . | tee -a /tmp/bench_serving.txt
-	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR5.json
-	@echo wrote BENCH_PR5.json
+	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
 
 # bench-smoke is the CI guard: every committed benchmark must still
 # compile and complete one iteration.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchtime 1x ./internal/store
 	$(GO) test -run '^$$' -bench '$(SNAPSHOT_BENCH)' -benchtime 1x .
+
+# obs-smoke exercises the observability surface end to end: the
+# exposition-format checker under concurrent traffic and -race, the
+# slow-query log, tile scan headers, the degraded-tail gauge, and the
+# zero-allocation no-trace span contract.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestMetricsStrictUnderConcurrentTraffic|TestSlowLogEndpoint|TestTileScanHeaders' ./internal/server
+	$(GO) test -race -count=1 ./internal/obs
+	$(GO) test -count=1 -run 'TestObsSlowQueryEndToEnd|TestTailLogDegradedGaugeEndToEnd' .
 
 # fuzz-smoke gives the RowSet algebra and snapshot decoder fuzzers a
 # short budget against their checked-in corpora (testdata/fuzz); CI

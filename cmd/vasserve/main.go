@@ -24,12 +24,14 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -debug-addr
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 
 	vas "repro"
 )
@@ -44,6 +46,8 @@ func main() {
 		passes  = flag.Int("passes", 1, "Interchange passes per sample build")
 		snapDir = flag.String("snapshot", "", "catalog snapshot directory: load when present and fresh, else build then save; appended batches land in its tail log")
 		compact = flag.Float64("compact", vas.DefaultCompactFraction, "background-compaction threshold: delta/indexed-rows fraction that triggers a merge (<=0 disables)")
+		debug   = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling (e.g. localhost:6060); empty disables")
+		slow    = flag.Duration("slow-threshold", 0, "record request traces slower than this in /debug/slow (0 = server default 250ms, negative = record everything)")
 	)
 	flag.Parse()
 	var ks []int
@@ -71,10 +75,36 @@ func main() {
 	fmt.Printf("  GET  /v1/query?table=gps&budget=1600ms&minx=..&miny=..&maxx=..&maxy=..\n")
 	fmt.Printf("  GET  /v1/tile/gps/{z}/{x}/{y}.png?size=256&budget=1600ms\n")
 	fmt.Printf("  POST /v1/append/gps  (JSON {\"points\": [[x,y],...]})\n")
-	fmt.Printf("  GET  /healthz | GET /metrics\n")
+	fmt.Printf("  GET  /healthz | GET /metrics | GET /debug/slow\n")
+	handler := cat.Handler()
+	if *slow != 0 {
+		if s, ok := handler.(interface{ SlowLog() *obs.SlowLog }); ok {
+			d := *slow
+			if d < 0 {
+				d = 0 // keep every trace
+			}
+			s.SlowLog().SetThreshold(d)
+		}
+	}
+	if *debug != "" {
+		// pprof lives on its own listener so profiling endpoints are never
+		// exposed on the serving address. net/http/pprof registered its
+		// handlers on http.DefaultServeMux at import.
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *debug)
+		go func() {
+			dbg := &http.Server{
+				Addr:              *debug,
+				Handler:           http.DefaultServeMux,
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			if err := dbg.ListenAndServe(); err != nil {
+				fmt.Fprintf(os.Stderr, "vasserve: debug listener: %v\n", err)
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           cat.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if err := srv.ListenAndServe(); err != nil {

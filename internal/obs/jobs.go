@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobSet tracks named background jobs: an in-flight gauge and a
+// duration histogram per job name. Job names are low-cardinality
+// ("compaction", "snapshot_save", "tail_write"); the map is built
+// lazily and never shrinks.
+type JobSet struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+type job struct {
+	inflight atomic.Int64
+	hist     *Histogram
+}
+
+// NewJobSet makes an empty job set.
+func NewJobSet() *JobSet {
+	return &JobSet{jobs: make(map[string]*job)}
+}
+
+// DefaultJobs is the process-wide job set. Background work in deep
+// layers (store compaction, snapshot persistence) records here so the
+// HTTP layer can expose it without plumbing a registry downward.
+var DefaultJobs = NewJobSet()
+
+func (s *JobSet) get(name string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[name]
+	if j == nil {
+		j = &job{hist: NewHistogram(DefaultJobBuckets)}
+		s.jobs[name] = j
+	}
+	return j
+}
+
+// Start marks one execution of the named job as in flight and returns
+// a timer; call End when the job finishes.
+func (s *JobSet) Start(name string) JobTimer {
+	j := s.get(name)
+	j.inflight.Add(1)
+	return JobTimer{j: j, start: time.Now()}
+}
+
+// StartJob starts a timer on the process-wide DefaultJobs set.
+func StartJob(name string) JobTimer {
+	return DefaultJobs.Start(name)
+}
+
+// JobTimer is one in-flight job execution. The zero value's End is a
+// no-op.
+type JobTimer struct {
+	j     *job
+	start time.Time
+}
+
+// End marks the job finished and records its duration.
+func (t JobTimer) End() {
+	if t.j == nil {
+		return
+	}
+	t.j.inflight.Add(-1)
+	t.j.hist.ObserveDuration(time.Since(t.start))
+}
+
+// JobStats is one job's exported state.
+type JobStats struct {
+	Name     string
+	Inflight int64
+	Hist     HistSnapshot
+}
+
+// Snapshot returns per-job stats sorted by name.
+func (s *JobSet) Snapshot() []JobStats {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.jobs))
+	for name := range s.jobs {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	out := make([]JobStats, 0, len(names))
+	for _, name := range names {
+		j := s.get(name)
+		out = append(out, JobStats{Name: name, Inflight: j.inflight.Load(), Hist: j.hist.Snapshot()})
+	}
+	return out
+}

@@ -8,11 +8,13 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/viztime"
 )
@@ -87,24 +89,40 @@ func NewPlanner(st *store.Store, model viztime.Model) *Planner {
 
 // Plan answers one request.
 func (pl *Planner) Plan(req Request) (*Response, error) {
+	return pl.PlanCtx(context.Background(), req)
+}
+
+// PlanCtx is Plan with stage timing: when ctx carries an obs.Trace,
+// sample selection is recorded as the plan span, row projection as the
+// gather span, and the store scan contributes probe/residual spans.
+// The trace also learns the base table and, for sampled answers, which
+// sample was served.
+func (pl *Planner) PlanCtx(ctx context.Context, req Request) (*Response, error) {
+	tr := obs.FromContext(ctx)
 	start := time.Now()
 	if req.Table == "" || req.XCol == "" || req.YCol == "" {
 		return nil, errors.New("query: Table, XCol and YCol are required")
 	}
+	tr.SetTable(req.Table)
 
 	if req.Exact {
+		sp := tr.StartSpan(obs.StagePlan)
 		base, err := pl.st.Table(req.Table)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		// Before the scan: a count taken after could exceed the scanned
 		// snapshot under concurrent appends and overstate currency.
 		servedRows := base.NumRows()
-		rows, scanStats, err := pl.viewportRows(base, req.XCol, req.YCol, req.Viewport, req.Filters)
+		sp.End()
+		rows, scanStats, err := pl.viewportRows(ctx, base, req.XCol, req.YCol, req.Viewport, req.Filters)
 		if err != nil {
 			return nil, err
 		}
+		sp = tr.StartSpan(obs.StageGather)
 		pts, err := base.Points(req.XCol, req.YCol, rows)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -125,6 +143,7 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 	// the table) can race between selection and lookup; re-resolving
 	// against the updated catalog absorbs it instead of surfacing a
 	// spurious not-found for a table that exists.
+	sp := tr.StartSpan(obs.StagePlan)
 	var (
 		chosen store.SampleMeta
 		st     *store.Table
@@ -133,6 +152,7 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 	for attempt := 0; ; attempt++ {
 		chosen, err = pl.Choose(req)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		st, err = pl.st.Table(chosen.Table)
@@ -140,17 +160,22 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 			break
 		}
 		if attempt == 2 || !errors.Is(err, store.ErrNotFound) {
+			sp.End()
 			return nil, err
 		}
 	}
+	tr.Annotate("sample", chosen.Table)
 	// One index probe (or fallback scan) serves both the point projection
 	// and the density gather; this is the serving hot path.
 	servedRows := st.NumRows()
-	rows, scanStats, err := pl.viewportRows(st, chosen.XCol, chosen.YCol, req.Viewport, req.Filters)
+	sp.End()
+	rows, scanStats, err := pl.viewportRows(ctx, st, chosen.XCol, chosen.YCol, req.Viewport, req.Filters)
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.StartSpan(obs.StageGather)
 	pts, err := st.Points(chosen.XCol, chosen.YCol, rows)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +191,9 @@ func (pl *Planner) Plan(req Request) (*Response, error) {
 		// A sample registered with HasDensity whose density column cannot
 		// be gathered is broken data, not a cue to silently degrade to
 		// unweighted output.
+		sp = tr.StartSpan(obs.StageGather)
 		vals, err := st.Gather("density", rows)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("query: sample %q density gather: %w", chosen.Table, err)
 		}
@@ -227,7 +254,7 @@ func (pl *Planner) chooseSample(req Request, maxTuples int) (store.SampleMeta, e
 	return best, nil
 }
 
-func (pl *Planner) viewportRows(t *store.Table, xCol, yCol string, vp geom.Rect, filters []store.Pred) (store.RowSet, store.ScanStats, error) {
+func (pl *Planner) viewportRows(ctx context.Context, t *store.Table, xCol, yCol string, vp geom.Rect, filters []store.Pred) (store.RowSet, store.ScanStats, error) {
 	// Both the zero value (the natural "unset" spelling for callers) and
 	// a properly empty rectangle mean "no viewport restriction". With no
 	// filters either, the full extent is the store.All sentinel:
@@ -245,7 +272,7 @@ func (pl *Planner) viewportRows(t *store.Table, xCol, yCol string, vp geom.Rect,
 	// An index probe when the sample's column pair is indexed (every
 	// table published through LoadSample or the vas façade is), a
 	// sharded linear scan otherwise. Filters ride down into the probe.
-	return t.ScanRectWhere(xCol, yCol, vp, filters)
+	return t.ScanRectWhereCtx(ctx, xCol, yCol, vp, filters)
 }
 
 // LoadSample materializes a sample as a store table named name with

@@ -3,80 +3,41 @@ package server
 import (
 	"fmt"
 	"io"
-	"math"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
-// latencyBuckets are the upper bounds of the request-latency histogram.
-// They span 50µs–2.5s in roughly 1-2.5-5 steps: the left end resolves
-// cache-hit tile serves, the right end resolves budget-bound renders.
-var latencyBuckets = []time.Duration{
-	50 * time.Microsecond,
-	100 * time.Microsecond,
-	250 * time.Microsecond,
-	500 * time.Microsecond,
-	1 * time.Millisecond,
-	2500 * time.Microsecond,
-	5 * time.Millisecond,
-	10 * time.Millisecond,
-	25 * time.Millisecond,
-	50 * time.Millisecond,
-	100 * time.Millisecond,
-	250 * time.Millisecond,
-	500 * time.Millisecond,
-	1 * time.Second,
-	2500 * time.Millisecond,
+// routeOther is the catch-all label for requests on routes that were
+// not pre-registered: they get a real counter and histogram of their
+// own instead of being silently folded into nothing, so per-route
+// counts and latency observations always reconcile.
+const routeOther = "other"
+
+// routeMetrics is one route's request counter and latency histogram.
+type routeMetrics struct {
+	count   atomic.Int64
+	latency *obs.Histogram
 }
 
-// histogram is a fixed-bucket latency histogram with lock-free recording.
-// The final counter holds observations above the last bucket bound.
-type histogram struct {
-	counts []atomic.Int64 // len(latencyBuckets)+1
+// TailStatus is one base table's snapshot-tail durability state, fed by
+// the catalog layer for the vasserve_tail_log_degraded gauge.
+type TailStatus struct {
+	Table    string
+	Degraded bool
 }
 
-func (h *histogram) observe(d time.Duration) {
-	i := sort.Search(len(latencyBuckets), func(i int) bool { return d <= latencyBuckets[i] })
-	h.counts[i].Add(1)
-}
-
-// quantileSeconds returns an upper-bound estimate of the p-quantile (p
-// in [0,1]) in seconds: the bound of the bucket where the cumulative
-// count crosses p·total. A quantile landing in the overflow bucket has
-// no upper bound and reports +Inf (the Prometheus convention), so tail
-// saturation is visible instead of silently capped at the largest
-// tracked bound. With no observations it returns 0.
-func (h *histogram) quantileSeconds(p float64) float64 {
-	var total int64
-	for i := range h.counts {
-		total += h.counts[i].Load()
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := int64(p * float64(total))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for i := range latencyBuckets {
-		cum += h.counts[i].Load()
-		if cum >= rank {
-			return latencyBuckets[i].Seconds()
-		}
-	}
-	return math.Inf(1)
-}
-
-// metrics aggregates per-route request counters and a shared latency
-// histogram for the /metrics endpoint.
+// metrics aggregates per-route request counters and latency histograms,
+// per-stage duration histograms, and ingest counters for /metrics.
 type metrics struct {
-	requests map[string]*atomic.Int64 // route -> count; fixed at construction
-	errors   atomic.Int64             // responses with status >= 400
-	latency  histogram
+	routes   []string // sorted; includes routeOther
+	requests map[string]*routeMetrics
+	errors   atomic.Int64 // responses with status >= 400
+	stages   [obs.NumStages]*obs.Histogram
 
 	// Ingest counters for the /v1/append endpoint.
 	ingestBatches atomic.Int64
@@ -84,73 +45,181 @@ type metrics struct {
 }
 
 func newMetrics(routes ...string) *metrics {
-	m := &metrics{
-		requests: make(map[string]*atomic.Int64, len(routes)),
-		latency:  histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)},
+	m := &metrics{requests: make(map[string]*routeMetrics, len(routes)+1)}
+	for _, r := range append(routes, routeOther) {
+		if _, ok := m.requests[r]; ok {
+			continue
+		}
+		m.requests[r] = &routeMetrics{latency: obs.NewHistogram(obs.DefaultLatencyBuckets)}
+		m.routes = append(m.routes, r)
 	}
-	for _, r := range routes {
-		m.requests[r] = &atomic.Int64{}
+	sort.Strings(m.routes)
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		m.stages[s] = obs.NewHistogram(obs.DefaultStageBuckets)
 	}
 	return m
 }
 
 func (m *metrics) record(route string, status int, d time.Duration) {
-	if c, ok := m.requests[route]; ok {
-		c.Add(1)
+	rm, ok := m.requests[route]
+	if !ok {
+		rm = m.requests[routeOther]
 	}
+	rm.count.Add(1)
+	rm.latency.ObserveDuration(d)
 	if status >= 400 {
 		m.errors.Add(1)
 	}
-	m.latency.observe(d)
+}
+
+// recordStages folds a finished trace into the per-stage histograms:
+// one observation per stage the request actually touched, of that
+// stage's accumulated duration within the request.
+func (m *metrics) recordStages(tr *obs.Trace) {
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		if tr.StageCount(s) > 0 {
+			m.stages[s].ObserveDuration(tr.StageDuration(s))
+		}
+	}
 }
 
 // write emits the metrics in Prometheus text exposition format.
 // coldSource/coldSeconds describe how the catalog was populated at
 // startup (snapshot load vs full rebuild); empty means not recorded.
-func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats, coldSource string, coldSeconds float64) {
-	routes := make([]string, 0, len(m.requests))
-	for r := range m.requests {
-		routes = append(routes, r)
+// tails carries per-table snapshot-tail durability, jobs the
+// background-job stats (both may be nil).
+func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats, coldSource string, coldSeconds float64, tails []TailStatus, jobs []obs.JobStats) {
+	ew := obs.NewExpoWriter(w)
+
+	ew.Head("vasserve_requests_total", "counter", "Requests served, by route.")
+	for _, r := range m.routes {
+		fmt.Fprintf(w, "vasserve_requests_total{route=%q} %d\n", r, m.requests[r].count.Load())
 	}
-	sort.Strings(routes)
-	for _, r := range routes {
-		fmt.Fprintf(w, "vasserve_requests_total{route=%q} %d\n", r, m.requests[r].Load())
-	}
+	ew.Head("vasserve_request_errors_total", "counter", "Responses with status >= 400.")
 	fmt.Fprintf(w, "vasserve_request_errors_total %d\n", m.errors.Load())
-	fmt.Fprintf(w, "vasserve_request_latency_p50_seconds %g\n", m.latency.quantileSeconds(0.50))
-	fmt.Fprintf(w, "vasserve_request_latency_p99_seconds %g\n", m.latency.quantileSeconds(0.99))
+
+	// Per-route latency histograms, plus process-wide p50/p99 derived
+	// from their merged buckets (kept for dashboards that predate the
+	// histograms; an overflow-bucket quantile reports +Inf).
+	var merged obs.HistSnapshot
+	for _, r := range m.routes {
+		snap := m.requests[r].latency.Snapshot()
+		merged.Merge(snap)
+		ew.Histogram("vasserve_request_latency_seconds", "Request latency by route.", "route="+obs.QuoteLabel(r), snap)
+	}
+	ew.Head("vasserve_request_latency_p50_seconds", "gauge", "Upper bound of the median request latency across all routes.")
+	fmt.Fprintf(w, "vasserve_request_latency_p50_seconds %g\n", merged.Quantile(0.50))
+	ew.Head("vasserve_request_latency_p99_seconds", "gauge", "Upper bound of the 99th-percentile request latency across all routes.")
+	fmt.Fprintf(w, "vasserve_request_latency_p99_seconds %g\n", merged.Quantile(0.99))
+
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		ew.Histogram("vasserve_stage_duration_seconds", "Per-request accumulated stage duration, by stage.", "stage="+obs.QuoteLabel(s.String()), m.stages[s].Snapshot())
+	}
+
+	for _, j := range jobs {
+		ew.Histogram("vasserve_job_duration_seconds", "Background job duration, by job.", "job="+obs.QuoteLabel(j.Name), j.Hist)
+	}
+	if len(jobs) > 0 {
+		ew.Head("vasserve_job_inflight", "gauge", "Background job executions currently running, by job.")
+		for _, j := range jobs {
+			fmt.Fprintf(w, "vasserve_job_inflight{job=%q} %d\n", j.Name, j.Inflight)
+		}
+	}
+
+	if len(tails) > 0 {
+		ew.Head("vasserve_tail_log_degraded", "gauge", "1 when the table's snapshot tail log is failing writes: appends keep serving but are not durable until the next snapshot save.")
+		for _, ts := range tails {
+			v := 0
+			if ts.Degraded {
+				v = 1
+			}
+			fmt.Fprintf(w, "vasserve_tail_log_degraded{table=%q} %d\n", ts.Table, v)
+		}
+	}
+
+	ew.Head("vasserve_tile_cache_hits_total", "counter", "Tile cache hits.")
 	fmt.Fprintf(w, "vasserve_tile_cache_hits_total %d\n", cache.Hits)
+	ew.Head("vasserve_tile_cache_misses_total", "counter", "Tile cache misses (renders).")
 	fmt.Fprintf(w, "vasserve_tile_cache_misses_total %d\n", cache.Misses)
+	ew.Head("vasserve_tile_cache_waits_total", "counter", "Tile lookups that piggybacked on an in-flight render.")
 	fmt.Fprintf(w, "vasserve_tile_cache_waits_total %d\n", cache.Waits)
+	ew.Head("vasserve_tile_cache_evictions_total", "counter", "Tiles evicted to stay within the byte budget.")
 	fmt.Fprintf(w, "vasserve_tile_cache_evictions_total %d\n", cache.Evictions)
+	ew.Head("vasserve_tile_cache_bytes", "gauge", "Encoded tile bytes currently cached.")
 	fmt.Fprintf(w, "vasserve_tile_cache_bytes %d\n", cache.Bytes)
+	ew.Head("vasserve_tile_cache_entries", "gauge", "Tiles currently cached.")
 	fmt.Fprintf(w, "vasserve_tile_cache_entries %d\n", cache.Entries)
+	ew.Head("vasserve_tile_cache_hit_ratio", "gauge", "Hits / (hits + misses).")
 	fmt.Fprintf(w, "vasserve_tile_cache_hit_ratio %g\n", cache.HitRatio())
+
+	ew.Head("vasserve_store_indexed_tables", "gauge", "Tables carrying at least one spatial index.")
 	fmt.Fprintf(w, "vasserve_store_indexed_tables %d\n", idx.IndexedTables)
+	ew.Head("vasserve_store_spatial_indexes", "gauge", "Spatial indexes across all tables.")
 	fmt.Fprintf(w, "vasserve_store_spatial_indexes %d\n", idx.Indexes)
+	ew.Head("vasserve_store_indexed_rows", "gauge", "Rows covered by spatial indexes.")
 	fmt.Fprintf(w, "vasserve_store_indexed_rows %d\n", idx.IndexedRows)
+	ew.Head("vasserve_store_index_cells", "gauge", "Grid cells across all spatial indexes.")
 	fmt.Fprintf(w, "vasserve_store_index_cells %d\n", idx.Cells)
+	ew.Head("vasserve_store_index_probes_total", "counter", "Viewport scans answered by an index probe.")
 	fmt.Fprintf(w, "vasserve_store_index_probes_total %d\n", idx.Probes)
+	ew.Head("vasserve_store_scan_fallbacks_total", "counter", "Viewport scans answered by the linear fallback.")
 	fmt.Fprintf(w, "vasserve_store_scan_fallbacks_total %d\n", idx.Fallbacks)
+	ew.Head("vasserve_store_filtered_probes_total", "counter", "Index probes carrying residual predicates.")
 	fmt.Fprintf(w, "vasserve_store_filtered_probes_total %d\n", idx.FilteredProbes)
+	ew.Head("vasserve_store_zone_cells_touched_total", "counter", "Cells consulted by zone maps during filtered probes.")
 	fmt.Fprintf(w, "vasserve_store_zone_cells_touched_total %d\n", idx.ZoneCellsTouched)
+	ew.Head("vasserve_store_zone_cells_pruned_total", "counter", "Cells discarded wholesale by zone maps.")
 	fmt.Fprintf(w, "vasserve_store_zone_cells_pruned_total %d\n", idx.ZoneCellsPruned)
+	ew.Head("vasserve_store_zone_skips_total", "counter", "Zone checks skipped by the adaptive planner.")
 	fmt.Fprintf(w, "vasserve_store_zone_skips_total %d\n", idx.ZoneSkips)
+	ew.Head("vasserve_store_delta_rows", "gauge", "Appended rows absorbed into delta indexes.")
 	fmt.Fprintf(w, "vasserve_store_delta_rows %d\n", idx.DeltaRows)
+	ew.Head("vasserve_store_tail_rows", "gauge", "Appended rows outside the base indexes.")
 	fmt.Fprintf(w, "vasserve_store_tail_rows %d\n", idx.TailRows)
+	ew.Head("vasserve_store_compactions_total", "counter", "Background index compactions completed.")
 	fmt.Fprintf(w, "vasserve_store_compactions_total %d\n", idx.Compactions)
+	ew.Head("vasserve_store_compaction_seconds_total", "counter", "Total time spent compacting indexes.")
 	fmt.Fprintf(w, "vasserve_store_compaction_seconds_total %g\n", idx.CompactionSeconds)
 	// Per-table ingest pressure: how many appended rows sit outside the
 	// base index (tail) and how many of those the delta has absorbed —
 	// visible before it ever shows up as latency.
+	ew.Head("vasserve_store_table_rows", "gauge", "Rows per table.")
+	ew.Head("vasserve_store_table_tail_rows", "gauge", "Appended rows outside the base index, per table.")
+	ew.Head("vasserve_store_table_delta_rows", "gauge", "Appended rows absorbed into delta indexes, per table.")
 	for _, ti := range idx.PerTable {
 		fmt.Fprintf(w, "vasserve_store_table_rows{table=%q} %d\n", ti.Table, ti.Rows)
 		fmt.Fprintf(w, "vasserve_store_table_tail_rows{table=%q} %d\n", ti.Table, ti.TailRows)
 		fmt.Fprintf(w, "vasserve_store_table_delta_rows{table=%q} %d\n", ti.Table, ti.DeltaRows)
 	}
+	ew.Head("vasserve_ingest_batches_total", "counter", "Append batches accepted.")
 	fmt.Fprintf(w, "vasserve_ingest_batches_total %d\n", m.ingestBatches.Load())
+	ew.Head("vasserve_ingest_rows_total", "counter", "Rows appended.")
 	fmt.Fprintf(w, "vasserve_ingest_rows_total %d\n", m.ingestRows.Load())
 	if coldSource != "" {
+		ew.Head("vasserve_coldstart_seconds", "gauge", "Catalog population time at startup, by source (snapshot or rebuild).")
 		fmt.Fprintf(w, "vasserve_coldstart_seconds{source=%q} %g\n", coldSource, coldSeconds)
 	}
+
+	writeRuntimeMetrics(ew, w)
+}
+
+// writeRuntimeMetrics emits Go runtime health: goroutines, heap, and
+// GC pressure, under the conventional go_* names.
+func writeRuntimeMetrics(ew *obs.ExpoWriter, w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ew.Head("go_goroutines", "gauge", "Number of goroutines.")
+	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
+	ew.Head("go_memstats_heap_alloc_bytes", "gauge", "Heap bytes allocated and in use.")
+	fmt.Fprintf(w, "go_memstats_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	ew.Head("go_memstats_heap_sys_bytes", "gauge", "Heap bytes obtained from the OS.")
+	fmt.Fprintf(w, "go_memstats_heap_sys_bytes %d\n", ms.HeapSys)
+	ew.Head("go_memstats_heap_objects", "gauge", "Allocated heap objects.")
+	fmt.Fprintf(w, "go_memstats_heap_objects %d\n", ms.HeapObjects)
+	ew.Head("go_memstats_sys_bytes", "gauge", "Total bytes obtained from the OS.")
+	fmt.Fprintf(w, "go_memstats_sys_bytes %d\n", ms.Sys)
+	ew.Head("go_gc_cycles_total", "counter", "Completed GC cycles.")
+	fmt.Fprintf(w, "go_gc_cycles_total %d\n", ms.NumGC)
+	ew.Head("go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.")
+	fmt.Fprintf(w, "go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
 }

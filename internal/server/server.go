@@ -20,6 +20,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/store"
@@ -61,6 +63,16 @@ type Config struct {
 	AppendHook func(table string, cols [][]float64) (int, error)
 	// MaxAppendBytes caps the /v1/append request body; 0 means 64 MiB.
 	MaxAppendBytes int64
+	// SlowThreshold is the minimum total duration a request trace must
+	// reach to enter the slow-query log at /debug/slow; 0 means 250ms,
+	// negative means keep every trace.
+	SlowThreshold time.Duration
+	// SlowLogSize is how many slow traces the log retains; 0 means 64.
+	SlowLogSize int
+	// TailStatus, when set, reports per-table snapshot-tail durability
+	// for the vasserve_tail_log_degraded gauge — the catalog layer wires
+	// its sticky SnapshotErr through here.
+	TailStatus func() []TailStatus
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +91,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxAppendBytes <= 0 {
 		c.MaxAppendBytes = 64 << 20
 	}
+	switch {
+	case c.SlowThreshold == 0:
+		c.SlowThreshold = 250 * time.Millisecond
+	case c.SlowThreshold < 0:
+		c.SlowThreshold = 0
+	}
 	return c
 }
 
@@ -91,6 +109,7 @@ type Server struct {
 	cache   *tilecache.Cache
 	mux     *http.ServeMux
 	metrics *metrics
+	slow    *obs.SlowLog
 
 	// boundsMu guards boundsCache — the lazily computed per-table data
 	// extents tile addresses are resolved against — and epochs, the
@@ -129,10 +148,11 @@ func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
 		st:          st,
 		planner:     planner,
 		cache:       tilecache.New(cfg.TileCacheBytes),
-		metrics:     newMetrics("tables", "query", "tile", "append", "healthz", "metrics"),
+		metrics:     newMetrics("tables", "query", "tile", "append", "healthz", "metrics", "debug"),
 		boundsCache: make(map[string]geom.Rect),
 		epochs:      make(map[string]uint64),
 	}
+	s.slow = obs.NewSlowLog(s.cfg.SlowLogSize, s.cfg.SlowThreshold)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/tables", s.instrument("tables", s.handleTables))
 	mux.HandleFunc("GET /v1/query", s.instrument("query", s.handleQuery))
@@ -140,9 +160,20 @@ func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/append/{table}", s.instrument("append", s.handleAppend))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/slow", s.instrument("debug", s.handleSlow))
+	// Catch-all: unregistered paths still pass through the middleware,
+	// so every response the server sends is counted (route="other")
+	// rather than silently answered by the mux's default NotFound.
+	mux.HandleFunc("/", s.instrument(routeOther, func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
 	s.mux = mux
 	return s
 }
+
+// SlowLog exposes the slow-query log, so the binary can retune the
+// threshold from flags after construction.
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -185,12 +216,22 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// instrument wraps a handler with the observability middleware: every
+// request gets a fresh trace carried in its context (handlers and the
+// layers below record stage spans into it), and on completion the
+// trace feeds the per-route latency histogram, the per-stage duration
+// histograms, and the slow-query log.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		tr := obs.NewTrace(route)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		s.metrics.record(route, sw.status, time.Since(start))
+		tr.Status = sw.status
+		total := tr.Finish()
+		s.metrics.record(route, sw.status, total)
+		s.metrics.recordStages(tr)
+		s.slow.Record(tr)
 	}
 }
 
@@ -479,7 +520,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	exact := r.URL.Query().Get("exact") == "true"
-	resp, err := s.planner.Plan(query.Request{
+	resp, err := s.planner.PlanCtx(r.Context(), query.Request{
 		Table: table, XCol: s.cfg.XCol, YCol: s.cfg.YCol,
 		Viewport: vp, Budget: budget, Exact: exact, Filters: filters,
 	})
@@ -502,7 +543,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, p := range resp.Points {
 		out.Points[i] = [2]float64{p.X, p.Y}
 	}
+	tr := obs.FromContext(r.Context())
+	tr.SetScan(out.Scan)
+	sp := tr.StartSpan(obs.StageEncode)
 	writeJSON(w, http.StatusOK, out)
+	sp.End()
 }
 
 // ---- /v1/append ----
@@ -709,8 +754,12 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	// under another sample's key. A sample replacement (LoadSample
 	// drop-and-recreate) can make the chosen sample table vanish between
 	// Choose and the render; one re-resolve absorbs it.
+	ctx := r.Context()
+	tr := obs.FromContext(ctx)
+	tr.SetTable(table)
 	var (
 		png        []byte
+		metaAny    any
 		hit        bool
 		sampleName string
 	)
@@ -718,9 +767,11 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		var meta store.SampleMeta
 		sampleName = "__exact__"
 		if !exact {
+			sp := tr.StartSpan(obs.StagePlan)
 			meta, err = s.planner.Choose(query.Request{
 				Table: table, XCol: s.cfg.XCol, YCol: s.cfg.YCol, Budget: budget,
 			})
+			sp.End()
 			if err != nil {
 				httpError(w, err)
 				return
@@ -731,9 +782,19 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 			Table: table, Sample: sampleName, Epoch: epoch,
 			Z: z, X: x, Y: y, Size: size, Filters: filterKey,
 		}
-		png, hit, err = s.cache.GetOrRender(key, func() ([]byte, error) {
-			return s.renderTile(table, meta, tileRect, size, exact, filters)
+		// The cache span covers lookup, single-flight waiting, and the
+		// insert — everything but the render itself, whose time lands in
+		// its own stages (probe/residual/gather/render/encode). The span
+		// is closed across the render callback so the stages stay
+		// disjoint and a trace's stage sum still approximates its total.
+		csp := tr.StartSpan(obs.StageCache)
+		png, metaAny, hit, err = s.cache.GetOrRender(key, func() ([]byte, any, error) {
+			csp.End()
+			b, tm, err := s.renderTile(ctx, table, meta, tileRect, size, exact, filters)
+			csp = tr.StartSpan(obs.StageCache)
+			return b, tm, err
 		})
+		csp.End()
 		if err == nil {
 			break
 		}
@@ -749,8 +810,36 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Cache", "MISS")
 	}
+	// PNG bytes have no stats channel, so the scan identity of the tile
+	// rides in response headers, mirroring the JSON fields on /v1/query.
+	// The sidecar is cached with the tile: hits answer with the stats of
+	// the render that produced the pixels. (Entries inserted without a
+	// render — tests using Put — have none.)
+	if tm, ok := metaAny.(tileMeta); ok {
+		tm.setHeaders(w.Header())
+		tr.SetScan(scanStatsJSON(tm.Scan))
+	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(png)))
 	_, _ = w.Write(png)
+}
+
+// tileMeta is the sidecar cached alongside each rendered tile: the
+// scan statistics and serving currency of the render, replayed as
+// X-Vas-* headers on every later cache hit.
+type tileMeta struct {
+	Scan       store.ScanStats
+	ServedRows int
+}
+
+func (tm tileMeta) setHeaders(h http.Header) {
+	h.Set("X-Vas-Scan-Index-Probe", strconv.FormatBool(tm.Scan.IndexProbe))
+	h.Set("X-Vas-Scan-Cells-Touched", strconv.Itoa(tm.Scan.CellsTouched))
+	h.Set("X-Vas-Scan-Cells-Pruned", strconv.Itoa(tm.Scan.CellsPruned))
+	h.Set("X-Vas-Scan-Cells-Bulk", strconv.Itoa(tm.Scan.CellsBulk))
+	h.Set("X-Vas-Scan-Rows-Examined", strconv.Itoa(tm.Scan.RowsExamined))
+	h.Set("X-Vas-Scan-Delta-Rows", strconv.Itoa(tm.Scan.DeltaRows))
+	h.Set("X-Vas-Scan-Zones-Skipped", strconv.Itoa(tm.Scan.ZonesSkipped))
+	h.Set("X-Vas-Served-Rows", strconv.Itoa(tm.ServedRows))
 }
 
 // renderTile scans exactly the given sample table (or the base table for
@@ -760,54 +849,71 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 // cache key, and re-planning here could pick a different (newly
 // registered) sample and poison the cache. Density-embedded samples
 // render with the §V weighted-dot encoding.
-func (s *Server) renderTile(table string, meta store.SampleMeta, tileRect geom.Rect, size int, exact bool, filters []store.Pred) ([]byte, error) {
+func (s *Server) renderTile(ctx context.Context, table string, meta store.SampleMeta, tileRect geom.Rect, size int, exact bool, filters []store.Pred) ([]byte, tileMeta, error) {
+	var tm tileMeta
 	name, xCol, yCol := meta.Table, meta.XCol, meta.YCol
 	if exact {
 		name, xCol, yCol = table, s.cfg.XCol, s.cfg.YCol
 	}
 	t, err := s.st.Table(name)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
+	// Before the scan, like /v1/query: a count taken after could exceed
+	// the scanned snapshot under concurrent appends.
+	tm.ServedRows = t.NumRows()
 	// Index probe: sample and base tables published through the catalog
 	// carry a grid index over their (x, y) pair, so a tile-cache miss
 	// reads only the cells its rectangle overlaps instead of scanning
 	// the table — and zone maps prune cells the filters rule out.
-	rows, _, err := t.ScanRectWhere(xCol, yCol, tileRect, filters)
+	rows, st, err := t.ScanRectWhereCtx(ctx, xCol, yCol, tileRect, filters)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
+	tm.Scan = st
+	sp := obs.StartSpan(ctx, obs.StageGather)
 	pts, err := t.Points(xCol, yCol, rows)
+	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 	ras := render.NewRaster(tileRect, size, size)
 	if meta.HasDensity && !exact {
 		// A density sample whose density column cannot be gathered is
 		// broken data; surface it rather than silently rendering (and
 		// caching) an unweighted tile.
+		sp = obs.StartSpan(ctx, obs.StageGather)
 		vals, err := t.Gather("density", rows)
+		sp.End()
 		if err != nil {
-			return nil, fmt.Errorf("sample %q density gather: %w", name, err)
+			return nil, tm, fmt.Errorf("sample %q density gather: %w", name, err)
 		}
 		weights := make([]int64, len(vals))
 		for i, v := range vals {
 			weights[i] = int64(v)
 		}
-		if _, err := ras.PlotWeighted(pts, weights, 0); err != nil {
-			return nil, err
+		sp = obs.StartSpan(ctx, obs.StageRender)
+		_, err = ras.PlotWeighted(pts, weights, 0)
+		sp.End()
+		if err != nil {
+			return nil, tm, err
 		}
 	} else {
+		sp = obs.StartSpan(ctx, obs.StageRender)
 		ras.Plot(pts)
+		sp.End()
 	}
+	sp = obs.StartSpan(ctx, obs.StageEncode)
 	var buf bytes.Buffer
-	if err := ras.WritePNG(&buf); err != nil {
-		return nil, err
+	err = ras.WritePNG(&buf)
+	sp.End()
+	if err != nil {
+		return nil, tm, err
 	}
-	return buf.Bytes(), nil
+	return buf.Bytes(), tm, nil
 }
 
-// ---- /healthz and /metrics ----
+// ---- /healthz, /metrics and /debug/slow ----
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tables": len(s.st.TableNames())})
@@ -816,5 +922,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	source, seconds := s.coldStart()
-	s.metrics.write(w, s.cache.Stats(), s.st.IndexStats(), source, seconds)
+	var tails []TailStatus
+	if s.cfg.TailStatus != nil {
+		tails = s.cfg.TailStatus()
+	}
+	s.metrics.write(w, s.cache.Stats(), s.st.IndexStats(), source, seconds, tails, obs.DefaultJobs.Snapshot())
+}
+
+// handleSlow serves the slow-query log: the retained traces
+// (newest-first), the slowest request seen, and per-table latency
+// summaries.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slow.Report())
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // This file is the live-ingest side of the spatial index: a mutable
@@ -357,6 +358,8 @@ func (t *Table) Compact() {
 	if !need {
 		return
 	}
+	jt := obs.StartJob("compaction")
+	defer jt.End()
 	start := time.Now()
 	built := make(map[[2]int]*rectIndex, len(pairs))
 	for _, p := range pairs {

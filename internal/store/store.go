@@ -12,6 +12,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // ErrNotFound is returned when a table or column does not exist.
@@ -469,6 +471,19 @@ func (t *Table) ScanRect(xCol, yCol string, r geom.Rect) (RowSet, error) {
 //     Scan. ScanRectWhere is row-for-row equivalent to Scan with the
 //     corresponding range predicates.
 func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
+	return t.scanRectWhere(nil, xCol, yCol, r, preds)
+}
+
+// ScanRectWhereCtx is ScanRectWhere with stage timing: when ctx
+// carries an obs.Trace, the index/delta probe and the per-row residual
+// work are recorded as probe and residual spans. Without a trace it is
+// byte-for-byte ScanRectWhere — the nil-trace span path neither
+// allocates nor reads the clock.
+func (t *Table) ScanRectWhereCtx(ctx context.Context, xCol, yCol string, r geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
+	return t.scanRectWhere(obs.FromContext(ctx), xCol, yCol, r, preds)
+}
+
+func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
 	var st ScanStats
 	xi, ok := t.colIdx[xCol]
 	if !ok {
@@ -546,7 +561,10 @@ func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (Row
 			cols = append(cols, d.cols[pi[i]])
 			all = append(all, p)
 		}
-		return rowSetFromSorted(scanShards(cols, all, d.n)), st, nil
+		sp := tr.StartSpan(obs.StageResidual)
+		rs := rowSetFromSorted(scanShards(cols, all, d.n))
+		sp.End()
+		return rs, st, nil
 	}
 	st.IndexProbe = true
 	t.counters.indexProbes.Add(1)
@@ -558,6 +576,7 @@ func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (Row
 		tally.eval = make([]int64, len(preds))
 		tally.decisive = make([]int64, len(preds))
 	}
+	sp := tr.StartSpan(obs.StageProbe)
 	ids := ix.collect(d.cols, r, preds, pi, skip, &tally, &st)
 	// Rows appended after the index was built: the delta holds them
 	// binned under the same grid, so the probe reaches them through
@@ -567,8 +586,10 @@ func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (Row
 	if ix.delta != nil {
 		ids, covered = ix.delta.collect(d.cols, r, preds, pi, skip, d.n, &st, ids)
 	}
+	sp.End()
 	// Anything past the delta watermark (pre-delta generations, id
 	// overflow) is filtered linearly with the full predicate list.
+	sp = tr.StartSpan(obs.StageResidual)
 	xs, ys := d.cols[xi], d.cols[yi]
 	for row := covered; row < d.n; row++ {
 		st.RowsExamined++
@@ -576,6 +597,7 @@ func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (Row
 			ids = append(ids, row)
 		}
 	}
+	sp.End()
 	if len(preds) > 0 {
 		t.counters.filteredProbes.Add(1)
 		t.counters.zoneCellsTouched.Add(int64(st.CellsTouched))
@@ -588,7 +610,12 @@ func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (Row
 			t.zoneStat[pi[k]].decisive.Add(tally.decisive[k])
 		}
 	}
-	return rowSetFromSorted(ids), st, nil
+	// Materializing the RowSet is O(result); attribute it to the probe
+	// that produced the ids.
+	sp = tr.StartSpan(obs.StageProbe)
+	rs := rowSetFromSorted(ids)
+	sp.End()
+	return rs, st, nil
 }
 
 // zoneSkipFor returns, per predicate, whether its column's zone checks

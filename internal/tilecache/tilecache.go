@@ -55,10 +55,14 @@ type Key struct {
 
 const numShards = 16
 
-// entry is a cached tile on a shard's intrusive LRU list.
+// entry is a cached tile on a shard's intrusive LRU list. meta carries
+// the render's caller-defined sidecar (scan statistics for response
+// headers); it rides along with the bytes so a cache hit can answer
+// with the same metadata the original render produced.
 type entry struct {
 	key        Key
 	val        []byte
+	meta       any
 	prev, next *entry
 }
 
@@ -66,6 +70,7 @@ type entry struct {
 type call struct {
 	done chan struct{}
 	val  []byte
+	meta any
 	err  error
 }
 
@@ -152,22 +157,24 @@ func (c *Cache) Get(k Key) []byte {
 // several goroutines miss on the same key at once, exactly one runs
 // render; the rest wait for its result (a render error is propagated to
 // all waiters and nothing is cached). hit reports whether the bytes came
-// straight from the cache without waiting on a render. The returned
-// bytes must not be modified.
-func (c *Cache) GetOrRender(k Key, render func() ([]byte, error)) (val []byte, hit bool, err error) {
+// straight from the cache without waiting on a render. meta is the
+// sidecar render returned, cached alongside the bytes and served back
+// on every hit (nil for entries inserted via Put). The returned bytes
+// must not be modified.
+func (c *Cache) GetOrRender(k Key, render func() ([]byte, any, error)) (val []byte, meta any, hit bool, err error) {
 	s := c.shardOf(k)
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
 		s.moveToFront(e)
 		s.mu.Unlock()
 		c.hits.Add(1)
-		return e.val, true, nil
+		return e.val, e.meta, true, nil
 	}
 	if fl, ok := s.flight[k]; ok {
 		s.mu.Unlock()
 		c.waits.Add(1)
 		<-fl.done
-		return fl.val, false, fl.err
+		return fl.val, fl.meta, false, fl.err
 	}
 	fl := &call{done: make(chan struct{})}
 	s.flight[k] = fl
@@ -186,14 +193,14 @@ func (c *Cache) GetOrRender(k Key, render func() ([]byte, error)) (val []byte, h
 		s.mu.Lock()
 		delete(s.flight, k)
 		if fl.err == nil {
-			c.evictions.Add(s.insert(k, fl.val))
+			c.evictions.Add(s.insert(k, fl.val, fl.meta))
 		}
 		s.mu.Unlock()
 		close(fl.done)
 	}()
-	fl.val, fl.err = render()
+	fl.val, fl.meta, fl.err = render()
 	completed = true
-	return fl.val, false, fl.err
+	return fl.val, fl.meta, false, fl.err
 }
 
 // Put inserts (or replaces) a tile.
@@ -204,11 +211,12 @@ func (c *Cache) Put(k Key, val []byte) {
 	if e, ok := s.entries[k]; ok {
 		s.bytes += int64(len(val)) - int64(len(e.val))
 		e.val = val
+		e.meta = nil
 		s.moveToFront(e)
 		c.evictions.Add(s.evict())
 		return
 	}
-	c.evictions.Add(s.insert(k, val))
+	c.evictions.Add(s.insert(k, val, nil))
 }
 
 // InvalidateTable drops every cached tile (and nothing else) whose key
@@ -295,11 +303,11 @@ func (c *Cache) Stats() Stats {
 // returns the number of evictions. A value larger than the whole shard
 // budget is not cached at all (it would only evict everything else and
 // then be evicted itself on the next insert).
-func (s *shard) insert(k Key, val []byte) int64 {
+func (s *shard) insert(k Key, val []byte, meta any) int64 {
 	if int64(len(val)) > s.maxBytes {
 		return 0
 	}
-	e := &entry{key: k, val: val}
+	e := &entry{key: k, val: val, meta: meta}
 	s.entries[k] = e
 	s.pushFront(e)
 	s.bytes += int64(len(val))

@@ -16,17 +16,23 @@ func key(table string, z, x, y int) Key {
 func TestGetOrRenderCachesAndHits(t *testing.T) {
 	c := New(1 << 20)
 	renders := 0
-	render := func() ([]byte, error) {
+	render := func() ([]byte, any, error) {
 		renders++
-		return []byte("tile-bytes"), nil
+		return []byte("tile-bytes"), "sidecar", nil
 	}
-	v, hit, err := c.GetOrRender(key("t", 1, 0, 0), render)
+	v, meta, hit, err := c.GetOrRender(key("t", 1, 0, 0), render)
 	if err != nil || hit || !bytes.Equal(v, []byte("tile-bytes")) {
 		t.Fatalf("first fetch: v=%q hit=%v err=%v", v, hit, err)
 	}
-	v, hit, err = c.GetOrRender(key("t", 1, 0, 0), render)
+	if meta != "sidecar" {
+		t.Fatalf("first fetch meta = %v, want sidecar", meta)
+	}
+	v, meta, hit, err = c.GetOrRender(key("t", 1, 0, 0), render)
 	if err != nil || !hit || !bytes.Equal(v, []byte("tile-bytes")) {
 		t.Fatalf("second fetch: v=%q hit=%v err=%v", v, hit, err)
+	}
+	if meta != "sidecar" {
+		t.Fatalf("cache hit lost the render meta: got %v", meta)
 	}
 	if renders != 1 {
 		t.Errorf("renders = %d, want 1", renders)
@@ -43,11 +49,11 @@ func TestGetOrRenderCachesAndHits(t *testing.T) {
 func TestRenderErrorNotCached(t *testing.T) {
 	c := New(1 << 20)
 	boom := errors.New("render failed")
-	if _, _, err := c.GetOrRender(key("t", 0, 0, 0), func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, _, err := c.GetOrRender(key("t", 0, 0, 0), func() ([]byte, any, error) { return nil, nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
 	// The failure is not cached: the next call renders again.
-	v, hit, err := c.GetOrRender(key("t", 0, 0, 0), func() ([]byte, error) { return []byte("ok"), nil })
+	v, _, hit, err := c.GetOrRender(key("t", 0, 0, 0), func() ([]byte, any, error) { return []byte("ok"), nil, nil })
 	if err != nil || hit || string(v) != "ok" {
 		t.Fatalf("retry after error: v=%q hit=%v err=%v", v, hit, err)
 	}
@@ -108,7 +114,7 @@ func TestLRUOrder(t *testing.T) {
 func TestOversizedValueNotCached(t *testing.T) {
 	c := New(128 * numShards)
 	huge := make([]byte, 4096)
-	v, hit, err := c.GetOrRender(key("t", 0, 0, 0), func() ([]byte, error) { return huge, nil })
+	v, _, hit, err := c.GetOrRender(key("t", 0, 0, 0), func() ([]byte, any, error) { return huge, nil, nil })
 	if err != nil || hit || len(v) != len(huge) {
 		t.Fatalf("oversized render: len=%d hit=%v err=%v", len(v), hit, err)
 	}
@@ -129,10 +135,10 @@ func TestSingleFlight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			v, _, err := c.GetOrRender(key("t", 3, 1, 2), func() ([]byte, error) {
+			v, _, _, err := c.GetOrRender(key("t", 3, 1, 2), func() ([]byte, any, error) {
 				renders.Add(1)
 				<-gate // hold the render so the others pile up
-				return []byte("once"), nil
+				return []byte("once"), nil, nil
 			})
 			if err != nil || string(v) != "once" {
 				t.Errorf("v=%q err=%v", v, err)
@@ -168,7 +174,7 @@ func TestRenderPanicDoesNotWedgeKey(t *testing.T) {
 			// A waiter piggybacking on the doomed flight sees
 			// ErrRenderPanic; one arriving after cleanup renders fresh.
 			// Both are acceptable — blocking forever is not.
-			_, _, err := c.GetOrRender(k, func() ([]byte, error) { return []byte("recovered"), nil })
+			_, _, _, err := c.GetOrRender(k, func() ([]byte, any, error) { return []byte("recovered"), nil, nil })
 			if err != nil && !errors.Is(err, ErrRenderPanic) {
 				t.Errorf("waiter err = %v", err)
 			}
@@ -180,14 +186,14 @@ func TestRenderPanicDoesNotWedgeKey(t *testing.T) {
 				t.Error("leader panic did not propagate")
 			}
 		}()
-		c.GetOrRender(k, func() ([]byte, error) {
+		c.GetOrRender(k, func() ([]byte, any, error) {
 			close(leaderIn)
 			panic("render exploded")
 		})
 	}()
 	waiters.Wait()
 	// The key is usable again.
-	v, _, err := c.GetOrRender(k, func() ([]byte, error) { return []byte("recovered"), nil })
+	v, _, _, err := c.GetOrRender(k, func() ([]byte, any, error) { return []byte("recovered"), nil, nil })
 	if err != nil || string(v) != "recovered" {
 		t.Fatalf("post-panic fetch: v=%q err=%v", v, err)
 	}
@@ -231,7 +237,7 @@ func TestConcurrentMixedUse(t *testing.T) {
 				case 1:
 					c.Put(k, []byte("abcdefgh"))
 				case 2:
-					_, _, _ = c.GetOrRender(k, func() ([]byte, error) { return []byte("r"), nil })
+					_, _, _, _ = c.GetOrRender(k, func() ([]byte, any, error) { return []byte("r"), nil, nil })
 				case 3:
 					c.InvalidateTable("t1")
 				}

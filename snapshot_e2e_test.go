@@ -382,6 +382,9 @@ func TestAppendDurabilityDegradation(t *testing.T) {
 	d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 2000, Seed: 29})
 	cat := newSnapshotCatalog(t, d)
 	dir := t.TempDir()
+	// Drain the background re-save before TempDir cleanup removes the
+	// snapshot directory out from under it.
+	t.Cleanup(cat.WaitBackground)
 	if err := cat.SaveSnapshot(dir); err != nil {
 		t.Fatal(err)
 	}
@@ -415,6 +418,10 @@ func TestAppendDurabilityDegradation(t *testing.T) {
 	if err := cat.Append("gps", []vas.Point{vas.Pt(3, 4)}); err == nil {
 		t.Fatal("degraded catalog reported a durable append")
 	}
+	// The failed appends kicked off a background re-save; let its (also
+	// failing) attempt settle before healing, so it cannot re-mark the
+	// catalog degraded after the save below cleared it.
+	cat.WaitBackground()
 	// A successful full save folds the live rows in and heals.
 	if err := os.RemoveAll(filepath.Join(dir, vas.TailFile)); err != nil {
 		t.Fatal(err)

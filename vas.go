@@ -32,6 +32,7 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/kernel"
 	"repro/internal/loss"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/sampling"
@@ -343,6 +345,7 @@ type Catalog struct {
 	snapDir  string
 	tailRows map[string]int64
 	resaving atomic.Bool
+	resaveWG sync.WaitGroup
 	// snapErr marks the snapshot persistence as degraded: a tail-log
 	// write or background re-save failed. While set, appends no longer
 	// touch the log (a failed write followed by successful ones would
@@ -603,7 +606,10 @@ func (c *Catalog) appendCols(table string, cols [][]float64) (int, error) {
 			tailErr = fmt.Errorf("vas: append not durable (snapshot persistence degraded): %w", c.snapErr)
 			resave = true
 		default:
-			if err := snapshot.AppendTail(filepath.Join(c.snapDir, TailFile), table, cols); err != nil {
+			jt := obs.StartJob("tail_write")
+			err := snapshot.AppendTail(filepath.Join(c.snapDir, TailFile), table, cols)
+			jt.End()
+			if err != nil {
 				c.snapErr = err
 				tailErr = fmt.Errorf("vas: append durable tail: %w", err)
 				resave = true
@@ -621,7 +627,9 @@ func (c *Catalog) appendCols(table string, cols [][]float64) (int, error) {
 	}
 	c.snapMu.Unlock()
 	if resave && c.resaving.CompareAndSwap(false, true) {
+		c.resaveWG.Add(1)
 		go func() {
+			defer c.resaveWG.Done()
 			defer c.resaving.Store(false)
 			c.snapMu.Lock()
 			dir := c.snapDir
@@ -642,6 +650,14 @@ func (c *Catalog) appendCols(table string, cols [][]float64) (int, error) {
 		}()
 	}
 	return n, tailErr
+}
+
+// WaitBackground blocks until any in-flight background re-save has
+// finished: afterwards no catalog goroutine is still writing to the
+// snapshot directory, and SnapshotErr reflects the outcome of every
+// re-save attempt so far. For orderly shutdown and tests.
+func (c *Catalog) WaitBackground() {
+	c.resaveWG.Wait()
 }
 
 // resaveInterval returns the minimum gap between background re-save
@@ -687,12 +703,40 @@ func (c *Catalog) Handler() http.Handler {
 			// also lands in the snapshot tail log (durable across a
 			// restart); the server bumps the tile epoch itself.
 			AppendHook: c.appendCols,
+			// Per-table tail-log durability for the
+			// vasserve_tail_log_degraded gauge.
+			TailStatus: c.tailStatus,
 		})
 		if c.coldSource != "" {
 			c.srv.SetColdStart(c.coldSource, c.coldDur)
 		}
 	}
 	return c.srv
+}
+
+// tailStatus reports, per base table, whether snapshot-tail durability
+// is degraded, for the /metrics vasserve_tail_log_degraded gauge. It
+// returns nil when the catalog is not bound to a snapshot directory —
+// without persistence there is no tail log to degrade.
+func (c *Catalog) tailStatus() []server.TailStatus {
+	c.snapMu.Lock()
+	dir, degraded := c.snapDir, c.snapErr != nil
+	c.snapMu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	c.provMu.Lock()
+	names := make([]string, 0, len(c.prov))
+	for name := range c.prov {
+		names = append(names, name)
+	}
+	c.provMu.Unlock()
+	sort.Strings(names)
+	out := make([]server.TailStatus, len(names))
+	for i, name := range names {
+		out[i] = server.TailStatus{Table: name, Degraded: degraded}
+	}
+	return out
 }
 
 // SnapshotFile is the file name SaveSnapshot writes (and LoadSnapshot
@@ -717,6 +761,8 @@ const (
 // there. A later LoadSnapshot restores the catalog without re-running
 // BuildSamples or any index build.
 func (c *Catalog) SaveSnapshot(dir string) error {
+	jt := obs.StartJob("snapshot_save")
+	defer jt.End()
 	// snapMu makes capture + save + tail truncation atomic with respect
 	// to appendCols: no append can slip between the capture (which
 	// folds every in-memory row into the base file) and the tail
