@@ -5,10 +5,12 @@ GO ?= go
 # The serving benchmarks of the read path (internal/store): index probe
 # vs linear baseline, parallel fallback scan, full-extent
 # zero-row-id-allocation projection, the predicate-pushdown probe
-# (zone-map pruning) vs the filtered linear baseline, and the
-# live-ingest scans (delta-index probe vs seed-state linear tail) plus
-# append throughput.
-SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered|ScanAfterAppend|AppendThroughput
+# (zone-map pruning) vs the filtered linear baseline, the live-ingest
+# scans (delta-index probe vs seed-state linear tail) plus append
+# throughput, the batch-vs-scalar kernel comparison inside
+# ScanRectFiltered (residual shapes report kernel_speedup), and the
+# probe parallelism sweep.
+SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered|ScanAfterAppend|AppendThroughput|ProbeParallelSweep
 # The cold-start benchmarks (root package): bringing a 1M-row catalog
 # up by full offline rebuild vs restoring it from a snapshot file —
 # plus the parallel HTTP query path, which guards the observability
@@ -35,13 +37,13 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the serving + cold-start benchmarks and commits the
-# numbers as BENCH_PR6.json (the repo's benchmark trajectory;
-# BENCH_PR2.json .. BENCH_PR5.json are the previous points on it).
+# numbers as BENCH_PR7.json (the repo's benchmark trajectory;
+# BENCH_PR2.json .. BENCH_PR6.json are the previous points on it).
 bench:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem ./internal/store | tee /tmp/bench_serving.txt
 	$(GO) test -run '^$$' -bench '$(SNAPSHOT_BENCH)' -benchmem . | tee -a /tmp/bench_serving.txt
-	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR6.json
-	@echo wrote BENCH_PR6.json
+	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR7.json
+	@echo wrote BENCH_PR7.json
 
 # bench-smoke is the CI guard: every committed benchmark must still
 # compile and complete one iteration.
@@ -58,9 +60,15 @@ obs-smoke:
 	$(GO) test -race -count=1 ./internal/obs
 	$(GO) test -count=1 -run 'TestObsSlowQueryEndToEnd|TestTailLogDegradedGaugeEndToEnd' .
 
-# fuzz-smoke gives the RowSet algebra and snapshot decoder fuzzers a
-# short budget against their checked-in corpora (testdata/fuzz); CI
-# runs it on every push.
+# fuzz-smoke gives the RowSet algebra, snapshot decoder, and kernel
+# equivalence fuzzers a short budget against their checked-in corpora
+# (testdata/fuzz); CI runs it on every push. kernel-alloc locks the
+# zero-allocation contract of the selection kernels.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzRowSetAlgebra -fuzztime 10s ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzKernelEquivalence -fuzztime 10s ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/snapshot
+
+.PHONY: kernel-alloc
+kernel-alloc:
+	$(GO) test -count=1 -run TestKernelZeroAlloc ./internal/store

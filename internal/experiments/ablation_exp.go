@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"repro/internal/geom"
-	"repro/internal/kernel"
 	"repro/internal/loss"
+	"repro/internal/proximity"
 	"repro/internal/vas"
 )
 
@@ -38,7 +38,7 @@ func runAblationEps(sc Scale) (*Report, error) {
 	k := sc.SampleSizes[0] * 4
 	// The loss is always scored with the heuristic kernel so rows are
 	// comparable; only the *sampling* bandwidth varies.
-	evalKern := kernel.NewGaussian(base / kernel.DefaultBandwidthDivisor)
+	evalKern := proximity.NewGaussian(base / proximity.DefaultBandwidthDivisor)
 	ev, err := loss.NewEvaluator(d.Points, loss.Options{Kernel: evalKern, Probes: sc.Probes, Seed: sc.Seed})
 	if err != nil {
 		return nil, err
@@ -48,8 +48,8 @@ func runAblationEps(sc Scale) (*Report, error) {
 		return nil, err
 	}
 	for _, mult := range []float64{0.25, 0.5, 1, 2, 4} {
-		eps := base / kernel.DefaultBandwidthDivisor * mult
-		kern := kernel.NewGaussian(eps)
+		eps := base / proximity.DefaultBandwidthDivisor * mult
+		kern := proximity.NewGaussian(eps)
 		ic := vas.NewInterchange(vas.Options{K: k, Kernel: kern, Variant: vas.ES})
 		vas.Converge(ic, d.Points, 2)
 		sLoss, err := ev.Evaluate(ic.Sample())
@@ -73,7 +73,7 @@ func runAblationKernel(sc Scale) (*Report, error) {
 		Columns: []string{"kernel", "build time", "log-loss-ratio"},
 	}
 	k := sc.SampleSizes[0] * 4
-	evalKern := kernel.NewGaussian(base / kernel.DefaultBandwidthDivisor)
+	evalKern := proximity.NewGaussian(base / proximity.DefaultBandwidthDivisor)
 	ev, err := loss.NewEvaluator(d.Points, loss.Options{Kernel: evalKern, Probes: sc.Probes, Seed: sc.Seed})
 	if err != nil {
 		return nil, err
@@ -82,8 +82,8 @@ func runAblationKernel(sc Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, kind := range []kernel.Kind{kernel.Gaussian, kernel.Epanechnikov, kernel.Tricube} {
-		kern := kernel.New(kind, base/kernel.DefaultBandwidthDivisor)
+	for _, kind := range []proximity.Kind{proximity.Gaussian, proximity.Epanechnikov, proximity.Tricube} {
+		kern := proximity.New(kind, base/proximity.DefaultBandwidthDivisor)
 		start := time.Now()
 		ic := vas.NewInterchange(vas.Options{K: k, Kernel: kern, Variant: vas.ES})
 		vas.Converge(ic, d.Points, 2)

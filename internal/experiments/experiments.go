@@ -15,7 +15,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
-	"repro/internal/kernel"
+	"repro/internal/proximity"
 	"repro/internal/sampling"
 	"repro/internal/vas"
 )
@@ -198,15 +198,15 @@ func geolife(sc Scale) *dataset.Dataset {
 
 // dataKernel returns the paper's kernel for a dataset (Gaussian, ε from
 // the extent heuristic).
-func dataKernel(pts []geom.Point) (kernel.Func, error) {
-	return kernel.FromData(kernel.Gaussian, pts)
+func dataKernel(pts []geom.Point) (proximity.Func, error) {
+	return proximity.FromData(proximity.Gaussian, pts)
 }
 
 // buildSample constructs a sample of size k with the given method.
 // For VAS it runs the ES variant for two passes (the paper's offline
 // build runs Interchange to near-convergence; two passes are enough for
 // the qualitative results at these scales). Returned ids index into pts.
-func buildSample(method sampling.Method, pts []geom.Point, k int, kern kernel.Func, seed int64) ([]geom.Point, []int, error) {
+func buildSample(method sampling.Method, pts []geom.Point, k int, kern proximity.Func, seed int64) ([]geom.Point, []int, error) {
 	if k >= len(pts) {
 		ids := make([]int, len(pts))
 		for i := range ids {

@@ -9,8 +9,8 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
-	"repro/internal/kernel"
 	"repro/internal/loss"
+	"repro/internal/proximity"
 	"repro/internal/vas"
 )
 
@@ -52,7 +52,7 @@ func runTable2(sc Scale) (*Report, error) {
 		// paper gets the same effect by subsampling its tiny instances
 		// from a dense region of the full corpus while keeping the
 		// full-corpus ε.
-		kern := kernel.New(kernel.Gaussian, geom.MaxPairwiseDist(d.Points)/20)
+		kern := proximity.New(proximity.Gaussian, geom.MaxPairwiseDist(d.Points)/20)
 
 		// Exact. Budget exhaustion is an expected outcome at the larger N
 		// — the paper's whole point is that exact search explodes (GLPK

@@ -21,7 +21,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/kdtree"
-	"repro/internal/kernel"
+	"repro/internal/proximity"
 	"repro/internal/stats"
 )
 
@@ -37,7 +37,7 @@ const DomainMembershipRadiusFraction = 0.005
 // Options configures an Evaluator.
 type Options struct {
 	// Kernel is κ with the bandwidth used for sampling (required).
-	Kernel kernel.Func
+	Kernel proximity.Func
 	// Probes is the Monte Carlo budget; 0 means DefaultProbes.
 	Probes int
 	// Seed makes probe generation deterministic.
@@ -52,7 +52,7 @@ type Options struct {
 // identical probes (paired comparison, lower variance). Construct with
 // NewEvaluator.
 type Evaluator struct {
-	kern   kernel.Func
+	kern   proximity.Func
 	probes []geom.Point
 }
 

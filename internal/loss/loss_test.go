@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
-	"repro/internal/kernel"
+	"repro/internal/proximity"
 )
 
 func testData(n int, seed int64) []geom.Point {
@@ -24,7 +24,7 @@ func testData(n int, seed int64) []geom.Point {
 
 func evaluator(t *testing.T, data []geom.Point, probes int) *Evaluator {
 	t.Helper()
-	kern, err := kernel.FromData(kernel.Gaussian, data)
+	kern, err := proximity.FromData(proximity.Gaussian, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestMonotoneInSampleSize(t *testing.T) {
 
 func TestDeterministicProbes(t *testing.T) {
 	data := testData(1000, 5)
-	kern, _ := kernel.FromData(kernel.Gaussian, data)
+	kern, _ := proximity.FromData(proximity.Gaussian, data)
 	ev1, err := NewEvaluator(data, Options{Kernel: kern, Probes: 200, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +109,7 @@ func TestDeterministicProbes(t *testing.T) {
 
 func TestEvaluatorErrors(t *testing.T) {
 	data := testData(100, 6)
-	kern, _ := kernel.FromData(kernel.Gaussian, data)
+	kern, _ := proximity.FromData(proximity.Gaussian, data)
 	if _, err := NewEvaluator(nil, Options{Kernel: kern}); err == nil {
 		t.Error("empty data: want error")
 	}
@@ -164,7 +164,7 @@ func TestProbesLandInDomain(t *testing.T) {
 			data = append(data, geom.Pt(100+rng.Float64(), 100+rng.Float64()))
 		}
 	}
-	kern, _ := kernel.FromData(kernel.Gaussian, data)
+	kern, _ := proximity.FromData(proximity.Gaussian, data)
 	ev, err := NewEvaluator(data, Options{Kernel: kern, Probes: 300, Seed: 9})
 	if err != nil {
 		t.Fatal(err)

@@ -9,7 +9,7 @@
 // proximity function directly in place of κ̃". This package therefore exposes
 // a small family of admissible kernels plus the bandwidth heuristic from
 // footnote 2 (ε ≈ maxPairwiseDist/100).
-package kernel
+package proximity
 
 import (
 	"fmt"
@@ -42,7 +42,7 @@ func (k Kind) String() string {
 	case Tricube:
 		return "tricube"
 	default:
-		return fmt.Sprintf("kernel.Kind(%d)", int(k))
+		return fmt.Sprintf("proximity.Kind(%d)", int(k))
 	}
 }
 
@@ -144,7 +144,7 @@ func (f Func) EvalDist2(d2 float64) float64 {
 		c := 1 - u*u*u
 		return c * c * c
 	default:
-		panic("kernel: invalid Func (use kernel.New)")
+		panic("kernel: invalid Func (use proximity.New)")
 	}
 }
 

@@ -387,6 +387,8 @@ type ScanStatsJSON struct {
 	RowsExamined int  `json:"rowsExamined"`
 	DeltaRows    int  `json:"deltaRows"`
 	ZonesSkipped int  `json:"zonesSkipped"`
+	BatchedRows  int  `json:"batchedRows"`
+	ProbeShards  int  `json:"probeShards"`
 }
 
 func scanStatsJSON(st store.ScanStats) ScanStatsJSON {

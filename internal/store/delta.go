@@ -3,6 +3,7 @@ package store
 import (
 	"math"
 	"slices"
+	"sort"
 	"sync"
 	"time"
 
@@ -64,13 +65,17 @@ type deltaIndex struct {
 	// the table lock but is cheap to guard); rows past the watermark
 	// fall back to the caller's linear tail filter.
 	saturated bool
-	// buckets holds, per base-grid cell, the ascending rows binned
-	// there, each entry carrying its coordinates inline so the per-row
-	// rectangle test reads the bucket sequentially instead of paying a
-	// random access into the (multi-MB) column arrays per row;
-	// allocated on first absorbed row. When the base index has no grid
-	// (it was built over zero rows), every row lands in extra.
-	buckets [][]deltaEntry
+	// buckets holds, per base-grid cell, the ascending row ids binned
+	// there; allocated on first absorbed row. Ids index the table's
+	// column generation directly — the append-only columns are the one
+	// shared absorbed-row arena, so tables with several indexed (x, y)
+	// pairs no longer duplicate coordinates inline in every index's
+	// delta (the old deltaEntry carried 24 bytes per row per index).
+	// The absorbed tail occupies the end of each column array, a region
+	// small enough to stay cache-resident, and the batch kernels gather
+	// from it a column at a time. When the base index has no grid (it
+	// was built over zero rows), every row lands in extra.
+	buckets [][]int32
 	// extra holds rows with a non-finite coordinate (and every row when
 	// there is no grid), ascending; filtered per probe like base extras.
 	extra []int32
@@ -79,14 +84,6 @@ type deltaIndex struct {
 	// bucket.
 	zmin, zmax []float64
 	znan       []bool
-}
-
-// deltaEntry is one binned delta row: its id plus its coordinates,
-// denormalized so probes test the rectangle without touching column
-// storage.
-type deltaEntry struct {
-	id   int32
-	x, y float64
 }
 
 func newDeltaIndex(base *rectIndex, ncols int) *deltaIndex {
@@ -125,7 +122,7 @@ func (dx *deltaIndex) absorbRange(cols [][]float64, lo, hi int) {
 			continue
 		}
 		if dx.buckets == nil {
-			dx.buckets = make([][]deltaEntry, cells)
+			dx.buckets = make([][]int32, cells)
 			dx.zmin = make([]float64, dx.ncols*cells)
 			dx.zmax = make([]float64, dx.ncols*cells)
 			dx.znan = make([]bool, dx.ncols*cells)
@@ -135,7 +132,7 @@ func (dx *deltaIndex) absorbRange(cols [][]float64, lo, hi int) {
 			}
 		}
 		c := dx.base.cellIndex(x, y)
-		dx.buckets[c] = append(dx.buckets[c], deltaEntry{id: int32(row), x: x, y: y})
+		dx.buckets[c] = append(dx.buckets[c], int32(row))
 		for ci := 0; ci < dx.ncols; ci++ {
 			v := cols[ci][row]
 			zi := ci*cells + int(c)
@@ -196,6 +193,7 @@ func (dx *deltaIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []
 		ids = slices.Grow(ids, bound+len(dx.extra))
 		residual := make([]Pred, 0, len(preds))
 		residualCols := make([]int, 0, len(preds))
+		var sel []int32
 		for row := r0; row <= r1; row++ {
 			base := row * dx.base.nx
 			// Geometric coverage, exactly as the base probe computes it:
@@ -216,8 +214,14 @@ func (dx *deltaIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []
 			}
 			for c := c0; c <= c1; c++ {
 				b := dx.buckets[base+c]
-				if len(b) == 0 || b[0].id >= limit {
+				if len(b) == 0 || b[0] >= limit {
 					continue
+				}
+				// Ids are ascending; cut the bucket to the caller's
+				// snapshot once instead of re-checking the watermark on
+				// every row.
+				if b[len(b)-1] >= limit {
+					b = b[:sort.Search(len(b), func(i int) bool { return b[i] >= limit })]
 				}
 				st.CellsTouched++
 				pruned := false
@@ -247,26 +251,42 @@ func (dx *deltaIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []
 				needRect := !(spanCovered && c > c0 && c < c1)
 				if !needRect && len(residual) == 0 {
 					st.CellsBulk++
-					for _, e := range b {
-						if e.id >= limit {
-							break
-						}
-						st.DeltaRows++
-						ids = append(ids, int(e.id))
-					}
+					st.DeltaRows += len(b)
+					ids = appendSel(ids, b)
 					continue
 				}
-				for _, e := range b {
-					if e.id >= limit {
-						break
+				if len(b) >= kernelMinRows && !forceScalarKernels {
+					// Batched bucket: same kernel sequence as a base
+					// cell, gathering from the shared column arena.
+					if cap(sel) < len(b) {
+						sel = make([]int32, len(b))
 					}
+					s := sel[:len(b)]
+					var k int
+					ri := 0
+					if needRect {
+						k = selRectGather(s, b, xs, ys, r)
+					} else {
+						k = selGather(s, b, cols[residualCols[0]], residual[0].Min, residual[0].Max)
+						ri = 1
+					}
+					for ; ri < len(residual) && k > 0; ri++ {
+						k = selRefine(s[:k], cols[residualCols[ri]], residual[ri].Min, residual[ri].Max)
+					}
+					st.RowsExamined += len(b)
+					st.DeltaRows += len(b)
+					st.BatchedRows += len(b)
+					ids = appendSel(ids, s[:k])
+					continue
+				}
+				for _, id := range b {
 					st.RowsExamined++
 					st.DeltaRows++
-					if needRect && !inRect(e.x, e.y, r) {
+					if needRect && !inRect(xs[id], ys[id], r) {
 						continue
 					}
-					if matchPreds(cols, residualCols, residual, int(e.id)) {
-						ids = append(ids, int(e.id))
+					if matchPreds(cols, residualCols, residual, int(id)) {
+						ids = append(ids, int(id))
 					}
 				}
 			}

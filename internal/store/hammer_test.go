@@ -27,6 +27,12 @@ import (
 // scan is in whatever snapshot the scan used, and the first-n-rows
 // prefix of every column is immutable — a Column snapshot taken after
 // the scan therefore holds exactly the values the scan evaluated.
+//
+// Since PR 7 every reader here also exercises the batch selection
+// kernels (and, above parallelScanMinRows, the sharded probe): the
+// NaN-laced appends keep the kernels' NaN-matches semantics under
+// concurrent load, complementing the single-threaded equivalence
+// tests in kernel_test.go.
 func TestFilteredScanHammer(t *testing.T) {
 	st := New()
 	tb, err := st.CreateTable("h", "x", "y", "m")

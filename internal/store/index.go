@@ -2,7 +2,9 @@ package store
 
 import (
 	"math"
+	"runtime"
 	"slices"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -286,13 +288,17 @@ func matchPreds(cols [][]float64, pi []int, preds []Pred, row int) bool {
 
 // collectCells gathers the grid-binned rows inside r passing preds
 // (unsorted across cells), accumulating zone-map statistics into st and
-// per-predicate consult tallies into tally.
+// per-predicate consult tallies into tally. Probes whose touched cells
+// bound at least parallelScanMinRows rows are sharded across CPUs by
+// grid row (cells of one grid row are contiguous in the CSR packing, so
+// shards are disjoint contiguous id runs); per-shard buffers are
+// concatenated in cell order and per-shard stats merged, which keeps the
+// parallel probe bit-identical to the serial one.
 func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats) []int {
-	xs, ys := cols[ix.xi], cols[ix.yi]
 	c0, r0 := ix.cellCoords(r.MinX, r.MinY)
 	c1, r1 := ix.cellCoords(r.MaxX, r.MaxY)
 	// Upper-bound the result size in one pass over the touched cell rows
-	// so the ids buffer is allocated at most once.
+	// so the ids buffer is allocated at most once per shard.
 	var bound int32
 	for row := r0; row <= r1; row++ {
 		base := row * ix.nx
@@ -302,13 +308,88 @@ func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, p
 	if bound == 0 {
 		return nil
 	}
-	ids := make([]int, 0, bound)
+	workers := runtime.GOMAXPROCS(0)
+	if rows := r1 - r0 + 1; workers > rows {
+		workers = rows
+	}
+	if int(bound) < parallelScanMinRows || workers <= 1 {
+		st.ProbeShards++
+		ids := make([]int, 0, bound)
+		return ix.collectRows(cols, r, preds, pi, skip, r0, r1, c0, c1, r0, r1, tally, st, ids)
+	}
+	// Partition the touched grid rows into contiguous shards balanced by
+	// their bounded row counts (cell population is skewed, so equal row
+	// ranges would not give equal work).
+	type shard struct {
+		rlo, rhi int
+		bound    int32
+		ids      []int
+		st       ScanStats
+		tally    zoneTally
+	}
+	shards := make([]shard, 0, workers)
+	var acc int32
+	rlo := r0
+	for row := r0; row <= r1; row++ {
+		base := row * ix.nx
+		acc += ix.cellOff[base+c1+1] - ix.cellOff[base+c0]
+		remainingRows := r1 - row
+		if (acc >= bound/int32(workers) && len(shards) < workers-1 && remainingRows > 0) || row == r1 {
+			shards = append(shards, shard{rlo: rlo, rhi: row, bound: acc})
+			rlo = row + 1
+			acc = 0
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range shards {
+		s := &shards[i]
+		if len(preds) > 0 {
+			s.tally.eval = make([]int64, len(preds))
+			s.tally.decisive = make([]int64, len(preds))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]int, 0, s.bound)
+			s.ids = ix.collectRows(cols, r, preds, pi, skip, s.rlo, s.rhi, c0, c1, r0, r1, &s.tally, &s.st, ids)
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for i := range shards {
+		s := &shards[i]
+		total += len(s.ids)
+		st.CellsPruned += s.st.CellsPruned
+		st.CellsBulk += s.st.CellsBulk
+		st.RowsExamined += s.st.RowsExamined
+		st.BatchedRows += s.st.BatchedRows
+		st.ProbeShards++
+		for k := range preds {
+			tally.eval[k] += s.tally.eval[k]
+			tally.decisive[k] += s.tally.decisive[k]
+		}
+	}
+	ids := make([]int, 0, total)
+	for i := range shards {
+		ids = append(ids, shards[i].ids...)
+	}
+	return ids
+}
+
+// collectRows is the per-shard body of collectCells: it gathers grid
+// rows rlo..rhi of the touched cell range, where r0/r1/c0/c1 describe
+// the full touched range (the strict-interior test for geometric span
+// coverage is relative to the whole probe, not the shard).
+func (ix *rectIndex) collectRows(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, rlo, rhi, c0, c1, r0, r1 int, tally *zoneTally, st *ScanStats, ids []int) []int {
+	xs, ys := cols[ix.xi], cols[ix.yi]
 	cells := ix.nx * ix.ny
 	// residual collects, per cell, the predicates the zone map could not
-	// settle; the buffers are reused across cells.
+	// settle; the buffers (and the selection vector) are reused across
+	// cells.
 	residual := make([]Pred, 0, len(preds))
 	residualCols := make([]int, 0, len(preds))
-	for row := r0; row <= r1; row++ {
+	var sel []int32
+	for row := rlo; row <= rhi; row++ {
 		base := row * ix.nx
 		// Geometric coverage of this grid row's strict interior: cells
 		// c0+1..c1-1 emitted without the per-point rectangle test when
@@ -366,11 +447,35 @@ func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, p
 				continue
 			}
 			needRect := !(spanCovered && c > c0 && c < c1)
+			run := ix.rowID[lo:hi]
 			if !needRect && len(residual) == 0 {
 				st.CellsBulk++
-				for _, id := range ix.rowID[lo:hi] {
-					ids = append(ids, int(id))
+				ids = appendSel(ids, run)
+				continue
+			}
+			if len(run) >= kernelMinRows && !forceScalarKernels {
+				// Batched cell: seed a selection from the run — fused
+				// rectangle test for the boundary ring, first residual
+				// predicate for zone-inconclusive interior cells — then
+				// refine in place with the remaining predicates.
+				if cap(sel) < len(run) {
+					sel = make([]int32, len(run))
 				}
+				s := sel[:len(run)]
+				var k int
+				ri := 0
+				if needRect {
+					k = selRectGather(s, run, xs, ys, r)
+				} else {
+					k = selGather(s, run, cols[residualCols[0]], residual[0].Min, residual[0].Max)
+					ri = 1
+				}
+				for ; ri < len(residual) && k > 0; ri++ {
+					k = selRefine(s[:k], cols[residualCols[ri]], residual[ri].Min, residual[ri].Max)
+				}
+				st.RowsExamined += len(run)
+				st.BatchedRows += len(run)
+				ids = appendSel(ids, s[:k])
 				continue
 			}
 			if len(residual) == 1 {

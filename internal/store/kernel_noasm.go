@@ -1,0 +1,21 @@
+//go:build !amd64
+
+package store
+
+import "repro/internal/geom"
+
+// Non-amd64 builds run the pure-Go kernel loops; the constant lets the
+// compiler elide the asm dispatch branches entirely.
+const useSelAsm = false
+
+func selRangeAsm(dst []int32, col []float64, lo int32, min, max float64) int {
+	panic("store: selRangeAsm without amd64")
+}
+
+func selGatherAsm(dst []int32, ids []int32, col []float64, min, max float64) int {
+	panic("store: selGatherAsm without amd64")
+}
+
+func selRectGatherAsm(dst []int32, ids []int32, xs, ys []float64, r geom.Rect) int {
+	panic("store: selRectGatherAsm without amd64")
+}

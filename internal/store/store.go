@@ -107,6 +107,10 @@ type tableCounters struct {
 	zoneCellsPruned  atomic.Int64 // cells discarded wholesale by zone maps
 	zoneSkips        atomic.Int64 // predicates whose zone checks were skipped
 
+	// Batch-kernel counters.
+	batchedRows atomic.Int64 // rows evaluated through selection-vector kernels
+	probeShards atomic.Int64 // index-probe shards run (1 per serial probe)
+
 	// Ingest counters.
 	compactions     atomic.Int64 // delta-into-generation compactions published
 	compactionNanos atomic.Int64 // wall time spent building + publishing them
@@ -427,6 +431,14 @@ type ScanStats struct {
 	// ZonesSkipped counts predicates whose zone checks the adaptive
 	// planner skipped because that column's zones had proven useless.
 	ZonesSkipped int
+	// BatchedRows counts the rows (out of RowsExamined) whose rectangle
+	// and predicate tests ran through the selection-vector batch
+	// kernels rather than the scalar per-row loops.
+	BatchedRows int
+	// ProbeShards counts the index-probe shards this scan ran: 1 for a
+	// serial probe, more when the touched cell range was large enough
+	// for collectCells to fan out across CPUs. Zero off the probe path.
+	ProbeShards int
 }
 
 // unboundedRect matches every row: each comparison against ±Inf bounds
@@ -551,12 +563,18 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 	if ix == nil || (r == unboundedRect && st.ZonesSkipped == len(preds) && len(preds) > 0) {
 		t.counters.scanFallbacks.Add(1)
 		cols := make([][]float64, 0, 2+len(preds))
-		cols = append(cols, d.cols[xi], d.cols[yi])
 		all := make([]Pred, 0, 2+len(preds))
-		all = append(all,
-			Pred{Column: xCol, Min: r.MinX, Max: r.MaxX},
-			Pred{Column: yCol, Min: r.MinY, Max: r.MaxY},
-		)
+		// An unbounded axis is a vacuous predicate (±Inf bounds match
+		// every value, NaN included) — dropping it saves the scan a full
+		// column pass.
+		if r.MinX != math.Inf(-1) || r.MaxX != math.Inf(1) {
+			cols = append(cols, d.cols[xi])
+			all = append(all, Pred{Column: xCol, Min: r.MinX, Max: r.MaxX})
+		}
+		if r.MinY != math.Inf(-1) || r.MaxY != math.Inf(1) {
+			cols = append(cols, d.cols[yi])
+			all = append(all, Pred{Column: yCol, Min: r.MinY, Max: r.MaxY})
+		}
 		for i, p := range preds {
 			cols = append(cols, d.cols[pi[i]])
 			all = append(all, p)
@@ -564,6 +582,10 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 		sp := tr.StartSpan(obs.StageResidual)
 		rs := rowSetFromSorted(scanShards(cols, all, d.n))
 		sp.End()
+		if !forceScalarKernels && d.n >= kernelMinRows {
+			st.BatchedRows = d.n
+			t.counters.batchedRows.Add(int64(d.n))
+		}
 		return rs, st, nil
 	}
 	st.IndexProbe = true
@@ -598,6 +620,8 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 		}
 	}
 	sp.End()
+	t.counters.batchedRows.Add(int64(st.BatchedRows))
+	t.counters.probeShards.Add(int64(st.ProbeShards))
 	if len(preds) > 0 {
 		t.counters.filteredProbes.Add(1)
 		t.counters.zoneCellsTouched.Add(int64(st.CellsTouched))
@@ -695,18 +719,42 @@ func scanShards(cols [][]float64, preds []Pred, n int) []int {
 	return out
 }
 
+// forceScalarKernels routes every scan through the scalar reference
+// loops instead of the batch kernels. It exists for the kernel-vs-scalar
+// benchmark variants and is only flipped by single-threaded test setup,
+// never concurrently with scans.
+var forceScalarKernels bool
+
 // scanRange is the sequential scan kernel: it appends the rows of
-// [lo, hi) matching every predicate to out.
+// [lo, hi) matching every predicate to out. Large ranges run through
+// the selection-vector batch kernels block by block — the first
+// predicate seeds a selection from a contiguous column stride, later
+// predicates refine it in place — while tiny ranges and id spaces past
+// the int32 selection domain keep the scalar per-row loop.
 func scanRange(cols [][]float64, preds []Pred, lo, hi int, out []int) []int {
-rows:
-	for r := lo; r < hi; r++ {
-		for i, p := range preds {
-			v := cols[i][r]
-			if v < p.Min || v > p.Max {
-				continue rows
-			}
+	if len(preds) == 0 {
+		for r := lo; r < hi; r++ {
+			out = append(out, r)
 		}
-		out = append(out, r)
+		return out
+	}
+	if forceScalarKernels || hi-lo < kernelMinRows || hi > math.MaxInt32 {
+		return scanRangeScalar(cols, preds, lo, hi, out)
+	}
+	// Two selection buffers, ping-ponged between passes: refining into
+	// the other buffer (selGather) instead of compacting in place keeps
+	// the survivor stores from aliasing the ids the same pass is about
+	// to load.
+	var selA, selB [scanBatchRows]int32
+	for b := lo; b < hi; b += scanBatchRows {
+		e := min(b+scanBatchRows, hi)
+		src, dst := selA[:], selB[:]
+		k := selRange(src, cols[0][b:e], int32(b), preds[0].Min, preds[0].Max)
+		for i := 1; i < len(preds) && k > 0; i++ {
+			k = selGather(dst, src[:k], cols[i], preds[i].Min, preds[i].Max)
+			src, dst = dst, src
+		}
+		out = appendSel(out, src[:k])
 	}
 	return out
 }
@@ -733,22 +781,19 @@ func (t *Table) Points(xCol, yCol string, rows RowSet) ([]geom.Point, error) {
 			return nil, fmt.Errorf("store: table %q: row range [%d,%d) out of range [0,%d)", t.name, start, end, d.n)
 		}
 		pts := make([]geom.Point, end-start)
-		for i := range pts {
-			pts[i] = geom.Pt(xs[start+i], ys[start+i])
-		}
+		gatherPointsDense(pts, xs[start:end], ys[start:end])
 		return pts, nil
 	}
 	if err := checkRowBounds(t.name, rows, d.n); err != nil {
 		return nil, err
 	}
-	pts := make([]geom.Point, 0, rows.Len())
 	if rows.bm != nil {
+		pts := make([]geom.Point, 0, rows.Len())
 		rows.bm.forEach(func(r int) { pts = append(pts, geom.Pt(xs[r], ys[r])) })
 		return pts, nil
 	}
-	for _, r := range rows.ids {
-		pts = append(pts, geom.Pt(xs[r], ys[r]))
-	}
+	pts := make([]geom.Point, len(rows.ids))
+	gatherPoints(pts, rows.ids, xs, ys)
 	return pts, nil
 }
 
@@ -772,14 +817,13 @@ func (t *Table) Gather(col string, rows RowSet) ([]float64, error) {
 	if err := checkRowBounds(t.name, rows, len(c)); err != nil {
 		return nil, err
 	}
-	out := make([]float64, 0, rows.Len())
 	if rows.bm != nil {
+		out := make([]float64, 0, rows.Len())
 		rows.bm.forEach(func(r int) { out = append(out, c[r]) })
 		return out, nil
 	}
-	for _, r := range rows.ids {
-		out = append(out, c[r])
-	}
+	out := make([]float64, len(rows.ids))
+	gatherVals(out, rows.ids, c)
 	return out, nil
 }
 
@@ -1038,6 +1082,15 @@ type IndexStats struct {
 	// ZoneSkips counts predicates whose zone checks the adaptive
 	// planner skipped (monotonic, survives drops).
 	ZoneSkips int64
+	// BatchedRows counts rows evaluated by the selection-vector batch
+	// kernels rather than the scalar row loop (monotonic, survives
+	// drops); against RowsExamined-style totals it gives the batched
+	// fraction of the read path.
+	BatchedRows int64
+	// ProbeShards counts the shards collectCells fanned index probes
+	// out to (one per serial probe; >1 per probe when the touched cell
+	// rows crossed the parallel threshold). Monotonic, survives drops.
+	ProbeShards int64
 	// DeltaRows and TailRows are point-in-time gauges summed over every
 	// live table: rows absorbed into delta indexes since the last
 	// compaction, and rows not covered by a base index at all (the two
@@ -1129,6 +1182,8 @@ func (st *IndexStats) addCounters(c *tableCounters) {
 	st.ZoneCellsTouched += c.zoneCellsTouched.Load()
 	st.ZoneCellsPruned += c.zoneCellsPruned.Load()
 	st.ZoneSkips += c.zoneSkips.Load()
+	st.BatchedRows += c.batchedRows.Load()
+	st.ProbeShards += c.probeShards.Load()
 	st.Compactions += c.compactions.Load()
 	st.CompactionSeconds += float64(c.compactionNanos.Load()) / 1e9
 }

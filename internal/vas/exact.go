@@ -8,7 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
-	"repro/internal/kernel"
+	"repro/internal/proximity"
 )
 
 // This file implements the exact VAS solver used to regenerate Table II.
@@ -32,7 +32,7 @@ type ExactOptions struct {
 	// K is the subset size (required, 0 < K <= len(points)).
 	K int
 	// Kernel supplies κ̃ (required).
-	Kernel kernel.Func
+	Kernel proximity.Func
 	// MaxNodes bounds the number of search-tree nodes expanded; 0 means
 	// unlimited. Table II's point is that exact search is infeasible at
 	// scale, so production callers should always set a budget.
@@ -237,7 +237,7 @@ func RandomSubset(pts []geom.Point, k int, intn func(int) int) []geom.Point {
 // GapToOptimal reports the Theorem 3 quantities for a candidate sample
 // against a known optimum: the normalized objectives and their difference,
 // which the theorem bounds by 1/4.
-func GapToOptimal(k kernel.Func, candidate, optimal []geom.Point) (candNorm, optNorm, gap float64) {
+func GapToOptimal(k proximity.Func, candidate, optimal []geom.Point) (candNorm, optNorm, gap float64) {
 	candNorm = NormalizedObjective(k, candidate)
 	optNorm = NormalizedObjective(k, optimal)
 	return candNorm, optNorm, candNorm - optNorm

@@ -8,11 +8,11 @@ import (
 	"testing"
 
 	"repro/internal/geom"
-	"repro/internal/kernel"
+	"repro/internal/proximity"
 )
 
 // bruteForceOptimum enumerates all K-subsets; only usable for tiny inputs.
-func bruteForceOptimum(k kernel.Func, pts []geom.Point, size int) ([]int, float64) {
+func bruteForceOptimum(k proximity.Func, pts []geom.Point, size int) ([]int, float64) {
 	n := len(pts)
 	best := math.Inf(1)
 	var bestSet []int
@@ -40,7 +40,7 @@ func bruteForceOptimum(k kernel.Func, pts []geom.Point, size int) ([]int, float6
 }
 
 func TestSolveExactMatchesEnumeration(t *testing.T) {
-	kern := kernel.NewGaussian(0.8)
+	kern := proximity.NewGaussian(0.8)
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 8; trial++ {
 		n := 8 + rng.Intn(5) // 8..12
@@ -65,7 +65,7 @@ func TestSolveExactMatchesEnumeration(t *testing.T) {
 }
 
 func TestSolveExactIsLowerBoundForInterchange(t *testing.T) {
-	kern := kernel.NewGaussian(0.5)
+	kern := proximity.NewGaussian(0.5)
 	pts := clusteredPoints(40, 2)
 	exact, err := SolveExact(context.Background(), pts, ExactOptions{K: 8, Kernel: kern})
 	if err != nil {
@@ -93,7 +93,7 @@ func gatherPts(pts []geom.Point, idx []int) []geom.Point {
 }
 
 func TestSolveExactValidation(t *testing.T) {
-	kern := kernel.NewGaussian(1)
+	kern := proximity.NewGaussian(1)
 	pts := clusteredPoints(5, 3)
 	if _, err := SolveExact(context.Background(), pts, ExactOptions{K: 0, Kernel: kern}); err == nil {
 		t.Error("K=0: want error")
@@ -107,7 +107,7 @@ func TestSolveExactValidation(t *testing.T) {
 }
 
 func TestSolveExactKEqualsN(t *testing.T) {
-	kern := kernel.NewGaussian(1)
+	kern := proximity.NewGaussian(1)
 	pts := clusteredPoints(6, 4)
 	res, err := SolveExact(context.Background(), pts, ExactOptions{K: 6, Kernel: kern})
 	if err != nil {
@@ -122,7 +122,7 @@ func TestSolveExactKEqualsN(t *testing.T) {
 }
 
 func TestSolveExactBudget(t *testing.T) {
-	kern := kernel.NewGaussian(0.05) // tight kernel: weak pruning
+	kern := proximity.NewGaussian(0.05) // tight kernel: weak pruning
 	rng := rand.New(rand.NewSource(5))
 	pts := make([]geom.Point, 60)
 	for i := range pts {
@@ -143,7 +143,7 @@ func TestSolveExactBudget(t *testing.T) {
 func TestSolveExactContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	kern := kernel.NewGaussian(0.05)
+	kern := proximity.NewGaussian(0.05)
 	rng := rand.New(rand.NewSource(6))
 	pts := make([]geom.Point, 70)
 	for i := range pts {

@@ -7,7 +7,7 @@ import (
 	"io"
 
 	"repro/internal/geom"
-	"repro/internal/kernel"
+	"repro/internal/proximity"
 )
 
 // This file implements the paper's Mixed Integer Program formulation of
@@ -33,7 +33,7 @@ type MIPOptions struct {
 	// K is the sample size (required, 0 < K <= len(points)).
 	K int
 	// Kernel supplies κ̃ (required).
-	Kernel kernel.Func
+	Kernel proximity.Func
 	// SkipNegligible omits objective terms below NegligibleThreshold,
 	// shrinking the model the same way the locality speed-up prunes
 	// pairs. Off by default for bit-exact instances.
@@ -134,7 +134,7 @@ func WriteMIP(w io.Writer, pts []geom.Point, opt MIPOptions) error {
 // MIPObjective evaluates the MIP objective for a 0/1 selection vector,
 // used by tests to confirm the exporter and the in-repo solvers agree on
 // the same instance.
-func MIPObjective(pts []geom.Point, kern kernel.Func, selected []bool) (float64, error) {
+func MIPObjective(pts []geom.Point, kern proximity.Func, selected []bool) (float64, error) {
 	if len(selected) != len(pts) {
 		return 0, fmt.Errorf("vas: selection length %d != %d points", len(selected), len(pts))
 	}

@@ -6,12 +6,12 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/kernel"
+	"repro/internal/proximity"
 )
 
 func TestWriteMIPWellFormed(t *testing.T) {
 	pts := clusteredPoints(8, 1)
-	kern := kernel.NewGaussian(0.8)
+	kern := proximity.NewGaussian(0.8)
 	var b strings.Builder
 	if err := WriteMIP(&b, pts, MIPOptions{K: 3, Kernel: kern}); err != nil {
 		t.Fatal(err)
@@ -37,7 +37,7 @@ func TestWriteMIPWellFormed(t *testing.T) {
 func TestWriteMIPSkipNegligible(t *testing.T) {
 	// Two tight pairs far apart: cross-pair terms are negligible.
 	pts := clusteredPoints(12, 2)
-	kern := kernel.NewGaussian(0.05)
+	kern := proximity.NewGaussian(0.05)
 	var full, pruned strings.Builder
 	if err := WriteMIP(&full, pts, MIPOptions{K: 4, Kernel: kern}); err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestWriteMIPSkipNegligible(t *testing.T) {
 }
 
 func TestWriteMIPValidation(t *testing.T) {
-	kern := kernel.NewGaussian(1)
+	kern := proximity.NewGaussian(1)
 	var b strings.Builder
 	if err := WriteMIP(&b, nil, MIPOptions{K: 1, Kernel: kern}); err == nil {
 		t.Error("no points: want error")
@@ -73,7 +73,7 @@ func TestWriteMIPValidation(t *testing.T) {
 // solver's reported objective, and the reference Objective().
 func TestMIPObjectiveAgreesWithSolvers(t *testing.T) {
 	pts := clusteredPoints(20, 4)
-	kern := kernel.NewGaussian(0.6)
+	kern := proximity.NewGaussian(0.6)
 	res, err := SolveExact(context.Background(), pts, ExactOptions{K: 6, Kernel: kern})
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestMIPObjectiveAgreesWithSolvers(t *testing.T) {
 
 func TestMIPObjectiveValidation(t *testing.T) {
 	pts := clusteredPoints(4, 5)
-	if _, err := MIPObjective(pts, kernel.NewGaussian(1), []bool{true}); err == nil {
+	if _, err := MIPObjective(pts, proximity.NewGaussian(1), []bool{true}); err == nil {
 		t.Error("length mismatch: want error")
 	}
 }

@@ -8,7 +8,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/geom"
-	"repro/internal/kernel"
+	"repro/internal/proximity"
 )
 
 // This file holds property-based checks (testing/quick plus randomized
@@ -164,7 +164,7 @@ func TestDensityCountsConservationProperty(t *testing.T) {
 // TestExactNeverWorseThanInterchangeProperty: on random tiny instances the
 // proven exact optimum lower-bounds the converged heuristic.
 func TestExactNeverWorseThanInterchangeProperty(t *testing.T) {
-	kern := kernel.NewGaussian(0.6)
+	kern := proximity.NewGaussian(0.6)
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 10; trial++ {
 		n := 10 + rng.Intn(10)

@@ -19,7 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
-	"repro/internal/kernel"
+	"repro/internal/proximity"
 )
 
 // Variant selects the Interchange implementation strategy. The three
@@ -85,8 +85,8 @@ type Options struct {
 	// K is the sample size (required, positive).
 	K int
 	// Kernel is the proximity function; its Pair form is the κ̃ of
-	// Definition 1 (required — use kernel.New or kernel.FromData).
-	Kernel kernel.Func
+	// Definition 1 (required — use proximity.New or proximity.FromData).
+	Kernel proximity.Func
 	// Variant selects NoES, ES, or ESLoc. Default ES.
 	Variant Variant
 	// Index selects the locality index for ESLoc. Default IndexRTree.
@@ -142,7 +142,7 @@ func NewInterchange(opt Options) *Interchange {
 		panic(fmt.Sprintf("vas: K must be positive, got %d", opt.K))
 	}
 	if opt.Kernel.Bandwidth() <= 0 {
-		panic("vas: Options.Kernel is unset (use kernel.New or kernel.FromData)")
+		panic("vas: Options.Kernel is unset (use proximity.New or proximity.FromData)")
 	}
 	ic := &Interchange{
 		opt:      opt,
@@ -445,7 +445,7 @@ func (ic *Interchange) RecomputeObjective() float64 {
 // Objective computes Σ_{i<j} κ̃ for an arbitrary point set; the exact
 // solver, tests, and the experiment harness share this reference
 // implementation.
-func Objective(k kernel.Func, pts []geom.Point) float64 {
+func Objective(k proximity.Func, pts []geom.Point) float64 {
 	var obj float64
 	for i := 0; i < len(pts); i++ {
 		for j := i + 1; j < len(pts); j++ {
@@ -458,7 +458,7 @@ func Objective(k kernel.Func, pts []geom.Point) float64 {
 // NormalizedObjective is the Theorem 3 quantity: the objective averaged
 // over the K(K-1) ordered pairs, the scale on which the approximation
 // guarantee (within 1/4 of optimal) is stated.
-func NormalizedObjective(k kernel.Func, pts []geom.Point) float64 {
+func NormalizedObjective(k proximity.Func, pts []geom.Point) float64 {
 	n := len(pts)
 	if n < 2 {
 		return 0

@@ -7,10 +7,10 @@ import (
 	"testing"
 
 	"repro/internal/geom"
-	"repro/internal/kernel"
+	"repro/internal/proximity"
 )
 
-func testKernel() kernel.Func { return kernel.NewGaussian(0.5) }
+func testKernel() proximity.Func { return proximity.NewGaussian(0.5) }
 
 func clusteredPoints(n int, seed int64) []geom.Point {
 	rng := rand.New(rand.NewSource(seed))
@@ -138,7 +138,7 @@ func TestVariantsAgree(t *testing.T) {
 	}
 }
 
-func objectiveOfIDs(k kernel.Func, pts []geom.Point, ids []int) float64 {
+func objectiveOfIDs(k proximity.Func, pts []geom.Point, ids []int) float64 {
 	sel := make([]geom.Point, len(ids))
 	for i, id := range ids {
 		sel[i] = pts[id]

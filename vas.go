@@ -38,9 +38,9 @@ import (
 	"time"
 
 	"repro/internal/geom"
-	"repro/internal/kernel"
 	"repro/internal/loss"
 	"repro/internal/obs"
+	"repro/internal/proximity"
 	"repro/internal/query"
 	"repro/internal/render"
 	"repro/internal/sampling"
@@ -104,12 +104,12 @@ type Sample struct {
 	// Passes is how many passes Interchange ran.
 	Passes int
 
-	kern kernel.Func
+	kern proximity.Func
 }
 
 // Kernel returns the proximity function the sample was built with, for
 // use with EvaluateLoss.
-func (s *Sample) Kernel() kernel.Func { return s.kern }
+func (s *Sample) Kernel() proximity.Func { return s.kern }
 
 // Build runs the Interchange algorithm over points and returns the VAS
 // sample. Build streams the data Passes times (default 2) and stops early
@@ -159,19 +159,19 @@ func Build(points []Point, opt Options) (*Sample, error) {
 	}, nil
 }
 
-func resolveKernel(points []Point, opt Options) (kernel.Func, error) {
-	kind := kernel.Gaussian
+func resolveKernel(points []Point, opt Options) (proximity.Func, error) {
+	kind := proximity.Gaussian
 	if opt.Kernel != "" {
 		var err error
-		kind, err = kernel.ParseKind(opt.Kernel)
+		kind, err = proximity.ParseKind(opt.Kernel)
 		if err != nil {
-			return kernel.Func{}, err
+			return proximity.Func{}, err
 		}
 	}
 	if opt.Epsilon > 0 {
-		return kernel.New(kind, opt.Epsilon), nil
+		return proximity.New(kind, opt.Epsilon), nil
 	}
-	return kernel.FromData(kind, points)
+	return proximity.FromData(kind, points)
 }
 
 // WeightedSample is a sample with §V density counts: Counts[i] is the
@@ -226,12 +226,12 @@ type LossReport struct {
 // the paper's Monte Carlo procedure (probes default to 1000; seed fixes
 // them). A kernel bandwidth of 0 uses the data heuristic.
 func EvaluateLoss(data, sample []Point, epsilon float64, probes int, seed int64) (LossReport, error) {
-	var kern kernel.Func
+	var kern proximity.Func
 	var err error
 	if epsilon > 0 {
-		kern = kernel.New(kernel.Gaussian, epsilon)
+		kern = proximity.New(proximity.Gaussian, epsilon)
 	} else {
-		kern, err = kernel.FromData(kernel.Gaussian, data)
+		kern, err = proximity.FromData(proximity.Gaussian, data)
 		if err != nil {
 			return LossReport{}, err
 		}
