@@ -8,9 +8,11 @@ GO ?= go
 # (zone-map pruning) vs the filtered linear baseline, the live-ingest
 # scans (delta-index probe vs seed-state linear tail) plus append
 # throughput, the batch-vs-scalar kernel comparison inside
-# ScanRectFiltered (residual shapes report kernel_speedup), and the
-# probe parallelism sweep.
-SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered|ScanAfterAppend|AppendThroughput|ProbeParallelSweep
+# ScanRectFiltered (residual shapes report kernel_speedup), the
+# probe parallelism sweep, and the retention path: the filtered probe
+# with 10% of rows tombstoned (vs clean baseline and post-compaction)
+# plus the two-viewport union scan.
+SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered|ScanAfterAppend|AppendThroughput|ProbeParallelSweep|ScanAfterDelete|ScanRectsUnion
 # The cold-start benchmarks (root package): bringing a 1M-row catalog
 # up by full offline rebuild vs restoring it from a snapshot file —
 # plus the parallel HTTP query path, which guards the observability
@@ -37,13 +39,13 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the serving + cold-start benchmarks and commits the
-# numbers as BENCH_PR7.json (the repo's benchmark trajectory;
-# BENCH_PR2.json .. BENCH_PR6.json are the previous points on it).
+# numbers as BENCH_PR8.json (the repo's benchmark trajectory;
+# BENCH_PR2.json .. BENCH_PR7.json are the previous points on it).
 bench:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem ./internal/store | tee /tmp/bench_serving.txt
 	$(GO) test -run '^$$' -bench '$(SNAPSHOT_BENCH)' -benchmem . | tee -a /tmp/bench_serving.txt
-	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR7.json
-	@echo wrote BENCH_PR7.json
+	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR8.json
+	@echo wrote BENCH_PR8.json
 
 # bench-smoke is the CI guard: every committed benchmark must still
 # compile and complete one iteration.

@@ -32,6 +32,13 @@ type Request struct {
 	// Viewport restricts the plot to a zoom region; the zero Rect (empty)
 	// means the full extent.
 	Viewport geom.Rect
+	// Rects, when non-empty, restricts the plot to the UNION of several
+	// zoom regions — the multi-viewport shape of comparison dashboards.
+	// Each rectangle is probed separately and the row sets are unioned,
+	// so a row inside two overlapping rectangles is returned once.
+	// Mutually exclusive with Viewport: a request setting both is
+	// rejected rather than guessing an intersection-vs-union intent.
+	Rects []geom.Rect
 	// Filters are extra conjunctive range predicates — time windows,
 	// magnitude bands, categories — pushed down into the same index
 	// probe that answers the viewport, where per-cell zone maps prune
@@ -67,11 +74,14 @@ type Response struct {
 	// fallback, zone-map pruning for filtered queries, and how many
 	// rows came out of delta buckets (appended but not yet compacted).
 	Scan store.ScanStats
-	// ServedRows is the row count of the table the answer was scanned
-	// from (the chosen sample, or the base table for an exact scan) —
-	// under live ingest, how current the served data is. It is read
-	// just before the scan, so under a concurrent append it can trail
-	// the scanned snapshot by a batch; it never overstates currency.
+	// ServedRows is the LIVE row count of the table the answer was
+	// scanned from (the chosen sample, or the base table for an exact
+	// scan) — under live ingest, how current the served data is.
+	// Tombstoned rows are excluded: after a delete the count drops with
+	// the visible data, whether or not compaction has physically
+	// reclaimed the rows yet. It is read just before the scan, so under
+	// a concurrent append it can trail the scanned snapshot by a batch;
+	// it never overstates currency.
 	ServedRows int
 }
 
@@ -103,6 +113,9 @@ func (pl *Planner) PlanCtx(ctx context.Context, req Request) (*Response, error) 
 	if req.Table == "" || req.XCol == "" || req.YCol == "" {
 		return nil, errors.New("query: Table, XCol and YCol are required")
 	}
+	if len(req.Rects) > 0 && req.Viewport != (geom.Rect{}) {
+		return nil, errors.New("query: Viewport and Rects are mutually exclusive")
+	}
 	tr.SetTable(req.Table)
 
 	if req.Exact {
@@ -114,9 +127,9 @@ func (pl *Planner) PlanCtx(ctx context.Context, req Request) (*Response, error) 
 		}
 		// Before the scan: a count taken after could exceed the scanned
 		// snapshot under concurrent appends and overstate currency.
-		servedRows := base.NumRows()
+		servedRows := base.LiveRows()
 		sp.End()
-		rows, scanStats, err := pl.viewportRows(ctx, base, req.XCol, req.YCol, req.Viewport, req.Filters)
+		rows, scanStats, err := pl.viewportRows(ctx, base, req.XCol, req.YCol, req.Viewport, req.Rects, req.Filters)
 		if err != nil {
 			return nil, err
 		}
@@ -167,9 +180,9 @@ func (pl *Planner) PlanCtx(ctx context.Context, req Request) (*Response, error) 
 	tr.Annotate("sample", chosen.Table)
 	// One index probe (or fallback scan) serves both the point projection
 	// and the density gather; this is the serving hot path.
-	servedRows := st.NumRows()
+	servedRows := st.LiveRows()
 	sp.End()
-	rows, scanStats, err := pl.viewportRows(ctx, st, chosen.XCol, chosen.YCol, req.Viewport, req.Filters)
+	rows, scanStats, err := pl.viewportRows(ctx, st, chosen.XCol, chosen.YCol, req.Viewport, req.Rects, req.Filters)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +267,13 @@ func (pl *Planner) chooseSample(req Request, maxTuples int) (store.SampleMeta, e
 	return best, nil
 }
 
-func (pl *Planner) viewportRows(ctx context.Context, t *store.Table, xCol, yCol string, vp geom.Rect, filters []store.Pred) (store.RowSet, store.ScanStats, error) {
+func (pl *Planner) viewportRows(ctx context.Context, t *store.Table, xCol, yCol string, vp geom.Rect, rects []geom.Rect, filters []store.Pred) (store.RowSet, store.ScanStats, error) {
+	// A multi-viewport request probes each rectangle and unions the row
+	// sets inside the store (one snapshot discipline per probe, stats
+	// summed across probes).
+	if len(rects) > 0 {
+		return t.ScanRectsCtx(ctx, xCol, yCol, rects, filters)
+	}
 	// Both the zero value (the natural "unset" spelling for callers) and
 	// a properly empty rectangle mean "no viewport restriction". With no
 	// filters either, the full extent is the store.All sentinel:

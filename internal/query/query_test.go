@@ -342,7 +342,7 @@ func TestViewportRowsFullExtentAllocatesNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(50, func() {
-		rows, _, err := pl.viewportRows(context.Background(), base, "x", "y", geom.Rect{}, nil)
+		rows, _, err := pl.viewportRows(context.Background(), base, "x", "y", geom.Rect{}, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

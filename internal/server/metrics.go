@@ -42,6 +42,10 @@ type metrics struct {
 	// Ingest counters for the /v1/append endpoint.
 	ingestBatches atomic.Int64
 	ingestRows    atomic.Int64
+
+	// Retention counters for the /v1/delete endpoint.
+	deleteRequests atomic.Int64
+	deleteRows     atomic.Int64
 }
 
 func newMetrics(routes ...string) *metrics {
@@ -184,14 +188,28 @@ func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats, col
 	fmt.Fprintf(w, "vasserve_store_compactions_total %d\n", idx.Compactions)
 	ew.Head("vasserve_store_compaction_seconds_total", "counter", "Total time spent compacting indexes.")
 	fmt.Fprintf(w, "vasserve_store_compaction_seconds_total %g\n", idx.CompactionSeconds)
+	// Retention pressure: rows tombstoned but not yet physically
+	// reclaimed (gauge — drops to zero after a reclaiming compaction),
+	// plus the lifetime delete and reclaim totals.
+	ew.Head("vasserve_store_tombstoned_rows", "gauge", "Rows tombstoned by deletes or TTL but not yet reclaimed by compaction.")
+	fmt.Fprintf(w, "vasserve_store_tombstoned_rows %d\n", idx.TombstonedRows)
+	ew.Head("vasserve_store_deleted_rows_total", "counter", "Rows tombstoned by deletes and TTL sweeps.")
+	fmt.Fprintf(w, "vasserve_store_deleted_rows_total %d\n", idx.DeletedRows)
+	ew.Head("vasserve_store_reclaimed_rows_total", "counter", "Tombstoned rows physically dropped by compactions.")
+	fmt.Fprintf(w, "vasserve_store_reclaimed_rows_total %d\n", idx.ReclaimedRows)
 	// Per-table ingest pressure: how many appended rows sit outside the
 	// base index (tail) and how many of those the delta has absorbed —
-	// visible before it ever shows up as latency.
-	ew.Head("vasserve_store_table_rows", "gauge", "Rows per table.")
+	// visible before it ever shows up as latency. Live vs dead splits
+	// the physical rows by tombstone state.
+	ew.Head("vasserve_store_table_rows", "gauge", "Physical rows per table (tombstoned included).")
+	ew.Head("vasserve_store_table_live_rows", "gauge", "Live (non-tombstoned) rows per table.")
+	ew.Head("vasserve_store_table_dead_rows", "gauge", "Tombstoned rows awaiting reclaim, per table.")
 	ew.Head("vasserve_store_table_tail_rows", "gauge", "Appended rows outside the base index, per table.")
 	ew.Head("vasserve_store_table_delta_rows", "gauge", "Appended rows absorbed into delta indexes, per table.")
 	for _, ti := range idx.PerTable {
 		fmt.Fprintf(w, "vasserve_store_table_rows{table=%q} %d\n", ti.Table, ti.Rows)
+		fmt.Fprintf(w, "vasserve_store_table_live_rows{table=%q} %d\n", ti.Table, ti.LiveRows)
+		fmt.Fprintf(w, "vasserve_store_table_dead_rows{table=%q} %d\n", ti.Table, ti.DeadRows)
 		fmt.Fprintf(w, "vasserve_store_table_tail_rows{table=%q} %d\n", ti.Table, ti.TailRows)
 		fmt.Fprintf(w, "vasserve_store_table_delta_rows{table=%q} %d\n", ti.Table, ti.DeltaRows)
 	}
@@ -199,6 +217,10 @@ func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats, col
 	fmt.Fprintf(w, "vasserve_ingest_batches_total %d\n", m.ingestBatches.Load())
 	ew.Head("vasserve_ingest_rows_total", "counter", "Rows appended.")
 	fmt.Fprintf(w, "vasserve_ingest_rows_total %d\n", m.ingestRows.Load())
+	ew.Head("vasserve_delete_requests_total", "counter", "Delete requests that tombstoned at least one row.")
+	fmt.Fprintf(w, "vasserve_delete_requests_total %d\n", m.deleteRequests.Load())
+	ew.Head("vasserve_delete_rows_total", "counter", "Rows tombstoned via /v1/delete.")
+	fmt.Fprintf(w, "vasserve_delete_rows_total %d\n", m.deleteRows.Load())
 	if coldSource != "" {
 		ew.Head("vasserve_coldstart_seconds", "gauge", "Catalog population time at startup, by source (snapshot or rebuild).")
 		fmt.Fprintf(w, "vasserve_coldstart_seconds{source=%q} %g\n", coldSource, coldSeconds)

@@ -8,6 +8,8 @@
 //	GET /v1/tables                      catalog listing (tables + samples)
 //	GET /v1/query                       budget-bound point query (JSON)
 //	GET /v1/tile/{table}/{z}/{x}/{y}.png  rendered PNG tile
+//	POST /v1/append/{table}             live row ingest (JSON batch)
+//	POST /v1/delete/{table}             tombstone delete (rect and/or predicates)
 //	GET /healthz                        liveness probe
 //	GET /metrics                        Prometheus-style counters
 //
@@ -61,6 +63,12 @@ type Config struct {
 	// snapshot tail log. It receives the batch as parallel column
 	// slices in schema order and returns the number of rows appended.
 	AppendHook func(table string, cols [][]float64) (int, error)
+	// DeleteHook, when set, handles POST /v1/delete/{table} requests
+	// instead of the server tombstoning straight in the store table —
+	// the catalog layer uses it to also record the delete predicate in
+	// its snapshot tail log. It returns the number of rows newly
+	// deleted.
+	DeleteHook func(table string, preds []store.Pred) (int, error)
 	// MaxAppendBytes caps the /v1/append request body; 0 means 64 MiB.
 	MaxAppendBytes int64
 	// SlowThreshold is the minimum total duration a request trace must
@@ -148,7 +156,7 @@ func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
 		st:          st,
 		planner:     planner,
 		cache:       tilecache.New(cfg.TileCacheBytes),
-		metrics:     newMetrics("tables", "query", "tile", "append", "healthz", "metrics", "debug"),
+		metrics:     newMetrics("tables", "query", "tile", "append", "delete", "healthz", "metrics", "debug"),
 		boundsCache: make(map[string]geom.Rect),
 		epochs:      make(map[string]uint64),
 	}
@@ -158,6 +166,7 @@ func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("GET /v1/tile/{table}/{z}/{x}/{y}", s.instrument("tile", s.handleTile))
 	mux.HandleFunc("POST /v1/append/{table}", s.instrument("append", s.handleAppend))
+	mux.HandleFunc("POST /v1/delete/{table}", s.instrument("delete", s.handleDelete))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /debug/slow", s.instrument("debug", s.handleSlow))
@@ -270,10 +279,14 @@ type SampleInfo struct {
 
 // TableInfo describes one base table in the tables listing.
 type TableInfo struct {
-	Name    string       `json:"name"`
-	Rows    int          `json:"rows"`
-	Bounds  *RectJSON    `json:"bounds,omitempty"`
-	Samples []SampleInfo `json:"samples"`
+	Name string `json:"name"`
+	// Rows is the physical row count; LiveRows excludes rows tombstoned
+	// by deletes or TTL but not yet reclaimed by compaction. The two
+	// converge after every compaction.
+	Rows     int          `json:"rows"`
+	LiveRows int          `json:"liveRows"`
+	Bounds   *RectJSON    `json:"bounds,omitempty"`
+	Samples  []SampleInfo `json:"samples"`
 }
 
 // RectJSON is the wire form of a geom.Rect.
@@ -304,7 +317,7 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue // dropped concurrently
 		}
-		info := TableInfo{Name: n, Rows: t.NumRows(), Samples: []SampleInfo{}}
+		info := TableInfo{Name: n, Rows: t.NumRows(), LiveRows: t.LiveRows(), Samples: []SampleInfo{}}
 		if b, err := s.tableBounds(n); err == nil && !b.IsEmpty() {
 			info.Bounds = &RectJSON{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY}
 		}
@@ -366,8 +379,9 @@ type QueryResponse struct {
 	// SampleSize is the size of the served sample (0 for an exact scan).
 	SampleSize int  `json:"sampleSize"`
 	Exact      bool `json:"exact"`
-	// ServedRows is the row count of the table the answer was scanned
-	// from — under live ingest, how current the served data is.
+	// ServedRows is the live row count of the table the answer was
+	// scanned from — under live ingest, how current the served data is.
+	// Tombstoned (deleted but not yet reclaimed) rows are excluded.
 	ServedRows int `json:"servedRows"`
 	// PredictedMillis is the latency-model estimate for rendering Points.
 	PredictedMillis float64 `json:"predictedMillis"`
@@ -430,11 +444,13 @@ func parseViewport(r *http.Request) (geom.Rect, error) {
 }
 
 // parseFilters reads repeated filter=col:lo:hi parameters into pushdown
-// predicates. An empty lo or hi means unbounded on that side. The second
-// return value is the canonical cache-key encoding of the filter set:
-// bounds reformatted through the float parser and entries sorted, so
-// two spellings of the same predicate set share cached tiles and any
-// differing set gets its own key.
+// predicates. The LAST two ":"-separated fields are the bounds, so
+// column names may themselves contain ":" (or "|"); an empty lo or hi
+// means unbounded on that side. The second return value is the
+// canonical cache-key encoding of the filter set: bounds reformatted
+// through the float parser, column names length-prefixed, and entries
+// sorted, so two spellings of the same predicate set share cached tiles
+// and any differing set gets its own key.
 func parseFilters(r *http.Request) ([]store.Pred, string, error) {
 	raws := r.URL.Query()["filter"]
 	if len(raws) == 0 {
@@ -443,20 +459,25 @@ func parseFilters(r *http.Request) ([]store.Pred, string, error) {
 	preds := make([]store.Pred, 0, len(raws))
 	canon := make([]string, 0, len(raws))
 	for _, raw := range raws {
-		parts := strings.Split(raw, ":")
-		if len(parts) != 3 || parts[0] == "" {
+		hiSep := strings.LastIndexByte(raw, ':')
+		loSep := -1
+		if hiSep > 0 {
+			loSep = strings.LastIndexByte(raw[:hiSep], ':')
+		}
+		if loSep <= 0 {
 			return nil, "", fmt.Errorf("bad filter %q (want col:lo:hi, empty bound = unbounded)", raw)
 		}
-		p := store.Pred{Column: parts[0], Min: math.Inf(-1), Max: math.Inf(1)}
+		col, loRaw, hiRaw := raw[:loSep], raw[loSep+1:hiSep], raw[hiSep+1:]
+		p := store.Pred{Column: col, Min: math.Inf(-1), Max: math.Inf(1)}
 		var err error
-		if parts[1] != "" {
-			if p.Min, err = strconv.ParseFloat(parts[1], 64); err != nil {
-				return nil, "", fmt.Errorf("bad filter %q: lo %q is not a number", raw, parts[1])
+		if loRaw != "" {
+			if p.Min, err = strconv.ParseFloat(loRaw, 64); err != nil {
+				return nil, "", fmt.Errorf("bad filter %q: lo %q is not a number", raw, loRaw)
 			}
 		}
-		if parts[2] != "" {
-			if p.Max, err = strconv.ParseFloat(parts[2], 64); err != nil {
-				return nil, "", fmt.Errorf("bad filter %q: hi %q is not a number", raw, parts[2])
+		if hiRaw != "" {
+			if p.Max, err = strconv.ParseFloat(hiRaw, 64); err != nil {
+				return nil, "", fmt.Errorf("bad filter %q: hi %q is not a number", raw, hiRaw)
 			}
 		}
 		// Canonicalize the equivalent spellings of each bound before the
@@ -476,13 +497,49 @@ func parseFilters(r *http.Request) ([]store.Pred, string, error) {
 			p.Max = 0
 		}
 		preds = append(preds, p)
-		canon = append(canon, fmt.Sprintf("%s:%s:%s",
-			p.Column,
+		// The column name is length-prefixed: entries are joined with
+		// "|" and fields with ":" below, and column names may contain
+		// both characters — without the prefix, the one-filter set on
+		// column "a:1:2|b" and the two-filter set on "a" and "b" would
+		// canonicalize to the same cache key and serve each other's
+		// tiles.
+		canon = append(canon, fmt.Sprintf("%d:%s:%s:%s",
+			len(p.Column), p.Column,
 			strconv.FormatFloat(p.Min, 'g', -1, 64),
 			strconv.FormatFloat(p.Max, 'g', -1, 64)))
 	}
 	sort.Strings(canon)
 	return preds, strings.Join(canon, "|"), nil
+}
+
+// parseRects reads repeated rect=minx:miny:maxx:maxy parameters — the
+// multi-viewport query shape, answered as the union of the rectangles.
+func parseRects(r *http.Request) ([]geom.Rect, error) {
+	raws := r.URL.Query()["rect"]
+	if len(raws) == 0 {
+		return nil, nil
+	}
+	rects := make([]geom.Rect, 0, len(raws))
+	for _, raw := range raws {
+		parts := strings.Split(raw, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("bad rect %q (want minx:miny:maxx:maxy)", raw)
+		}
+		var vals [4]float64
+		for i, part := range parts {
+			v, err := strconv.ParseFloat(part, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad rect %q: %q is not a number", raw, part)
+			}
+			vals[i] = v
+		}
+		rc := geom.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+		if rc.IsEmpty() {
+			return nil, fmt.Errorf("empty rect %q", raw)
+		}
+		rects = append(rects, rc)
+	}
+	return rects, nil
 }
 
 func parseBudget(r *http.Request) (time.Duration, error) {
@@ -511,6 +568,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
+	rects, err := parseRects(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	if len(rects) > 0 && vp != (geom.Rect{}) {
+		// One viewport spelling per request: combining them would have
+		// to guess union vs intersection intent.
+		badRequest(w, "rect and minx/miny/maxx/maxy are mutually exclusive")
+		return
+	}
 	budget, err := parseBudget(r)
 	if err != nil {
 		badRequest(w, "%v", err)
@@ -524,7 +592,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	exact := r.URL.Query().Get("exact") == "true"
 	resp, err := s.planner.PlanCtx(r.Context(), query.Request{
 		Table: table, XCol: s.cfg.XCol, YCol: s.cfg.YCol,
-		Viewport: vp, Budget: budget, Exact: exact, Filters: filters,
+		Viewport: vp, Rects: rects, Budget: budget, Exact: exact, Filters: filters,
 	})
 	if err != nil {
 		httpError(w, err)
@@ -570,7 +638,8 @@ type AppendRequest struct {
 type AppendResponse struct {
 	// Appended is the number of rows this batch added.
 	Appended int `json:"appended"`
-	// Rows is the table's row count after the batch.
+	// Rows is the table's live row count after the batch (tombstoned
+	// rows excluded).
 	Rows int `json:"rows"`
 }
 
@@ -596,7 +665,20 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "bad append body: %v", err)
 		return
 	}
-	if (len(req.Points) == 0) == (len(req.Rows) == 0) {
+	if len(req.Points) == 0 && len(req.Rows) == 0 {
+		// An empty batch is a legitimate no-op, not a client error —
+		// batching producers naturally emit one at a quiet flush
+		// interval. Nothing changed, so neither the tile epoch nor the
+		// tail log moves; the table must still exist for the row count.
+		t, err := s.st.Table(table)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, AppendResponse{Appended: 0, Rows: t.LiveRows()})
+		return
+	}
+	if len(req.Points) > 0 && len(req.Rows) > 0 {
 		badRequest(w, "append body needs exactly one of points, rows")
 		return
 	}
@@ -664,7 +746,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	rows := 0
 	if t, err := s.st.Table(table); err == nil {
-		rows = t.NumRows()
+		rows = t.LiveRows()
 	}
 	writeJSON(w, http.StatusOK, AppendResponse{Appended: n, Rows: rows})
 }
@@ -683,6 +765,112 @@ func (s *Server) appendCols(table string, cols [][]float64) (int, error) {
 		return 0, err
 	}
 	return len(cols[0]), nil
+}
+
+// ---- /v1/delete ----
+
+// PredJSON is one conjunctive range predicate in a delete request; a
+// nil bound means unbounded on that side.
+type PredJSON struct {
+	Column string   `json:"column"`
+	Min    *float64 `json:"min,omitempty"`
+	Max    *float64 `json:"max,omitempty"`
+}
+
+// DeleteRequest is the JSON body of POST /v1/delete/{table}. Rect and
+// Filters compose conjunctively (a row must be inside the rect AND
+// match every filter). A request with neither must set All — deleting a
+// whole table by accidentally empty body is too cheap a mistake.
+type DeleteRequest struct {
+	Rect    *RectJSON  `json:"rect,omitempty"`
+	Filters []PredJSON `json:"filters,omitempty"`
+	All     bool       `json:"all,omitempty"`
+}
+
+// DeleteResponse is the JSON answer to /v1/delete.
+type DeleteResponse struct {
+	// Deleted is the number of rows this request newly tombstoned.
+	Deleted int `json:"deleted"`
+	// Rows is the table's live row count after the delete.
+	Rows int `json:"rows"`
+}
+
+// handleDelete serves POST /v1/delete/{table}: the matching rows are
+// tombstoned — atomically invisible to every later query and tile,
+// physically reclaimed by the table's next background compaction — and
+// the tile-cache epoch is bumped so no tile rendered from the
+// pre-delete contents survives as a cache hit.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	var req DeleteRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxAppendBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		badRequest(w, "bad delete body: %v", err)
+		return
+	}
+	if req.Rect == nil && len(req.Filters) == 0 && !req.All {
+		badRequest(w, `delete body needs a rect or filters (or "all": true to delete every row)`)
+		return
+	}
+	var preds []store.Pred
+	if req.Rect != nil {
+		preds = append(preds,
+			store.Pred{Column: s.cfg.XCol, Min: req.Rect.MinX, Max: req.Rect.MaxX},
+			store.Pred{Column: s.cfg.YCol, Min: req.Rect.MinY, Max: req.Rect.MaxY})
+	}
+	for _, f := range req.Filters {
+		if f.Column == "" {
+			badRequest(w, "delete filter needs a column")
+			return
+		}
+		p := store.Pred{Column: f.Column, Min: math.Inf(-1), Max: math.Inf(1)}
+		if f.Min != nil {
+			p.Min = *f.Min
+		}
+		if f.Max != nil {
+			p.Max = *f.Max
+		}
+		preds = append(preds, p)
+	}
+	n, err := s.deletePreds(table, preds)
+	if n > 0 {
+		// Rows became invisible — even when a durability step failed
+		// afterwards — so the epoch must move, exactly as for appends.
+		s.InvalidateTable(table)
+		s.metrics.deleteRequests.Add(1)
+		s.metrics.deleteRows.Add(int64(n))
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			httpError(w, err)
+		case n > 0:
+			writeJSON(w, http.StatusInternalServerError, map[string]string{
+				"error": fmt.Sprintf("rows deleted from serving, but not durable: %v", err),
+			})
+		default:
+			httpError(w, err)
+		}
+		return
+	}
+	rows := 0
+	if t, err := s.st.Table(table); err == nil {
+		rows = t.LiveRows()
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: n, Rows: rows})
+}
+
+// deletePreds routes one parsed delete to the configured DeleteHook or
+// straight into the store table.
+func (s *Server) deletePreds(table string, preds []store.Pred) (int, error) {
+	if s.cfg.DeleteHook != nil {
+		return s.cfg.DeleteHook(table, preds)
+	}
+	t, err := s.st.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.DeleteWhere(preds)
 }
 
 // ---- /v1/tile ----
@@ -862,8 +1050,9 @@ func (s *Server) renderTile(ctx context.Context, table string, meta store.Sample
 		return nil, tm, err
 	}
 	// Before the scan, like /v1/query: a count taken after could exceed
-	// the scanned snapshot under concurrent appends.
-	tm.ServedRows = t.NumRows()
+	// the scanned snapshot under concurrent appends. Live rows, not
+	// physical: tombstoned rows are invisible to the scan below.
+	tm.ServedRows = t.LiveRows()
 	// Index probe: sample and base tables published through the catalog
 	// carry a grid index over their (x, y) pair, so a tile-cache miss
 	// reads only the cells its rectangle overlaps instead of scanning

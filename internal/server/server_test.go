@@ -251,15 +251,20 @@ func TestQueryFilters(t *testing.T) {
 		}
 	}
 
-	// Malformed filters are 400s.
-	for _, bad := range []string{"x:1", "x:a:2", ":1:2", "x:1:2:3"} {
+	// Malformed filters are 400s. (Only the LAST two ":"-fields are
+	// bounds, so "x:1:2:3" is a well-formed filter on column "x:1" —
+	// an unknown column, covered below — not a syntax error.)
+	for _, bad := range []string{"x:1", "x:a:2", ":1:2", "x:1:2:z"} {
 		if rec := get(t, s, "/v1/query?table=base&filter="+bad); rec.Code != http.StatusBadRequest {
 			t.Errorf("filter=%q status = %d, want 400", bad, rec.Code)
 		}
 	}
-	// A filter on an unknown column is a 404 (store lookup error).
-	if rec := get(t, s, "/v1/query?table=base&budget=150us&filter=ghost:1:2"); rec.Code != http.StatusNotFound {
-		t.Errorf("unknown filter column status = %d, want 404", rec.Code)
+	// A filter on an unknown column is a 404 (store lookup error) —
+	// including the colon-bearing column name "x:1".
+	for _, ghost := range []string{"ghost:1:2", "x:1:2:3"} {
+		if rec := get(t, s, "/v1/query?table=base&budget=150us&filter="+ghost); rec.Code != http.StatusNotFound {
+			t.Errorf("filter=%q status = %d, want 404", ghost, rec.Code)
+		}
 	}
 }
 
@@ -429,7 +434,7 @@ func TestAppendEndpoint(t *testing.T) {
 		code      int
 	}{
 		{"/v1/append/ghost", `{"points": [[1, 2]]}`, http.StatusNotFound},
-		{"/v1/append/base", `{}`, http.StatusBadRequest},
+		{"/v1/append/ghost", `{}`, http.StatusNotFound},                        // empty no-op still checks the table
 		{"/v1/append/base", `{"points": [[5]]}`, http.StatusBadRequest},        // missing y
 		{"/v1/append/base", `{"points": [[1, 2, 99]]}`, http.StatusBadRequest}, // stray value
 		{"/v1/append/base", `{"points": [[1,2]], "rows": [[1,2]]}`, http.StatusBadRequest},
@@ -525,5 +530,315 @@ func TestHealthAndMetrics(t *testing.T) {
 	// The filtered probe touched at least one cell.
 	if strings.Contains(body, "vasserve_store_zone_cells_touched_total 0\n") {
 		t.Error("filtered probe recorded zero touched cells")
+	}
+}
+
+// TestFilterCacheKeyCollision pins the canonical-key fix: column names
+// may contain ":" and "|" (the key's own separators), so without
+// length-prefixing, the ONE-filter set on column "a:1:2|b" and the
+// TWO-filter set on "a" and "b" would produce the same key and serve
+// each other's cached tiles.
+func TestFilterCacheKeyCollision(t *testing.T) {
+	canonOf := func(query string) string {
+		t.Helper()
+		_, canon, err := parseFilters(httptest.NewRequest("GET", "/v1/query?"+query, nil))
+		if err != nil {
+			t.Fatalf("%s: %v", query, err)
+		}
+		return canon
+	}
+	one := canonOf("filter=a:1:2%7Cb:3:4") // column "a:1:2|b", bounds 3..4
+	two := canonOf("filter=a:1:2&filter=b:3:4")
+	if one == two {
+		t.Fatalf("collision: %q and the a+b pair share cache key %q", "a:1:2|b:3:4", one)
+	}
+	// Equivalent spellings of the same set still share one key...
+	if canonOf("filter=a:1:2") != canonOf("filter=a:1.0:2.00") {
+		t.Error("equivalent bound spellings got different keys")
+	}
+	// ...including across ordering.
+	if canonOf("filter=a:1:2&filter=b:3:4") != canonOf("filter=b:3:4&filter=a:1:2") {
+		t.Error("filter order fragmented the key")
+	}
+	// A colon-bearing column is parsed from the right.
+	preds, _, err := parseFilters(httptest.NewRequest("GET", "/v1/query?filter=t:s:1:2", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 1 || preds[0].Column != "t:s" || preds[0].Min != 1 || preds[0].Max != 2 {
+		t.Fatalf("parsed %+v, want column \"t:s\" in [1,2]", preds)
+	}
+}
+
+// TestQueryMultiRect: repeatable rect= parameters answer the union of
+// the viewports, pinned against the two single-rect answers.
+func TestQueryMultiRect(t *testing.T) {
+	s := newTestServer(t)
+	fetch := func(url string) QueryResponse {
+		t.Helper()
+		rec := get(t, s, url)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d, body %s", url, rec.Code, rec.Body)
+		}
+		var out QueryResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	// The base table is 400 points on the diagonal.
+	a := fetch("/v1/query?table=base&exact=true&rect=0:0:50:50")
+	b := fetch("/v1/query?table=base&exact=true&rect=300:300:399:399")
+	u := fetch("/v1/query?table=base&exact=true&rect=0:0:50:50&rect=300:300:399:399")
+	if len(a.Points) != 51 || len(b.Points) != 100 {
+		t.Fatalf("single rects returned %d and %d points", len(a.Points), len(b.Points))
+	}
+	if len(u.Points) != len(a.Points)+len(b.Points) {
+		t.Fatalf("disjoint union = %d points, want %d", len(u.Points), len(a.Points)+len(b.Points))
+	}
+	want := append(append([][2]float64{}, a.Points...), b.Points...)
+	for i, p := range u.Points {
+		if p != want[i] {
+			t.Fatalf("union point %d = %v, differs from the single-rect answers' union %v", i, p, want[i])
+		}
+	}
+	if u.ServedRows != 400 {
+		t.Errorf("union servedRows = %d, want 400", u.ServedRows)
+	}
+	// Overlapping rectangles return each row once.
+	o := fetch("/v1/query?table=base&exact=true&rect=0:0:100:100&rect=50:50:150:150")
+	if len(o.Points) != 151 {
+		t.Fatalf("overlapping union = %d points, want 151 distinct", len(o.Points))
+	}
+	// Filters still push down into every rectangle.
+	f := fetch("/v1/query?table=base&exact=true&rect=0:0:100:100&rect=200:200:300:300&filter=x:90:210")
+	for _, p := range f.Points {
+		if p[0] < 90 || p[0] > 210 {
+			t.Errorf("point %v escapes the filter", p)
+		}
+	}
+	// Budgeted (sampled) union works too: strict subset of the sample.
+	if s := fetch("/v1/query?table=base&budget=150us&rect=0:0:100:100"); len(s.Points) == 0 || len(s.Points) >= 100 {
+		t.Errorf("sampled rect query = %d points, want a strict subset", len(s.Points))
+	}
+
+	// rect= and minx/... are two spellings of the same thing: reject the mix.
+	for _, bad := range []string{
+		"/v1/query?table=base&exact=true&rect=0:0:50:50&minx=0&miny=0&maxx=9&maxy=9",
+		"/v1/query?table=base&exact=true&rect=0:0:50",      // 3 fields
+		"/v1/query?table=base&exact=true&rect=0:0:50:zz",   // not a number
+		"/v1/query?table=base&exact=true&rect=50:50:10:10", // empty
+	} {
+		if rec := get(t, s, bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400 (body %s)", bad, rec.Code, rec.Body)
+		}
+	}
+}
+
+// TestDeleteEndpoint drives POST /v1/delete/{table} end to end:
+// tombstoning, live-row accounting in every surface that reports rows,
+// cache invalidation, and the delete metrics.
+func TestDeleteEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	// Index the base table (as the catalog façade does at load time): the
+	// per-table live/dead gauges report indexed tables.
+	tb, err := s.st.Table("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.IndexOn("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	// Warm a tile so the epoch bump is observable.
+	if rec := get(t, s, "/v1/tile/base/0/0/0.png?budget=150us&size=64"); rec.Code != http.StatusOK {
+		t.Fatalf("warm tile = %d", rec.Code)
+	}
+	epochBefore := s.tableEpoch("base")
+
+	rec := postJSON(t, s, "/v1/delete/base", `{"filters": [{"column": "x", "min": 100, "max": 199}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete = %d, body %s", rec.Code, rec.Body)
+	}
+	var out DeleteResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Deleted != 100 || out.Rows != 300 {
+		t.Fatalf("delete response = %+v, want 100 deleted / 300 live rows", out)
+	}
+	if s.tableEpoch("base") == epochBefore {
+		t.Fatal("delete did not bump the tile-cache epoch")
+	}
+
+	// Every rows surface now reports LIVE rows: the query response...
+	qrec := get(t, s, "/v1/query?table=base&exact=true")
+	var q QueryResponse
+	if err := json.Unmarshal(qrec.Body.Bytes(), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.ServedRows != 300 || len(q.Points) != 300 {
+		t.Fatalf("exact query after delete: servedRows %d, %d points; want 300/300", q.ServedRows, len(q.Points))
+	}
+	for _, p := range q.Points {
+		if p[0] >= 100 && p[0] <= 199 {
+			t.Errorf("deleted point %v served", p)
+		}
+	}
+	// ...the tile header...
+	trec := get(t, s, "/v1/tile/base/0/0/0.png?exact=true&size=64")
+	if trec.Code != http.StatusOK {
+		t.Fatalf("tile after delete = %d", trec.Code)
+	}
+	if got := trec.Header().Get("X-Vas-Served-Rows"); got != "300" {
+		t.Errorf("X-Vas-Served-Rows = %q, want 300", got)
+	}
+	// ...and the tables listing (Rows stays physical, LiveRows drops).
+	lrec := get(t, s, "/v1/tables")
+	var listing struct {
+		Tables []TableInfo `json:"tables"`
+	}
+	if err := json.Unmarshal(lrec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.Tables[0].Rows != 400 || listing.Tables[0].LiveRows != 300 {
+		t.Errorf("listing rows = %d/%d live, want 400/300", listing.Tables[0].Rows, listing.Tables[0].LiveRows)
+	}
+
+	// Deleting the same slice again is a no-op and must NOT bump the epoch.
+	epochBefore = s.tableEpoch("base")
+	rec = postJSON(t, s, "/v1/delete/base", `{"filters": [{"column": "x", "min": 100, "max": 199}]}`)
+	out = DeleteResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Deleted != 0 || s.tableEpoch("base") != epochBefore {
+		t.Errorf("no-op delete: deleted %d, epoch moved %t", out.Deleted, s.tableEpoch("base") != epochBefore)
+	}
+
+	// Rect deletes use the configured x/y columns; open-sided filters work.
+	rec = postJSON(t, s, "/v1/delete/base", `{"rect": {"minX": 0, "minY": 0, "maxX": 49, "maxY": 49}}`)
+	out = DeleteResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Deleted != 50 || out.Rows != 250 {
+		t.Errorf("rect delete = %+v, want 50 deleted / 250 rows", out)
+	}
+	rec = postJSON(t, s, "/v1/delete/base", `{"filters": [{"column": "x", "min": 350}]}`)
+	out = DeleteResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Deleted != 50 || out.Rows != 200 {
+		t.Errorf("open-sided delete = %+v, want 50 deleted / 200 rows", out)
+	}
+
+	// Error cases: an empty body is a refused foot-gun, all:true is the
+	// explicit spelling; unknown tables and columns are 404s.
+	for _, c := range []struct {
+		url, body string
+		code      int
+	}{
+		{"/v1/delete/base", `{}`, http.StatusBadRequest},
+		{"/v1/delete/base", `{"filters": []}`, http.StatusBadRequest},
+		{"/v1/delete/base", `{"filters": [{"min": 1}]}`, http.StatusBadRequest},
+		{"/v1/delete/base", `not json`, http.StatusBadRequest},
+		{"/v1/delete/ghost", `{"all": true}`, http.StatusNotFound},
+		{"/v1/delete/base", `{"filters": [{"column": "ghost"}]}`, http.StatusNotFound},
+	} {
+		if rec := postJSON(t, s, c.url, c.body); rec.Code != c.code {
+			t.Errorf("POST %s %s = %d, want %d (body %s)", c.url, c.body, rec.Code, c.code, rec.Body)
+		}
+	}
+
+	// all:true takes the remaining 200 rows.
+	rec = postJSON(t, s, "/v1/delete/base", `{"all": true}`)
+	out = DeleteResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Deleted != 200 || out.Rows != 0 {
+		t.Errorf("delete-all = %+v, want 200 deleted / 0 rows", out)
+	}
+
+	// Delete metrics and tombstone gauges.
+	body := get(t, s, "/metrics").Body.String()
+	for _, want := range []string{
+		"vasserve_delete_requests_total 4",
+		"vasserve_delete_rows_total 400",
+		"vasserve_store_tombstoned_rows 400",
+		"vasserve_store_deleted_rows_total 400",
+		`vasserve_store_table_live_rows{table="base"} 0`,
+		`vasserve_store_table_dead_rows{table="base"} 400`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDeleteHookRoutesPredicates mirrors the append hook test: a
+// configured DeleteHook owns the delete, the store is untouched.
+func TestDeleteHookRoutesPredicates(t *testing.T) {
+	st := store.New()
+	tb, err := st.CreateTable("base", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.BulkLoad([]float64{1, 2, 3}, []float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	var gotTable string
+	var gotPreds []store.Pred
+	s := New(st, query.NewPlanner(st, fixedModel{}), Config{
+		DeleteHook: func(table string, preds []store.Pred) (int, error) {
+			gotTable, gotPreds = table, preds
+			return 2, nil
+		},
+	})
+	rec := postJSON(t, s, "/v1/delete/base", `{"filters": [{"column": "x", "max": 2}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete = %d, body %s", rec.Code, rec.Body)
+	}
+	if gotTable != "base" || len(gotPreds) != 1 || gotPreds[0].Column != "x" || gotPreds[0].Max != 2 {
+		t.Fatalf("hook saw table %q preds %+v", gotTable, gotPreds)
+	}
+	if tb.LiveRows() != 3 {
+		t.Fatalf("server deleted from the store despite the hook: %d live", tb.LiveRows())
+	}
+}
+
+// TestEmptyAppendIsNoOp: a `{}` (or explicitly empty) append batch
+// returns 200 with appended=0 and leaves every cache epoch alone — the
+// retry-with-empty-tail client pattern must not wipe warm tiles.
+func TestEmptyAppendIsNoOp(t *testing.T) {
+	s := newTestServer(t)
+	if rec := get(t, s, "/v1/tile/base/0/0/0.png?budget=150us&size=64"); rec.Code != http.StatusOK {
+		t.Fatalf("warm tile = %d", rec.Code)
+	}
+	epochBefore := s.tableEpoch("base")
+	for _, body := range []string{`{}`, `{"points": []}`, `{"rows": []}`} {
+		rec := postJSON(t, s, "/v1/append/base", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("append %s = %d, body %s", body, rec.Code, rec.Body)
+		}
+		var out AppendResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Appended != 0 || out.Rows != 400 {
+			t.Errorf("append %s = %+v, want 0 appended / 400 rows", body, out)
+		}
+	}
+	if s.tableEpoch("base") != epochBefore {
+		t.Fatal("empty append bumped the tile-cache epoch")
+	}
+	// The warm tile is still a HIT.
+	if rec := get(t, s, "/v1/tile/base/0/0/0.png?budget=150us&size=64"); rec.Header().Get("X-Cache") != "HIT" {
+		t.Error("empty append evicted the warm tile")
+	}
+	// Specifying BOTH shapes stays a 400 even when both are empty-ish.
+	if rec := postJSON(t, s, "/v1/append/base", `{"points": [[1,2]], "rows": [[3,4]]}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("both-shapes append = %d, want 400", rec.Code)
 	}
 }

@@ -23,7 +23,9 @@ func fuzzSeeds(t testing.TB) [][]byte {
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/2] ^= 0x10
 	skewed := append([]byte(nil), valid...)
-	skewed[4] = 2 // future format version
+	skewed[4] = FormatVersion + 1 // future format version
+	downgraded := append([]byte(nil), valid...)
+	downgraded[4] = 1 // v1 header on a tombstone-bearing v2 body: rejected
 	badMagic := append([]byte(nil), valid...)
 	badMagic[0] = 'Z'
 	hostileLen := append([]byte(nil), valid...)
@@ -35,6 +37,7 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		truncated,
 		flipped,
 		skewed,
+		downgraded,
 		badMagic,
 		hostileLen,
 		[]byte(Magic),

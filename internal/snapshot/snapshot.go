@@ -49,10 +49,16 @@ const (
 	Magic = "VCAT"
 	// FormatVersion is bumped on any incompatible layout change; the
 	// decoder refuses other versions rather than misparsing them.
-	FormatVersion = 1
+	// v2 added tombstone sections (kind 3); every other section is
+	// byte-identical to v1, so the decoder still accepts v1 files — old
+	// snapshots load with an empty tombstone set.
+	FormatVersion = 2
+	// minFormatVersion is the oldest version Read still accepts.
+	minFormatVersion = 1
 
-	sectionCatalog = 1
-	sectionTable   = 2
+	sectionCatalog   = 1
+	sectionTable     = 2
+	sectionTombstone = 3
 
 	// Structural caps: generous for any real catalog, small enough that
 	// a hostile header cannot direct absurd loops or allocations (sizes
@@ -120,7 +126,13 @@ func Write(w io.Writer, c *Catalog) error {
 	bw := binio.NewWriter(w)
 	bw.Raw([]byte(Magic))
 	bw.U32(FormatVersion)
-	bw.U32(uint32(1 + len(c.Tables)))
+	ntomb := 0
+	for _, ts := range c.Tables {
+		if len(ts.Dead) > 0 {
+			ntomb++
+		}
+	}
+	bw.U32(uint32(1 + len(c.Tables) + ntomb))
 	var payload bytes.Buffer
 	var encErr error
 
@@ -195,6 +207,16 @@ func Write(w io.Writer, c *Catalog) error {
 				pw.Bools(ix.ZNaN)
 			}
 		})
+		// Tombstones ride in their own section (rather than inside the
+		// table payload) so the table encoding stays byte-identical to
+		// v1: a catalog with no pending deletions round-trips to the
+		// same table bytes it always has.
+		if len(ts.Dead) > 0 {
+			encodeSection(sectionTombstone, func(pw *binio.Writer) {
+				pw.String(ts.Name)
+				pw.I32s(ts.Dead)
+			})
+		}
 	}
 	if encErr != nil {
 		return encErr
@@ -224,14 +246,19 @@ func Read(r io.Reader, size int64) (*Catalog, error) {
 	if err := br.Err(); err != nil {
 		return nil, corrupt("reading header: %v", err)
 	}
-	if version != FormatVersion {
-		return nil, fmt.Errorf("%w: file is format v%d, this build reads v%d", ErrVersionSkew, version, FormatVersion)
+	if version < minFormatVersion || version > FormatVersion {
+		return nil, fmt.Errorf("%w: file is format v%d, this build reads v%d–v%d",
+			ErrVersionSkew, version, minFormatVersion, FormatVersion)
 	}
 	if nsections < 1 || nsections > maxSections {
 		return nil, corrupt("section count %d out of range [1,%d]", nsections, maxSections)
 	}
 	cat := &Catalog{}
 	sawCatalog := false
+	// Tombstone sections reference their table by name; collect them and
+	// attach after every section is read, so a file that orders them
+	// before their table still loads.
+	tombstones := make(map[string][]int32)
 	for si := uint32(0); si < nsections; si++ {
 		kind := br.U32()
 		plen := br.U64()
@@ -267,6 +294,19 @@ func Read(r io.Reader, size int64) (*Catalog, error) {
 				return nil, err
 			}
 			cat.Tables = append(cat.Tables, ts)
+		case sectionTombstone:
+			if version < 2 {
+				return nil, corrupt("section %d: tombstone section in a v%d file", si, version)
+			}
+			name := pr.String(maxNameLen)
+			dead := pr.I32s()
+			if err := pr.Err(); err != nil {
+				return nil, corrupt("tombstone section %d: %v", si, err)
+			}
+			if _, dup := tombstones[name]; dup {
+				return nil, corrupt("duplicate tombstone section for table %q", name)
+			}
+			tombstones[name] = dead
 		default:
 			return nil, corrupt("section %d has unknown kind %d", si, kind)
 		}
@@ -279,6 +319,19 @@ func Read(r io.Reader, size int64) (*Catalog, error) {
 	}
 	if br.Remaining() != 0 {
 		return nil, corrupt("%d trailing bytes after the last section", br.Remaining())
+	}
+	for name, dead := range tombstones {
+		attached := false
+		for i := range cat.Tables {
+			if cat.Tables[i].Name == name {
+				cat.Tables[i].Dead = dead
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			return nil, corrupt("tombstone section for unknown table %q", name)
+		}
 	}
 	return cat, nil
 }

@@ -65,6 +65,13 @@ func randomStore(t testing.TB, rng *rand.Rand) (*store.Store, []string) {
 				t.Fatal(err)
 			}
 		}
+		// Tombstones (sometimes): snapshots routinely carry a Dead
+		// section, and NaN-x rows match any range so extras die too.
+		if rng.Intn(2) == 0 {
+			if _, err := tb.DeleteWhere([]store.Pred{{Column: "x", Min: -10, Max: float64(rng.Intn(20))}}); err != nil {
+				t.Fatal(err)
+			}
+		}
 		names = append(names, name)
 	}
 	// Sample lineage: a small indexed sample of the first table.
@@ -162,6 +169,9 @@ func TestSnapshotRoundTripProperty(t *testing.T) {
 			}
 			if ot.NumRows() != ft.NumRows() {
 				t.Fatalf("trial %d: table %q rows %d vs %d", trial, name, ot.NumRows(), ft.NumRows())
+			}
+			if ot.LiveRows() != ft.LiveRows() {
+				t.Fatalf("trial %d: table %q live rows %d vs %d", trial, name, ot.LiveRows(), ft.LiveRows())
 			}
 			for probe := 0; probe < 8; probe++ {
 				r := geom.Rect{
@@ -272,6 +282,11 @@ func validSnapshotBytes(t testing.TB) []byte {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	// Tombstones put a Dead section in the file, so the corruption
+	// sweeps and the fuzzer exercise the v2 tombstone decode path too.
+	if _, err := tb.DeleteWhere([]store.Pred{{Column: "v", Min: 40, Max: 60}}); err != nil {
+		t.Fatal(err)
+	}
 	cat := snapshotStore(t, st, []Provenance{{
 		Table: "a_tbl", SourceHash: 0xfeedbeef, Rows: 123, Build: "sizes=5 density=false",
 	}})
@@ -280,6 +295,82 @@ func validSnapshotBytes(t testing.TB) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// TestFormatV1Compat: a v1 file is a v2 file without tombstone
+// sections. Write always emits the current version, so both directions
+// are pinned by patching the (unchecksummed) header version byte.
+func TestFormatV1Compat(t *testing.T) {
+	t.Run("v1 without tombstones loads", func(t *testing.T) {
+		st := store.New()
+		tb, err := st.CreateTable("a_tbl", "x", "y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.BulkLoad([]float64{1, 2, 3}, []float64{4, 5, 6}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, snapshotStore(t, st, nil)); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		data[4] = 1
+		cat, err := Read(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatalf("v1 snapshot rejected: %v", err)
+		}
+		fresh := restoreStore(t, cat)
+		ft, err := fresh.Table("a_tbl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft.NumRows() != 3 || ft.LiveRows() != 3 {
+			t.Fatalf("restored v1 table has %d/%d rows", ft.NumRows(), ft.LiveRows())
+		}
+	})
+	t.Run("tombstone section in v1 rejected", func(t *testing.T) {
+		data := append([]byte(nil), validSnapshotBytes(t)...) // has tombstones
+		data[4] = 1
+		if _, err := Read(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("tombstone-bearing v1 file loaded: err %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// TestSnapshotTombstoneRoundTrip is the pinned (non-property) case: a
+// deleted slice stays deleted across Save→Load, and the restored table
+// serves exactly the survivors.
+func TestSnapshotTombstoneRoundTrip(t *testing.T) {
+	data := validSnapshotBytes(t)
+	cat, err := Read(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := restoreStore(t, cat)
+	ft, err := fresh.Table("a_tbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.LiveRows() >= ft.NumRows() {
+		t.Fatalf("restored table lost its tombstones: %d live of %d", ft.LiveRows(), ft.NumRows())
+	}
+	rs, err := ft.Scan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != ft.LiveRows() {
+		t.Fatalf("Scan returned %d rows, LiveRows says %d", rs.Len(), ft.LiveRows())
+	}
+	vs, err := ft.Column("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.ForEach(func(r int) {
+		if vs[r] >= 40 && vs[r] <= 60 {
+			t.Fatalf("deleted row %d (v=%g) served after restore", r, vs[r])
+		}
+	})
 }
 
 func TestProvenanceRoundTrip(t *testing.T) {

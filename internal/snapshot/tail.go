@@ -8,24 +8,39 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
+	"path/filepath"
 
 	"repro/internal/binio"
 )
 
 // The tail log is the incremental half of catalog persistence: while
 // catalog.snap captures a full serving catalog, the tail log records
-// the row batches appended since that capture, so live ingest never
-// forces a wholesale re-save. Each Append lands as one self-framed,
-// CRC-checked record appended to the log; a restart loads the base
-// snapshot (indexes restored verbatim) and replays the tail through the
-// store's delta-index append path — no sample build, no index rebuild.
+// the mutations since that capture — appended row batches and delete
+// predicates — so live ingest never forces a wholesale re-save. Each
+// mutation lands as one self-framed, CRC-checked record appended to the
+// log; a restart loads the base snapshot (indexes restored verbatim)
+// and replays the tail in order through the store's delta-index append
+// path and tombstone delete path — no sample build, no index rebuild.
 // A full re-save folds the tail into the base and deletes the log.
 //
 // Layout (little-endian), append-only:
 //
 //	header: magic "VTLG" | uint32 format version
 //	record: uint64 payload length | payload | uint32 CRC32(payload)
-//	payload: table name | uint32 ncols | uint64 rows | ncols × F64s
+//	v2 payload: uint32 kind | body
+//	  kind 0 (append): table name | uint32 ncols | uint64 rows | ncols × F64s
+//	  kind 1 (delete): table name | uint32 npreds | npreds × (col | F64 min | F64 max)
+//
+// v1 payloads are kind-0 bodies without the kind prefix (the format
+// predates deletes); LoadTail still reads them, and the first append to
+// a v1 log rewrites it in place as v2 (temp + rename) before the new
+// record lands, so one file never mixes frame layouts.
+//
+// Delete records carry the PREDICATE, not the matched row ids: row ids
+// shift when a reclaiming compaction rewrites the survivors, but
+// replaying the same predicate stream against the same snapshot + append
+// stream reproduces the same visible rows regardless of when (or
+// whether) compactions ran in the original process.
 //
 // Crash semantics: a record is written with one Write call after the
 // previous records are already durable in the file's byte order, so the
@@ -39,26 +54,46 @@ const (
 	// TailMagic identifies a snapshot tail log.
 	TailMagic = "VTLG"
 	// TailFormatVersion is bumped on incompatible record layout changes.
-	TailFormatVersion = 1
+	// v2 prefixed every payload with a record kind to make room for
+	// delete records.
+	TailFormatVersion = 2
+	// minTailFormatVersion is the oldest version LoadTail still reads.
+	minTailFormatVersion = 1
 
 	tailHeaderLen = 8 // magic + version
 	tailFrameLen  = 12
+
+	// Record kinds (v2 payload prefix).
+	tailKindAppend = 0
+	tailKindDelete = 1
 )
 
-// TailRecord is one replayable append batch.
+// TailPred is one conjunctive range predicate of a delete record,
+// mirroring store.Pred without importing its semantics here.
+type TailPred struct {
+	Col      string
+	Min, Max float64
+}
+
+// TailRecord is one replayable mutation.
 type TailRecord struct {
-	// Table names the table the batch was appended to.
+	// Table names the table the mutation applies to.
 	Table string
-	// Cols holds the appended rows as parallel column slices in the
-	// table's schema order.
+	// Cols holds an append batch as parallel column slices in the
+	// table's schema order; nil for delete records.
 	Cols [][]float64
+	// Delete marks a delete record; Preds holds its conjunctive range
+	// predicates (empty means "delete every row").
+	Delete bool
+	Preds  []TailPred
 }
 
 // AppendTail appends one batch record to the tail log at path, creating
-// the log (with its header) when absent. Columns must be non-empty and
-// of equal length. The whole record is issued as a single write on an
-// O_APPEND descriptor, so concurrent readers of the file never observe
-// a frame boundary inside it.
+// the log (with its header) when absent and upgrading a v1 log in
+// place. Columns must be non-empty and of equal length. The whole
+// record is issued as a single write on an O_APPEND descriptor, so
+// concurrent readers of the file never observe a frame boundary inside
+// it.
 func AppendTail(path, table string, cols [][]float64) error {
 	if table == "" {
 		return errors.New("snapshot: tail append: empty table name")
@@ -75,18 +110,58 @@ func AppendTail(path, table string, cols [][]float64) error {
 	if rows == 0 {
 		return nil
 	}
+	payload, err := encodeTailAppend(table, cols)
+	if err != nil {
+		return fmt.Errorf("snapshot: tail append: %w", err)
+	}
+	return appendTailPayload(path, payload)
+}
+
+// AppendTailDelete appends one delete record to the tail log at path:
+// the predicate (not the matched rows) is logged, so replay reproduces
+// the delete against whatever state the preceding records rebuilt. An
+// empty predicate list is the delete-everything record.
+func AppendTailDelete(path, table string, preds []TailPred) error {
+	if table == "" {
+		return errors.New("snapshot: tail append: empty table name")
+	}
 	var payload bytes.Buffer
 	pw := binio.NewWriter(&payload)
+	pw.U32(tailKindDelete)
 	pw.String(table)
-	pw.U32(uint32(len(cols)))
-	pw.U64(uint64(rows))
-	for _, c := range cols {
-		pw.F64s(c)
+	pw.U32(uint32(len(preds)))
+	for _, p := range preds {
+		pw.String(p.Col)
+		pw.F64(p.Min)
+		pw.F64(p.Max)
 	}
 	if err := pw.Flush(); err != nil {
 		return fmt.Errorf("snapshot: tail append: %w", err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return appendTailPayload(path, payload.Bytes())
+}
+
+func encodeTailAppend(table string, cols [][]float64) ([]byte, error) {
+	var payload bytes.Buffer
+	pw := binio.NewWriter(&payload)
+	pw.U32(tailKindAppend)
+	pw.String(table)
+	pw.U32(uint32(len(cols)))
+	pw.U64(uint64(len(cols[0])))
+	for _, c := range cols {
+		pw.F64s(c)
+	}
+	if err := pw.Flush(); err != nil {
+		return nil, err
+	}
+	return payload.Bytes(), nil
+}
+
+// appendTailPayload frames payload and appends it to the log, writing
+// the header first when the log is new (or its header write was torn)
+// and promoting a v1 log to v2 before anything lands in it.
+func appendTailPayload(path string, payload []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("snapshot: tail append: %w", err)
 	}
@@ -95,14 +170,52 @@ func AppendTail(path, table string, cols [][]float64) error {
 	if err != nil {
 		return fmt.Errorf("snapshot: tail append: %w", err)
 	}
-	buf := make([]byte, 0, tailHeaderLen+tailFrameLen+payload.Len())
-	if st.Size() == 0 {
+	size := st.Size()
+	if size >= tailHeaderLen {
+		var hdr [tailHeaderLen]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+			return fmt.Errorf("snapshot: tail append: %w", err)
+		}
+		if string(hdr[:4]) != TailMagic {
+			return corrupt("tail log: bad magic %q", hdr[:4])
+		}
+		switch v := binary.LittleEndian.Uint32(hdr[4:8]); v {
+		case TailFormatVersion:
+		case 1:
+			// A log written by a pre-delete build: re-frame it as v2 in
+			// place (temp + rename, same crash guarantee as Save) and
+			// append to the promoted file.
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("snapshot: tail append: %w", err)
+			}
+			if err := promoteTailV1(path); err != nil {
+				return fmt.Errorf("snapshot: tail append: promote v1 log: %w", err)
+			}
+			if f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+				return fmt.Errorf("snapshot: tail append: %w", err)
+			}
+			if st, err = f.Stat(); err != nil {
+				return fmt.Errorf("snapshot: tail append: %w", err)
+			}
+			size = st.Size()
+		default:
+			return fmt.Errorf("%w: tail log is format v%d, this build writes v%d", ErrVersionSkew, v, TailFormatVersion)
+		}
+	} else if size > 0 {
+		// A torn header write; nothing after it can be valid. Start over.
+		if err := f.Truncate(0); err != nil {
+			return fmt.Errorf("snapshot: tail append: %w", err)
+		}
+		size = 0
+	}
+	buf := make([]byte, 0, tailHeaderLen+tailFrameLen+len(payload))
+	if size == 0 {
 		buf = append(buf, TailMagic...)
 		buf = binary.LittleEndian.AppendUint32(buf, TailFormatVersion)
 	}
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(payload.Len()))
-	buf = append(buf, payload.Bytes()...)
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload.Bytes()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
 	if _, err := f.Write(buf); err != nil {
 		// Best effort: cut any partially written frame back off. A torn
 		// FINAL record is tolerated by LoadTail, but if a later append
@@ -110,7 +223,7 @@ func AppendTail(path, table string, cols [][]float64) error {
 		// the whole log; callers additionally stop appending after an
 		// error (the catalog marks the log degraded until the next full
 		// save), so a failed truncate still cannot be built upon.
-		_ = f.Truncate(st.Size())
+		_ = f.Truncate(size)
 		return fmt.Errorf("snapshot: tail append: %w", err)
 	}
 	if err := f.Sync(); err != nil {
@@ -119,12 +232,70 @@ func AppendTail(path, table string, cols [][]float64) error {
 	return f.Close()
 }
 
+// promoteTailV1 rewrites the v1 log at path as v2, atomically.
+func promoteTailV1(path string) error {
+	recs, err := LoadTail(path)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tail-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	buf := make([]byte, 0, tailHeaderLen)
+	buf = append(buf, TailMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, TailFormatVersion)
+	if _, err := f.Write(buf); err != nil {
+		cleanup()
+		return err
+	}
+	for _, rec := range recs {
+		payload, err := encodeTailAppend(rec.Table, rec.Cols)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		frame := make([]byte, 0, tailFrameLen+len(payload))
+		frame = binary.LittleEndian.AppendUint64(frame, uint64(len(payload)))
+		frame = append(frame, payload...)
+		frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+		if _, err := f.Write(frame); err != nil {
+			cleanup()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 // LoadTail reads every complete record of the tail log at path. A
 // missing file is an empty tail (nil, nil). An incomplete final record
 // — the expected remnant of a crash mid-append — is dropped silently;
 // checksum mismatches, bad framing, and version skew return an error
 // (ErrCorrupt / ErrVersionSkew) so the caller can fall back to a full
-// rebuild instead of serving a half-trusted tail.
+// rebuild instead of serving a half-trusted tail. v1 logs (all records
+// are appends) load transparently.
 func LoadTail(path string) ([]TailRecord, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -140,8 +311,10 @@ func LoadTail(path string) ([]TailRecord, error) {
 	if string(raw[:4]) != TailMagic {
 		return nil, corrupt("tail log: bad magic %q", raw[:4])
 	}
-	if v := binary.LittleEndian.Uint32(raw[4:8]); v != TailFormatVersion {
-		return nil, fmt.Errorf("%w: tail log is format v%d, this build reads v%d", ErrVersionSkew, v, TailFormatVersion)
+	version := binary.LittleEndian.Uint32(raw[4:8])
+	if version < minTailFormatVersion || version > TailFormatVersion {
+		return nil, fmt.Errorf("%w: tail log is format v%d, this build reads v%d–v%d",
+			ErrVersionSkew, version, minTailFormatVersion, TailFormatVersion)
 	}
 	var recs []TailRecord
 	off := tailHeaderLen
@@ -158,7 +331,7 @@ func LoadTail(path string) ([]TailRecord, error) {
 		if crc32.ChecksumIEEE(payload) != sum {
 			return nil, corrupt("tail log record %d checksum mismatch", ri)
 		}
-		rec, err := decodeTailRecord(payload, ri)
+		rec, err := decodeTailRecord(payload, ri, version)
 		if err != nil {
 			return nil, err
 		}
@@ -168,30 +341,58 @@ func LoadTail(path string) ([]TailRecord, error) {
 	return recs, nil
 }
 
-func decodeTailRecord(payload []byte, ri int) (TailRecord, error) {
+func decodeTailRecord(payload []byte, ri int, version uint32) (TailRecord, error) {
 	var rec TailRecord
 	pr := binio.NewReader(bytes.NewReader(payload), int64(len(payload)))
-	rec.Table = pr.String(maxNameLen)
-	ncols := pr.U32()
-	rows := pr.U64()
-	if err := pr.Err(); err != nil {
-		return rec, corrupt("tail log record %d: %v", ri, err)
+	kind := uint32(tailKindAppend)
+	if version >= 2 {
+		kind = pr.U32()
 	}
-	if ncols == 0 || ncols > maxColumns {
-		return rec, corrupt("tail log record %d claims %d columns", ri, ncols)
-	}
-	if rows > math.MaxInt32 {
-		return rec, corrupt("tail log record %d claims %d rows", ri, rows)
-	}
-	for i := uint32(0); i < ncols; i++ {
-		col := pr.F64s()
-		if pr.Err() != nil {
-			break
+	switch kind {
+	case tailKindAppend:
+		rec.Table = pr.String(maxNameLen)
+		ncols := pr.U32()
+		rows := pr.U64()
+		if err := pr.Err(); err != nil {
+			return rec, corrupt("tail log record %d: %v", ri, err)
 		}
-		if uint64(len(col)) != rows {
-			return rec, corrupt("tail log record %d column %d has %d rows, header says %d", ri, i, len(col), rows)
+		if ncols == 0 || ncols > maxColumns {
+			return rec, corrupt("tail log record %d claims %d columns", ri, ncols)
 		}
-		rec.Cols = append(rec.Cols, col)
+		if rows > math.MaxInt32 {
+			return rec, corrupt("tail log record %d claims %d rows", ri, rows)
+		}
+		for i := uint32(0); i < ncols; i++ {
+			col := pr.F64s()
+			if pr.Err() != nil {
+				break
+			}
+			if uint64(len(col)) != rows {
+				return rec, corrupt("tail log record %d column %d has %d rows, header says %d", ri, i, len(col), rows)
+			}
+			rec.Cols = append(rec.Cols, col)
+		}
+	case tailKindDelete:
+		rec.Delete = true
+		rec.Table = pr.String(maxNameLen)
+		npreds := pr.U32()
+		if err := pr.Err(); err != nil {
+			return rec, corrupt("tail log record %d: %v", ri, err)
+		}
+		if npreds > maxColumns {
+			return rec, corrupt("tail log record %d claims %d predicates", ri, npreds)
+		}
+		for i := uint32(0); i < npreds && pr.Err() == nil; i++ {
+			var p TailPred
+			p.Col = pr.String(maxNameLen)
+			p.Min = pr.F64()
+			p.Max = pr.F64()
+			if pr.Err() == nil {
+				rec.Preds = append(rec.Preds, p)
+			}
+		}
+	default:
+		return rec, corrupt("tail log record %d has unknown kind %d", ri, kind)
 	}
 	if err := pr.Err(); err != nil {
 		return rec, corrupt("tail log record %d: %v", ri, err)

@@ -1,12 +1,16 @@
 package snapshot
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/binio"
 )
 
 func TestTailRoundTrip(t *testing.T) {
@@ -147,5 +151,195 @@ func TestRemoveTail(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Fatal("tail still present after RemoveTail")
+	}
+}
+
+// writeV1Tail fabricates a pre-delete (v1) tail log byte-for-byte: the
+// same framing, but payloads carry no record-kind prefix.
+func writeV1Tail(t *testing.T, path string, batches []TailRecord) {
+	t.Helper()
+	buf := []byte(TailMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, 1)
+	for _, b := range batches {
+		var payload bytes.Buffer
+		pw := binio.NewWriter(&payload)
+		pw.String(b.Table)
+		pw.U32(uint32(len(b.Cols)))
+		pw.U64(uint64(len(b.Cols[0])))
+		for _, c := range b.Cols {
+			pw.F64s(c)
+		}
+		if err := pw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(payload.Len()))
+		buf = append(buf, payload.Bytes()...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload.Bytes()))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailDeleteRoundTrip interleaves append and delete records and
+// checks the replay stream comes back in order with exact predicates.
+func TestTailDeleteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.tail")
+	if err := AppendTail(path, "gps", [][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	preds := []TailPred{
+		{Col: "x", Min: math.Inf(-1), Max: 5},
+		{Col: "speed|odd:name", Min: -0.0, Max: math.Inf(1)},
+	}
+	if err := AppendTailDelete(path, "gps", preds); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTail(path, "gps", [][]float64{{9}, {10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTailDelete(path, "other", nil); err != nil { // delete-everything
+		t.Fatal(err)
+	}
+	recs, err := LoadTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("loaded %d records, wrote 4", len(recs))
+	}
+	wantDelete := []bool{false, true, false, true}
+	for i, rec := range recs {
+		if rec.Delete != wantDelete[i] {
+			t.Fatalf("record %d Delete = %t, want %t", i, rec.Delete, wantDelete[i])
+		}
+	}
+	d := recs[1]
+	if d.Table != "gps" || len(d.Preds) != len(preds) || d.Cols != nil {
+		t.Fatalf("delete record diverged: %+v", d)
+	}
+	for i, p := range preds {
+		g := d.Preds[i]
+		if g.Col != p.Col || math.Float64bits(g.Min) != math.Float64bits(p.Min) ||
+			math.Float64bits(g.Max) != math.Float64bits(p.Max) {
+			t.Fatalf("pred %d: %+v, want %+v", i, g, p)
+		}
+	}
+	if last := recs[3]; last.Table != "other" || len(last.Preds) != 0 {
+		t.Fatalf("delete-everything record diverged: %+v", last)
+	}
+}
+
+// TestTailV1PromotedOnAppend: the first append (row batch or delete) to
+// a v1 log rewrites it as v2 with every old record intact, so one file
+// never mixes payload layouts.
+func TestTailV1PromotedOnAppend(t *testing.T) {
+	for _, mode := range []string{"append", "delete"} {
+		t.Run(mode, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "catalog.tail")
+			writeV1Tail(t, path, []TailRecord{
+				{Table: "gps", Cols: [][]float64{{1, 2}, {3, 4}}},
+				{Table: "gps", Cols: [][]float64{{math.NaN()}, {5}}},
+			})
+			// Sanity: the v1 bytes load as-is.
+			if recs, err := LoadTail(path); err != nil || len(recs) != 2 {
+				t.Fatalf("v1 load: %d records, err %v", len(recs), err)
+			}
+			var err error
+			if mode == "append" {
+				err = AppendTail(path, "gps", [][]float64{{7}, {8}})
+			} else {
+				err = AppendTailDelete(path, "gps", []TailPred{{Col: "x", Min: 0, Max: 1}})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := binary.LittleEndian.Uint32(raw[4:8]); v != TailFormatVersion {
+				t.Fatalf("log is still v%d after promotion", v)
+			}
+			recs, err := LoadTail(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 3 {
+				t.Fatalf("loaded %d records after promotion, want 3", len(recs))
+			}
+			if recs[0].Cols[0][0] != 1 || !math.IsNaN(recs[1].Cols[0][0]) {
+				t.Fatal("v1 records mangled by promotion")
+			}
+			if (recs[2].Delete) != (mode == "delete") {
+				t.Fatalf("new record Delete = %t in mode %s", recs[2].Delete, mode)
+			}
+			// No temp file left behind.
+			entries, err := os.ReadDir(filepath.Dir(path))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 1 {
+				t.Fatalf("directory holds %d entries after promotion", len(entries))
+			}
+		})
+	}
+}
+
+// TestTailUnknownKindRejected: a well-framed v2 record with a kind this
+// build does not know is corruption, not a silent skip — replay order
+// matters, so an unreplayable mutation poisons the log.
+func TestTailUnknownKindRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.tail")
+	if err := AppendTail(path, "gps", [][]float64{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	payload := binary.LittleEndian.AppendUint32(nil, 7) // unknown kind
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = binary.LittleEndian.AppendUint64(raw, uint64(len(payload)))
+	raw = append(raw, payload...)
+	raw = binary.LittleEndian.AppendUint32(raw, crc32.ChecksumIEEE(payload))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTail(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown-kind record loaded: err %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTailTornDeleteDropped: a crash mid-way through writing a delete
+// record leaves every earlier record loadable, like torn appends.
+func TestTailTornDeleteDropped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.tail")
+	if err := AppendTail(path, "gps", [][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTailDelete(path, "gps", []TailPred{{Col: "x", Min: 0, Max: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(whole); cut < len(full); cut++ {
+		torn := filepath.Join(dir, "torn.tail")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := LoadTail(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(recs) != 1 || recs[0].Delete {
+			t.Fatalf("cut at %d: got %d records, want the 1 intact append", cut, len(recs))
+		}
 	}
 }

@@ -551,3 +551,105 @@ func BenchmarkQueryFullExtentProjection(b *testing.B) {
 		}
 	}
 }
+
+// benchDeleteTable builds the retention bench fixture: 1M indexed rows
+// with a filter column m and an independent uniform column used to
+// tombstone an exact fraction of rows without correlating with either
+// the viewport or the filter.
+func benchDeleteTable(b *testing.B, deadFrac float64) *Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, benchRows)
+	ys := make([]float64, benchRows)
+	ms := make([]float64, benchRows)
+	ds := make([]float64, benchRows)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+		ys[i] = rng.Float64() * 1000
+		ms[i] = rng.Float64() * 100
+		ds[i] = rng.Float64()
+	}
+	tb, err := NewTable("bench", "x", "y", "m", "del")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tb.BulkLoad(xs, ys, ms, ds); err != nil {
+		b.Fatal(err)
+	}
+	if err := tb.IndexOn("x", "y"); err != nil {
+		b.Fatal(err)
+	}
+	if deadFrac > 0 {
+		if _, err := tb.DeleteWhere([]Pred{{Column: "del", Min: 1 - deadFrac, Max: 2}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func benchFilteredProbe(b *testing.B, tb *Table) {
+	b.Helper()
+	preds := []Pred{{Column: "m", Min: 25, Max: 75}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := tb.ScanRectWhere("x", "y", benchViewport, preds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts, err := tb.Points("x", "y", rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("empty probe result")
+		}
+	}
+}
+
+// BenchmarkScanAfterDelete is the ISSUE 8 acceptance benchmark: the
+// filtered 1% viewport probe over 1M rows with 10% of the table
+// tombstoned must stay within 1.5x of the no-tombstone probe, and after
+// the reclaiming compaction the probe must be indistinguishable from a
+// fresh build over just the survivors.
+func BenchmarkScanAfterDelete(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) {
+		benchFilteredProbe(b, benchDeleteTable(b, 0))
+	})
+	b.Run("tombstoned10pct", func(b *testing.B) {
+		benchFilteredProbe(b, benchDeleteTable(b, 0.10))
+	})
+	b.Run("postCompaction", func(b *testing.B) {
+		tb := benchDeleteTable(b, 0.10)
+		tb.Compact() // physically reclaims the dead 10%
+		if tb.NumRows() != tb.LiveRows() {
+			b.Fatal("compaction left tombstones behind")
+		}
+		benchFilteredProbe(b, tb)
+	})
+}
+
+// BenchmarkScanRectsUnion measures the multi-viewport query shape: two
+// disjoint 1% viewports answered as one ScanRects union over the index.
+func BenchmarkScanRectsUnion(b *testing.B) {
+	tb := benchTable(b, benchRows, true)
+	rects := []geom.Rect{
+		{MinX: 150, MinY: 150, MaxX: 250, MaxY: 250},
+		{MinX: 650, MinY: 650, MaxX: 750, MaxY: 750},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := tb.ScanRects("x", "y", rects, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts, err := tb.Points("x", "y", rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("empty union result")
+		}
+	}
+}

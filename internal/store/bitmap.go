@@ -146,6 +146,100 @@ func unionRangeBitmap(start, end int, other RowSet) (RowSet, bool) {
 	return normalizeBitmap(&rowBitmap{base: lo, words: words, count: count}), true
 }
 
+// popcount64 is a local alias so rowset.go's algebra can count bits
+// without importing math/bits twice.
+func popcount64(w uint64) int { return bits.OnesCount64(w) }
+
+// rangeMinusBitmap subtracts the dead bitmap from the dense range
+// [start, end) — the tombstone fast path for "all rows" results. When
+// no dead bit falls inside the range it returns the range itself with
+// no allocation; otherwise it materializes the surviving bits word-wise
+// and normalizes.
+func rangeMinusBitmap(start, end int, dead *rowBitmap) RowSet {
+	if end <= start {
+		return RowSet{}
+	}
+	if dead == nil || dead.count == 0 {
+		return RowRange(start, end)
+	}
+	lo := max(start, dead.base)
+	hi := min(end, dead.base+len(dead.words)<<6)
+	overlap := 0
+	for r := lo &^ 63; r < hi; r += 64 {
+		w := dead.words[(r-dead.base)>>6]
+		// Mask the word down to [start, end).
+		if r < start {
+			w &= ^uint64(0) << (uint(start-r) & 63)
+		}
+		if r+64 > end {
+			w &= ^uint64(0) >> (uint(r+64-end) & 63)
+		}
+		overlap += bits.OnesCount64(w)
+	}
+	if overlap == 0 {
+		return RowRange(start, end)
+	}
+	base := start &^ 63
+	words := make([]uint64, (end-base+63)>>6)
+	w0, b0 := (start-base)>>6, uint(start-base)&63
+	w1, b1 := (end-1-base)>>6, uint(end-1-base)&63
+	if w0 == w1 {
+		words[w0] = (^uint64(0) >> (63 - b1)) & (^uint64(0) << b0)
+	} else {
+		words[w0] = ^uint64(0) << b0
+		for w := w0 + 1; w < w1; w++ {
+			words[w] = ^uint64(0)
+		}
+		words[w1] = ^uint64(0) >> (63 - b1)
+	}
+	do := (base - dead.base) >> 6
+	for i := range words {
+		di := do + i
+		if di >= 0 && di < len(dead.words) {
+			words[i] &^= dead.words[di]
+		}
+	}
+	count := 0
+	for _, w := range words {
+		count += bits.OnesCount64(w)
+	}
+	return normalizeBitmap(&rowBitmap{base: base, words: words, count: count})
+}
+
+// orBitmapRows returns a copy of old (nil meaning empty) with ids set,
+// plus how many of the ids were newly set. It is the tombstone-set
+// copy-on-write constructor: bitmaps published in a tableData are
+// immutable, so DeleteWhere builds a fresh one per publish. The result
+// is always base-0 so the read path can index it by raw row id.
+func orBitmapRows(old *rowBitmap, ids []int) (*rowBitmap, int) {
+	if len(ids) == 0 {
+		return old, 0
+	}
+	span := ids[len(ids)-1] + 1
+	nw := (span + 63) >> 6
+	if old != nil && old.base == 0 && len(old.words) > nw {
+		nw = len(old.words)
+	}
+	words := make([]uint64, nw)
+	count := 0
+	if old != nil {
+		// old.base is 0 for every bitmap this constructor ever built;
+		// fold a trimmed bitmap back to base 0 just in case.
+		o := old.base >> 6
+		copy(words[o:], old.words)
+		count = old.count
+	}
+	added := 0
+	for _, id := range ids {
+		wi, bit := id>>6, uint64(1)<<(uint(id)&63)
+		if words[wi]&bit == 0 {
+			words[wi] |= bit
+			added++
+		}
+	}
+	return &rowBitmap{base: 0, words: words, count: count + added}, added
+}
+
 // unionBitmaps ORs two bitmaps word-wise over their combined span.
 func unionBitmaps(a, b *rowBitmap) RowSet {
 	lo := min(a.base, b.base)

@@ -331,6 +331,12 @@ func (t *Table) maybeCompact() {
 	}
 	d := t.snapshot()
 	trigger := false
+	// Tombstones are compaction pressure too: past the same threshold,
+	// fire a reclaim so a sliding-window table does not accumulate dead
+	// rows forever between explicit Compact calls.
+	if dead := d.deadCount(); dead >= compactMinRows && float64(dead) >= frac*float64(d.n) {
+		trigger = true
+	}
 	for _, ix := range d.indexes {
 		tail := d.n - ix.n
 		if tail >= compactMinRows && float64(tail) >= frac*float64(ix.n) {
@@ -357,30 +363,44 @@ func (t *Table) maybeCompact() {
 // mix. A BulkLoad or snapshot restore racing the build makes the built
 // indexes obsolete; the publish detects the generation change and
 // discards them. Compact is a no-op when every index already covers
-// every row.
+// every row and nothing is tombstoned.
+//
+// Compact is also the retention sweeper: it first applies the table's
+// TTL policy (SetTTL), then — when the snapshot carries tombstones —
+// physically drops the dead rows: survivor columns are rewritten (in
+// row order), the CSR grids and zone maps are rebuilt over exactly the
+// survivors, and the result is published generation-atomically with an
+// empty tombstone set and a bumped loadGen (row ids shift, so the
+// reclaim is a content replacement, exactly like BulkLoad). A delete
+// landing mid-rebuild aborts the publish — the ids it tombstoned
+// describe the pre-reclaim layout — and the next compaction sweeps
+// again.
 func (t *Table) Compact() {
 	t.compactMu.Lock()
 	defer t.compactMu.Unlock()
+	t.enforceTTL()
 	d := t.snapshot()
 	t.mu.RLock()
 	pairs := append([][2]int(nil), t.indexPairs...)
 	t.mu.RUnlock()
-	if len(pairs) == 0 {
-		return
-	}
-	need := false
+	deadCount := d.deadCount()
+	need := deadCount > 0
 	for _, ix := range d.indexes {
 		if ix.n < d.n {
 			need = true
 			break
 		}
 	}
-	if !need {
+	if !need || (len(pairs) == 0 && deadCount == 0) {
 		return
 	}
 	jt := obs.StartJob("compaction")
 	defer jt.End()
 	start := time.Now()
+	if deadCount > 0 {
+		t.compactReclaim(d, pairs, deadCount, start)
+		return
+	}
 	built := make(map[[2]int]*rectIndex, len(pairs))
 	for _, p := range pairs {
 		if ix := buildRectIndex(p[0], p[1], d.cols, d.n); ix != nil {
@@ -412,13 +432,62 @@ func (t *Table) Compact() {
 		nw.delta.absorbRange(cur.cols, nw.n, cur.n)
 		indexes = append(indexes, nw)
 	}
-	t.data = &tableData{cols: cur.cols, n: cur.n, indexes: indexes, loadGen: cur.loadGen}
+	t.data = &tableData{cols: cur.cols, n: cur.n, indexes: indexes, dead: cur.dead, loadGen: cur.loadGen}
 	t.mu.Unlock()
 	// Appended rows may have shifted a column's value distribution (an
 	// uncorrelated column can become correlated, and vice versa); the
 	// fresh zone maps deserve fresh evidence, and a compaction is the
 	// natural probation point for a previously earned skip.
 	t.resetZoneStat()
+	t.counters.compactions.Add(1)
+	t.counters.compactionNanos.Add(int64(time.Since(start)))
+}
+
+// compactReclaim is Compact's tombstone-draining path: it rewrites the
+// columns to just the surviving rows of snapshot d, rebuilds every
+// registered index over them, and publishes the result as a fresh
+// content generation. The rewrite and index builds run off-lock; the
+// publish aborts if the content was replaced OR any new delete landed
+// (the tombstone bitmap is copy-on-write, so pointer equality is exactly
+// "no delete since the snapshot" — appends preserve the pointer).
+func (t *Table) compactReclaim(d *tableData, pairs [][2]int, deadCount int, start time.Time) {
+	alive := rangeMinusBitmap(0, d.n, d.dead).Indices()
+	nn := len(alive)
+	newCols := make([][]float64, len(d.cols))
+	for i, c := range d.cols {
+		out := make([]float64, nn)
+		gatherVals(out, alive, c)
+		newCols[i] = out
+	}
+	built := make([]*rectIndex, 0, len(pairs))
+	for _, p := range pairs {
+		if ix := buildRectIndex(p[0], p[1], newCols, nn); ix != nil {
+			built = append(built, ix)
+		}
+	}
+	t.mu.Lock()
+	cur := t.data
+	if cur.loadGen != d.loadGen || cur.dead != d.dead {
+		t.mu.Unlock()
+		return
+	}
+	// Rows appended mid-build sit at cur.cols[i][d.n:cur.n]; carry them
+	// over (their ids shift down by the dead rows below them — all dead
+	// rows are < d.n) and absorb them into the fresh deltas so the new
+	// generation starts fully covered.
+	tail := cur.n - d.n
+	if tail > 0 {
+		for i := range newCols {
+			newCols[i] = append(newCols[i], cur.cols[i][d.n:cur.n]...)
+		}
+	}
+	for _, ix := range built {
+		ix.delta.absorbRange(newCols, ix.n, nn+tail)
+	}
+	t.data = &tableData{cols: newCols, n: nn + tail, indexes: built, loadGen: cur.loadGen + 1}
+	t.mu.Unlock()
+	t.resetZoneStat()
+	t.counters.reclaimedRows.Add(int64(deadCount))
 	t.counters.compactions.Add(1)
 	t.counters.compactionNanos.Add(int64(time.Since(start)))
 }

@@ -208,3 +208,160 @@ func TestFilteredScanHammer(t *testing.T) {
 }
 
 func nan() float64 { var z float64; return z / z }
+
+// TestDeleteHammer races DeleteWhere against Append, IndexOn, and the
+// reclaiming Compact path. Physical reclaim rebases row ids, so unlike
+// TestFilteredScanHammer the column prefix is NOT immutable here and no
+// value-level completeness check is possible; the quiescent equivalence
+// lives in TestDeleteEquivalenceProperty. What must hold under -race at
+// all times: no panic, no error from any path, and every scan returns a
+// strictly ascending duplicate-free row set within its snapshot.
+func TestDeleteHammer(t *testing.T) {
+	tb, err := NewTable("h", "x", "y", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	n0 := 4000
+	xs := make([]float64, n0)
+	ys := make([]float64, n0)
+	ms := make([]float64, n0)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = rng.Float64() * 100
+		ms[i] = float64(i % 100)
+	}
+	if err := tb.BulkLoad(xs, ys, ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.IndexOn("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+
+	// Appender keeps the table growing so deletes always find prey.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		for time.Now().Before(deadline) {
+			x := rng.Float64() * 100
+			if rng.Intn(50) == 0 {
+				x = nan()
+			}
+			if err := tb.Append(x, rng.Float64()*100, float64(rng.Intn(100))); err != nil {
+				report(err)
+				return
+			}
+		}
+	}()
+
+	// Deleters: rectangle and predicate tombstoning, occasionally the
+	// optimistic-retry worst case of two racing delete-alls.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				var err error
+				switch rng.Intn(3) {
+				case 0:
+					lo := rng.Float64() * 90
+					_, err = tb.DeleteRect("x", "y", geom.Rect{MinX: lo, MinY: lo, MaxX: lo + 5, MaxY: lo + 5})
+				default:
+					m := float64(rng.Intn(100))
+					_, err = tb.DeleteWhere([]Pred{{Column: "m", Min: m, Max: m}})
+				}
+				if err != nil {
+					report(err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(int64(200 + w))
+	}
+
+	// Indexer and reclaiming compactor, racing the tombstone writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			if err := tb.IndexOn("x", "y"); err != nil {
+				report(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			tb.Compact()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Readers: structural assertions only (see the doc comment).
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				lo := rng.Float64() * 80
+				vp := geom.Rect{MinX: lo, MinY: lo, MaxX: lo + 30, MaxY: lo + 30}
+				var rects []geom.Rect
+				if rng.Intn(2) == 0 {
+					rects = []geom.Rect{vp, {MinX: lo + 40, MinY: lo + 40, MaxX: lo + 60, MaxY: lo + 60}}
+				} else {
+					rects = []geom.Rect{vp}
+				}
+				rows, _, err := tb.ScanRects("x", "y", rects, []Pred{{Column: "m", Min: 10, Max: 90}})
+				if err != nil {
+					report(err)
+					return
+				}
+				// A reclaim publishing mid-loop SHRINKS NumRows, so the
+				// scan's ids cannot be bounded by a later NumRows read —
+				// only order and non-negativity are stable claims.
+				prev := -1
+				bad := false
+				rows.ForEach(func(r int) {
+					if bad {
+						return
+					}
+					if r <= prev || r < 0 {
+						t.Errorf("row %d out of order or negative (prev %d)", r, prev)
+						bad = true
+						return
+					}
+					prev = r
+				})
+				if bad {
+					return
+				}
+				if live := tb.LiveRows(); live < 0 {
+					t.Errorf("LiveRows went negative: %d", live)
+					return
+				}
+			}
+		}(int64(300 + w))
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("delete hammer goroutine failed: %v", err)
+	}
+}

@@ -167,6 +167,33 @@ func selRectRefine(sel []int32, xs, ys []float64, r geom.Rect) int {
 	return k
 }
 
+// filterDeadInts is the tombstone-aware refine pass: it compacts ids in
+// place to the rows not set in dead, with the same compare-and-compact
+// idiom as the selection kernels (the keep increment is a flag
+// materialization, not a data-dependent jump — dead rows are rare, but
+// when a delete lands in a hot cell the mispredict cost would be paid
+// per row). dead bitmaps are base-0 (orBitmapRows builds them that
+// way), so the word lookup is a direct shift-index. ids past the word
+// array are alive by construction. Callers own ids; a nil or empty
+// dead set returns ids unchanged.
+func filterDeadInts(ids []int, dead *rowBitmap) []int {
+	if dead == nil || dead.count == 0 {
+		return ids
+	}
+	words := dead.words
+	limit := len(words) << 6
+	k := 0
+	for _, id := range ids {
+		ids[k] = id
+		if id >= limit {
+			k++
+			continue
+		}
+		k += int(1 - (words[id>>6] >> (uint(id) & 63) & 1))
+	}
+	return ids[:k]
+}
+
 // appendSel appends a selection to the accumulating []int id list.
 func appendSel(out []int, sel []int32) []int {
 	for _, id := range sel {

@@ -234,6 +234,103 @@ func (s RowSet) Intersect(t RowSet) RowSet {
 	return rowSetFromSorted(ids)
 }
 
+// Subtract returns the set of rows in s but not in t — the
+// intersect-with-complement the tombstone read path is built on. Two
+// word-aligned representations subtract word-wise (AND-NOT); a dense
+// range minus a range splits into at most two runs; everything else
+// falls back to iterating s and probing t. All absorbs on the right
+// (s − All = ∅). All on the left is returned unchanged when t is
+// empty; operators resolve All against their own snapshot before any
+// subtraction, so a non-empty t never meets an unresolved All here.
+func (s RowSet) Subtract(t RowSet) RowSet {
+	if t.all {
+		return RowSet{}
+	}
+	if s.all || s.IsEmpty() || t.IsEmpty() {
+		return s
+	}
+	if t.bm != nil {
+		return s.subtractBitmap(t.bm)
+	}
+	if ts, te, ok := t.AsRange(); ok {
+		sMin, _ := s.Min()
+		sMax, _ := s.Max()
+		if te <= sMin || ts > sMax {
+			return s
+		}
+		lo := s.Intersect(RowRange(sMin, ts))
+		hi := s.Intersect(RowRange(te, sMax+1))
+		return lo.Union(hi)
+	}
+	// t is an explicit id list. When its span is bitmap-friendly, route
+	// through the word-wise path; otherwise probe per row.
+	tMin, _ := t.Min()
+	tMax, _ := t.Max()
+	if tMax-tMin+1 <= len(t.ids)*64 {
+		return s.subtractBitmap(bitmapFromSorted(t.ids))
+	}
+	ids := make([]int, 0, s.Len())
+	s.ForEach(func(r int) {
+		if !t.Contains(r) {
+			ids = append(ids, r)
+		}
+	})
+	return rowSetFromSorted(ids)
+}
+
+// subtractBitmap removes the rows set in dead from s. It is the
+// tombstone refine pass: dense ranges and bitmaps subtract word-wise,
+// id lists compact through filterDeadInts on a copy. A nil or empty
+// dead set returns s unchanged with no allocation.
+func (s RowSet) subtractBitmap(dead *rowBitmap) RowSet {
+	if dead == nil || dead.count == 0 || s.IsEmpty() {
+		return s
+	}
+	if s.all {
+		return s
+	}
+	if s.ids != nil {
+		// Copy-on-write: the RowSet is immutable, so compact a copy —
+		// but only once a dead row actually intersects the list.
+		for i, r := range s.ids {
+			if dead.contains(r) {
+				out := make([]int, i, len(s.ids))
+				copy(out, s.ids[:i])
+				for _, r := range s.ids[i:] {
+					if !dead.contains(r) {
+						out = append(out, r)
+					}
+				}
+				return rowSetFromSorted(out)
+			}
+		}
+		return s
+	}
+	if s.bm != nil {
+		lo := max(s.bm.base, dead.base)
+		hi := min(s.bm.base+len(s.bm.words)<<6, dead.base+len(dead.words)<<6)
+		if lo >= hi {
+			return s
+		}
+		removed := 0
+		so, do := (lo-s.bm.base)>>6, (lo-dead.base)>>6
+		nw := (hi - lo) >> 6
+		for i := 0; i < nw; i++ {
+			removed += popcount64(s.bm.words[so+i] & dead.words[do+i])
+		}
+		if removed == 0 {
+			return s
+		}
+		words := make([]uint64, len(s.bm.words))
+		copy(words, s.bm.words)
+		for i := 0; i < nw; i++ {
+			words[so+i] &^= dead.words[do+i]
+		}
+		return normalizeBitmap(&rowBitmap{base: s.bm.base, words: words, count: s.bm.count - removed})
+	}
+	return rangeMinusBitmap(s.start, s.end, dead)
+}
+
 // rangeCovers reports (r, true) when r has the dense-range
 // representation and other's rows all fall inside it.
 func rangeCovers(r, other RowSet) (RowSet, bool) {

@@ -62,6 +62,11 @@ type TableSnapshot struct {
 	Cols    [][]float64
 	NumRows int
 	Indexes []IndexSnapshot
+	// Dead holds the ascending, duplicate-free ids of tombstoned rows —
+	// deleted but not yet physically reclaimed at capture time. Empty
+	// for snapshots from before the retention layer (and after every
+	// reclaiming compaction).
+	Dead []int32
 }
 
 // SnapshotGeneration exports the table's current generation. The
@@ -77,6 +82,10 @@ func (t *Table) SnapshotGeneration() TableSnapshot {
 	}
 	for i, c := range d.cols {
 		ts.Cols[i] = c[:d.n]
+	}
+	if d.dead != nil && d.dead.count > 0 {
+		ts.Dead = make([]int32, 0, d.dead.count)
+		d.dead.forEach(func(r int) { ts.Dead = append(ts.Dead, int32(r)) })
 	}
 	for _, ix := range d.indexes {
 		ts.Indexes = append(ts.Indexes, IndexSnapshot{
@@ -127,6 +136,27 @@ func TableFromSnapshot(snap TableSnapshot) (*Table, error) {
 		}
 	}
 	d := &tableData{cols: snap.Cols, n: snap.NumRows}
+	if len(snap.Dead) > 0 {
+		prev := int32(-1)
+		for _, id := range snap.Dead {
+			if id <= prev {
+				return nil, fmt.Errorf("store: snapshot table %q: tombstone ids not ascending (%d after %d)",
+					snap.Name, id, prev)
+			}
+			if id < 0 || int(id) >= snap.NumRows {
+				return nil, fmt.Errorf("store: snapshot table %q: tombstone id %d out of range [0,%d)",
+					snap.Name, id, snap.NumRows)
+			}
+			prev = id
+		}
+		ids := make([]int, len(snap.Dead))
+		for i, id := range snap.Dead {
+			ids[i] = int(id)
+		}
+		// orBitmapRows keeps the bitmap base-0, the shape the read path's
+		// refine kernel indexes directly.
+		d.dead, _ = orBitmapRows(nil, ids)
+	}
 	seenPair := make(map[[2]int]bool, len(snap.Indexes))
 	for i, is := range snap.Indexes {
 		ix, err := indexFromSnapshot(snap.Name, is, len(snap.Cols), snap.NumRows)

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/obs"
@@ -72,6 +73,11 @@ type Table struct {
 	autoCompact atomic.Uint64
 	compacting  atomic.Bool
 	compactMu   sync.Mutex
+
+	// ttlMu guards the retention policy (SetTTL); Compact enforces it.
+	ttlMu  sync.Mutex
+	ttlCol int // timestamp column ordinal; -1 when no policy
+	ttlAge time.Duration
 }
 
 // zoneColStat accumulates, for one column, how often its per-cell zone
@@ -114,6 +120,10 @@ type tableCounters struct {
 	// Ingest counters.
 	compactions     atomic.Int64 // delta-into-generation compactions published
 	compactionNanos atomic.Int64 // wall time spent building + publishing them
+
+	// Retention counters.
+	deletedRows   atomic.Int64 // rows tombstoned by DeleteRect/DeleteWhere/TTL
+	reclaimedRows atomic.Int64 // tombstoned rows physically dropped by compaction
 }
 
 // tableData is one immutable generation of a table: column storage, row
@@ -124,12 +134,30 @@ type tableData struct {
 	cols    [][]float64
 	n       int
 	indexes []*rectIndex
-	// loadGen counts content replacements (BulkLoad, snapshot restore);
-	// Append, IndexOn, and Compact preserve it. A background compaction
-	// uses it to detect that the columns it built against were replaced
-	// mid-build, in which case its indexes describe dead data and must
-	// not be published.
+	// dead is the generation's tombstone set: rows < n whose bit is set
+	// are deleted and invisible to every read. Like everything else in
+	// the generation it is immutable — DeleteWhere publishes a fresh
+	// bitmap (copy-on-write via orBitmapRows, always base-0) — so a
+	// reader's columns, indexes, and tombstones are one consistent
+	// snapshot with no extra locking. nil means no deletions. Compaction
+	// physically drops the dead rows and publishes dead=nil with a
+	// bumped loadGen (row ids shift when survivors are rewritten).
+	dead *rowBitmap
+	// loadGen counts content replacements (BulkLoad, snapshot restore,
+	// reclaiming compaction); Append, IndexOn, and non-reclaiming
+	// Compact preserve it. A background compaction uses it to detect
+	// that the columns it built against were replaced mid-build, in
+	// which case its indexes describe dead data and must not be
+	// published.
 	loadGen uint64
+}
+
+// deadCount returns the number of tombstoned rows in this generation.
+func (d *tableData) deadCount() int {
+	if d.dead == nil {
+		return 0
+	}
+	return d.dead.count
 }
 
 // indexFor returns this generation's index over the column pair, or nil.
@@ -158,6 +186,7 @@ func NewTable(name string, columns ...string) (*Table, error) {
 		data:     &tableData{cols: make([][]float64, len(columns))},
 		counters: &tableCounters{},
 		zoneStat: make([]zoneColStat, len(columns)),
+		ttlCol:   -1,
 	}
 	for i, c := range columns {
 		if c == "" {
@@ -177,9 +206,18 @@ func (t *Table) Name() string { return t.name }
 // Columns returns the column names in declaration order.
 func (t *Table) Columns() []string { return append([]string(nil), t.colName...) }
 
-// NumRows returns the row count.
+// NumRows returns the row count, tombstoned rows included — the
+// high-water mark row ids are addressed against. Use LiveRows for the
+// count a scan can actually return.
 func (t *Table) NumRows() int {
 	return t.snapshot().n
+}
+
+// LiveRows returns the number of rows visible to reads: the row count
+// minus the tombstoned set of the same snapshot.
+func (t *Table) LiveRows() int {
+	d := t.snapshot()
+	return d.n - d.deadCount()
 }
 
 // snapshot returns the current generation. The returned struct and
@@ -216,7 +254,7 @@ func (t *Table) Append(values ...float64) error {
 			ix.delta.absorbRange(cols, d.n, d.n+1)
 		}
 	}
-	t.data = &tableData{cols: cols, n: d.n + 1, indexes: d.indexes, loadGen: d.loadGen}
+	t.data = &tableData{cols: cols, n: d.n + 1, indexes: d.indexes, dead: d.dead, loadGen: d.loadGen}
 	t.mu.Unlock()
 	t.maybeCompact()
 	return nil
@@ -250,7 +288,7 @@ func (t *Table) AppendRows(cols ...[]float64) error {
 			ix.delta.absorbRange(fresh, d.n, d.n+n)
 		}
 	}
-	t.data = &tableData{cols: fresh, n: d.n + n, indexes: d.indexes, loadGen: d.loadGen}
+	t.data = &tableData{cols: fresh, n: d.n + n, indexes: d.indexes, dead: d.dead, loadGen: d.loadGen}
 	t.mu.Unlock()
 	t.maybeCompact()
 	return nil
@@ -352,7 +390,7 @@ func (t *Table) IndexOn(xCol, yCol string) error {
 	if ix := buildRectIndex(xi, yi, d.cols, d.n); ix != nil {
 		indexes = append(indexes, ix)
 	}
-	t.data = &tableData{cols: d.cols, n: d.n, indexes: indexes, loadGen: d.loadGen}
+	t.data = &tableData{cols: d.cols, n: d.n, indexes: indexes, dead: d.dead, loadGen: d.loadGen}
 	return nil
 }
 
@@ -396,13 +434,13 @@ func (t *Table) Scan(preds []Pred) (RowSet, error) {
 	}
 	d := t.snapshot()
 	if len(preds) == 0 {
-		return RowRange(0, d.n), nil
+		return rangeMinusBitmap(0, d.n, d.dead), nil
 	}
 	cols := make([][]float64, len(preds))
 	for i, ci := range idx {
 		cols[i] = d.cols[ci]
 	}
-	return rowSetFromSorted(scanShards(cols, preds, d.n)), nil
+	return rowSetFromSorted(filterDeadInts(scanShards(cols, preds, d.n), d.dead)), nil
 }
 
 // ScanStats describes how one ScanRect/ScanRectWhere call was answered,
@@ -495,6 +533,55 @@ func (t *Table) ScanRectWhereCtx(ctx context.Context, xCol, yCol string, r geom.
 	return t.scanRectWhere(obs.FromContext(ctx), xCol, yCol, r, preds)
 }
 
+// ScanRects is the OR-of-viewports query mode: it returns the rows
+// whose (xCol, yCol) projection lies inside ANY of the rectangles and
+// that satisfy every residual predicate — the RowSet.Union of the
+// per-rect probes. Each rectangle follows ScanRectWhere's conventions
+// (zero Rect = no restriction, NaN bounds fold to ±Inf), so one zero
+// rectangle absorbs the whole union. An empty rects slice degenerates
+// to the single unrestricted viewport. Stats are summed across probes.
+//
+// Each probe reads its own snapshot: under concurrent ingest the union
+// may straddle generations, exactly like two back-to-back ScanRectWhere
+// calls would. Rows landing in several rectangles are returned once.
+func (t *Table) ScanRects(xCol, yCol string, rects []geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
+	return t.scanRects(nil, xCol, yCol, rects, preds)
+}
+
+// ScanRectsCtx is ScanRects with stage timing, like ScanRectWhereCtx.
+func (t *Table) ScanRectsCtx(ctx context.Context, xCol, yCol string, rects []geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
+	return t.scanRects(obs.FromContext(ctx), xCol, yCol, rects, preds)
+}
+
+func (t *Table) scanRects(tr *obs.Trace, xCol, yCol string, rects []geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
+	if len(rects) == 0 {
+		return t.scanRectWhere(tr, xCol, yCol, geom.Rect{}, preds)
+	}
+	var union RowSet
+	var total ScanStats
+	for i, r := range rects {
+		rows, st, err := t.scanRectWhere(tr, xCol, yCol, r, preds)
+		if err != nil {
+			return RowSet{}, total, err
+		}
+		total.IndexProbe = total.IndexProbe || st.IndexProbe
+		total.CellsTouched += st.CellsTouched
+		total.CellsPruned += st.CellsPruned
+		total.CellsBulk += st.CellsBulk
+		total.RowsExamined += st.RowsExamined
+		total.DeltaRows += st.DeltaRows
+		total.ZonesSkipped += st.ZonesSkipped
+		total.BatchedRows += st.BatchedRows
+		total.ProbeShards += st.ProbeShards
+		if i == 0 {
+			union = rows
+		} else {
+			union = union.Union(rows)
+		}
+	}
+	return union, total, nil
+}
+
 func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
 	var st ScanStats
 	xi, ok := t.colIdx[xCol]
@@ -535,10 +622,11 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 	preds = normalizePreds(preds)
 	d := t.snapshot()
 	// All-rows fast path: an unbounded rectangle with no predicates
-	// matches every row — NaN/±Inf coordinates and the appended tail
-	// included — as a dense range, agreeing with Scan(nil).
+	// matches every live row — NaN/±Inf coordinates and the appended
+	// tail included — as a dense range (minus the tombstone set),
+	// agreeing with Scan(nil).
 	if len(preds) == 0 && r == unboundedRect {
-		return RowRange(0, d.n), st, nil
+		return rangeMinusBitmap(0, d.n, d.dead), st, nil
 	}
 	ix := d.indexFor(xi, yi)
 	// Adaptive zone planning: columns whose zone maps have consulted
@@ -580,7 +668,7 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 			all = append(all, p)
 		}
 		sp := tr.StartSpan(obs.StageResidual)
-		rs := rowSetFromSorted(scanShards(cols, all, d.n))
+		rs := rowSetFromSorted(filterDeadInts(scanShards(cols, all, d.n), d.dead))
 		sp.End()
 		if !forceScalarKernels && d.n >= kernelMinRows {
 			st.BatchedRows = d.n
@@ -591,7 +679,7 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 	st.IndexProbe = true
 	t.counters.indexProbes.Add(1)
 	if len(preds) == 0 && ix.n == d.n && ix.coversAll(r) {
-		return RowRange(0, d.n), st, nil
+		return rangeMinusBitmap(0, d.n, d.dead), st, nil
 	}
 	var tally zoneTally
 	if len(preds) > 0 {
@@ -635,9 +723,12 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 		}
 	}
 	// Materializing the RowSet is O(result); attribute it to the probe
-	// that produced the ids.
+	// that produced the ids. The tombstone refine pass runs once here
+	// over the final id list — base cells, delta buckets, and linear
+	// tail all flow through it, so the batch kernels above never test
+	// liveness per row.
 	sp = tr.StartSpan(obs.StageProbe)
-	rs := rowSetFromSorted(ids)
+	rs := rowSetFromSorted(filterDeadInts(ids, d.dead))
 	sp.End()
 	return rs, st, nil
 }
@@ -776,6 +867,10 @@ func (t *Table) Points(xCol, yCol string, rows RowSet) ([]geom.Point, error) {
 	if rows.all {
 		rows = RowRange(0, d.n)
 	}
+	// Tombstoned rows are invisible to projections too: subtract this
+	// snapshot's dead set (a no-op without deletions). Idempotent for
+	// row sets a scan already filtered.
+	rows = rows.subtractBitmap(d.dead)
 	if start, end, ok := rows.AsRange(); ok {
 		if end > d.n {
 			return nil, fmt.Errorf("store: table %q: row range [%d,%d) out of range [0,%d)", t.name, start, end, d.n)
@@ -797,15 +892,19 @@ func (t *Table) Points(xCol, yCol string, rows RowSet) ([]geom.Point, error) {
 	return pts, nil
 }
 
-// Gather returns the values of one column at the given rows.
+// Gather returns the values of one column at the given rows, reading
+// one consistent snapshot (columns and tombstones together).
 func (t *Table) Gather(col string, rows RowSet) ([]float64, error) {
-	c, err := t.Column(col)
-	if err != nil {
-		return nil, err
+	i, ok := t.colIdx[col]
+	if !ok {
+		return nil, fmt.Errorf("store: table %q column %q: %w", t.name, col, ErrNotFound)
 	}
+	d := t.snapshot()
+	c := d.cols[i][:d.n]
 	if rows.all {
 		rows = RowRange(0, len(c))
 	}
+	rows = rows.subtractBitmap(d.dead)
 	if start, end, ok := rows.AsRange(); ok {
 		if end > len(c) {
 			return nil, fmt.Errorf("store: table %q: row range [%d,%d) out of range [0,%d)", t.name, start, end, len(c))
@@ -862,16 +961,20 @@ func (t *Table) Bounds(xCol, yCol string) (geom.Rect, error) {
 		return geom.Rect{}, fmt.Errorf("store: table %q column %q: %w", t.name, yCol, ErrNotFound)
 	}
 	d := t.snapshot()
-	// The index extent excludes non-finite rows (they are unbinnable),
-	// so the fast path only applies when there are none — the linear
-	// path below folds ±Inf coordinates into the extent like UnionPoint
-	// always has.
-	if ix := d.indexFor(xi, yi); ix != nil && ix.n == d.n && len(ix.extra) == 0 {
+	// The index extent excludes non-finite rows (they are unbinnable)
+	// and includes tombstoned rows, so the fast path only applies when
+	// there are neither — the linear path below folds ±Inf coordinates
+	// into the extent like UnionPoint always has, and skips dead rows
+	// so a delete can shrink the served extent.
+	if ix := d.indexFor(xi, yi); ix != nil && ix.n == d.n && len(ix.extra) == 0 && d.deadCount() == 0 {
 		return ix.bounds, nil
 	}
 	xs, ys := d.cols[xi], d.cols[yi]
 	b := geom.EmptyRect()
 	for i := 0; i < d.n; i++ {
+		if d.dead != nil && d.dead.contains(i) {
+			continue
+		}
 		b = b.UnionPoint(geom.Pt(xs[i], ys[i]))
 	}
 	return b, nil
@@ -1103,6 +1206,17 @@ type IndexStats struct {
 	// read path (both monotonic, survive drops).
 	Compactions       int64
 	CompactionSeconds float64
+	// TombstonedRows is a point-in-time gauge: rows across every live
+	// table that are deleted but not yet physically reclaimed by
+	// compaction.
+	TombstonedRows int64
+	// DeletedRows counts rows ever tombstoned (DeleteRect, DeleteWhere,
+	// TTL enforcement); ReclaimedRows counts tombstoned rows physically
+	// dropped by compaction rewrites. Both monotonic, survive drops.
+	// DeletedRows − ReclaimedRows ≥ TombstonedRows (dropped tables take
+	// their pending tombstones with them).
+	DeletedRows   int64
+	ReclaimedRows int64
 	// PerTable breaks the ingest gauges down by live table, name-sorted,
 	// for tables carrying at least one spatial index.
 	PerTable []TableIngestStats
@@ -1121,6 +1235,10 @@ type TableIngestStats struct {
 	// delta has absorbed; it trails TailRows only when a delta
 	// saturated.
 	DeltaRows int64
+	// LiveRows and DeadRows split Rows into the visible set and the
+	// tombstoned-awaiting-reclaim set.
+	LiveRows int64
+	DeadRows int64
 }
 
 // IndexStats returns a point-in-time aggregate over all tables.
@@ -1159,11 +1277,14 @@ func (s *Store) IndexStats() IndexStats {
 				}
 			}
 		}
+		dead := int64(d.deadCount())
+		st.TombstonedRows += dead
 		if len(d.indexes) > 0 {
 			st.TailRows += tailRows
 			st.DeltaRows += deltaRows
 			st.PerTable = append(st.PerTable, TableIngestStats{
 				Table: t.name, Rows: int64(d.n), TailRows: tailRows, DeltaRows: deltaRows,
+				LiveRows: int64(d.n) - dead, DeadRows: dead,
 			})
 		}
 		st.addCounters(t.counters)
@@ -1186,4 +1307,6 @@ func (st *IndexStats) addCounters(c *tableCounters) {
 	st.ProbeShards += c.probeShards.Load()
 	st.Compactions += c.compactions.Load()
 	st.CompactionSeconds += float64(c.compactionNanos.Load()) / 1e9
+	st.DeletedRows += c.deletedRows.Load()
+	st.ReclaimedRows += c.reclaimedRows.Load()
 }

@@ -626,30 +626,154 @@ func (c *Catalog) appendCols(table string, cols [][]float64) (int, error) {
 		}
 	}
 	c.snapMu.Unlock()
-	if resave && c.resaving.CompareAndSwap(false, true) {
-		c.resaveWG.Add(1)
-		go func() {
-			defer c.resaveWG.Done()
-			defer c.resaving.Store(false)
-			c.snapMu.Lock()
-			dir := c.snapDir
-			c.lastResave = time.Now()
-			c.snapMu.Unlock()
-			if dir != "" {
-				// A full save folds the in-memory rows (tail included)
-				// into the base file, truncates the log, and clears any
-				// degradation; losing the race to a concurrent explicit
-				// save is fine — it does the same thing. A failure stays
-				// recorded in snapErr until a retry succeeds.
-				if err := c.SaveSnapshot(dir); err != nil {
-					c.snapMu.Lock()
-					c.snapErr = err
-					c.snapMu.Unlock()
-				}
-			}
-		}()
+	if resave {
+		c.kickResave()
 	}
 	return n, tailErr
+}
+
+// kickResave launches the background full re-save unless one is already
+// in flight. Shared by the append and delete paths.
+func (c *Catalog) kickResave() {
+	if !c.resaving.CompareAndSwap(false, true) {
+		return
+	}
+	c.resaveWG.Add(1)
+	go func() {
+		defer c.resaveWG.Done()
+		defer c.resaving.Store(false)
+		c.snapMu.Lock()
+		dir := c.snapDir
+		c.lastResave = time.Now()
+		c.snapMu.Unlock()
+		if dir != "" {
+			// A full save folds the in-memory state (tail included) into
+			// the base file, truncates the log, and clears any
+			// degradation; losing the race to a concurrent explicit
+			// save is fine — it does the same thing. A failure stays
+			// recorded in snapErr until a retry succeeds.
+			if err := c.SaveSnapshot(dir); err != nil {
+				c.snapMu.Lock()
+				c.snapErr = err
+				c.snapMu.Unlock()
+			}
+		}
+	}()
+}
+
+// DeleteRect tombstones every base-table row whose (x, y) lies inside r
+// (the zero Rect deletes every row, matching scan conventions) and
+// returns how many rows were newly deleted. Deleted rows vanish from
+// every subsequent query and tile atomically; the physical space is
+// reclaimed by the table's next background compaction. The predicate is
+// recorded in the snapshot tail log when the catalog is bound to a
+// snapshot directory, so a restart replays it in order with the appends
+// around it. Samples are not refreshed by a delete: like Append, the
+// pre-built samples keep representing the distribution they were built
+// from until the next BuildSamples.
+func (c *Catalog) DeleteRect(table string, r Rect) (int, error) {
+	if r == (Rect{}) {
+		return c.DeleteWhere(table, nil)
+	}
+	return c.DeleteWhere(table, []Pred{
+		{Column: "x", Min: r.MinX, Max: r.MaxX},
+		{Column: "y", Min: r.MinY, Max: r.MaxY},
+	})
+}
+
+// DeleteWhere tombstones every base-table row matching all predicates
+// (conjunctive range semantics; an empty list deletes every row). See
+// DeleteRect for visibility, durability, and sample-staleness notes.
+func (c *Catalog) DeleteWhere(table string, preds []Pred) (int, error) {
+	n, err := c.deleteWhere(table, preds)
+	if n > 0 {
+		c.srvMu.Lock()
+		if c.srv != nil {
+			c.srv.InvalidateTable(table)
+		}
+		c.srvMu.Unlock()
+	}
+	return n, err
+}
+
+// deleteWhere is the shared delete path (Catalog.DeleteWhere and the
+// HTTP /v1/delete hook): one snapMu critical section covers the store
+// tombstone publish and the tail-log record, exactly like appendCols,
+// so a save can never fold the delete into the base file AND leave its
+// log record to be replayed again. The tail record carries the
+// predicate, not the matched row ids — ids shift when compaction
+// reclaims dead rows, but replaying the predicate stream in order
+// reproduces the same visible rows. Tile invalidation is the caller's.
+func (c *Catalog) deleteWhere(table string, preds []Pred) (int, error) {
+	t, err := c.st.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	c.snapMu.Lock()
+	n, err := t.DeleteWhere(preds)
+	if err != nil {
+		c.snapMu.Unlock()
+		return 0, err
+	}
+	var tailErr error
+	resave := false
+	// A delete that matched nothing changed nothing: logging it would
+	// only grow the replay (replay reproduces the same no-op).
+	if c.snapDir != "" && n > 0 {
+		switch {
+		case c.snapErr != nil:
+			tailErr = fmt.Errorf("vas: delete not durable (snapshot persistence degraded): %w", c.snapErr)
+			resave = true
+		default:
+			tp := make([]snapshot.TailPred, len(preds))
+			for i, p := range preds {
+				tp[i] = snapshot.TailPred{Col: p.Column, Min: p.Min, Max: p.Max}
+			}
+			jt := obs.StartJob("tail_write")
+			err := snapshot.AppendTailDelete(filepath.Join(c.snapDir, TailFile), table, tp)
+			jt.End()
+			if err != nil {
+				c.snapErr = err
+				tailErr = fmt.Errorf("vas: delete durable tail: %w", err)
+				resave = true
+			} else {
+				if c.tailRows == nil {
+					c.tailRows = make(map[string]int64)
+				}
+				// Deleted rows count toward the re-save threshold like
+				// appended ones: both are mutations living only in the
+				// log until the next full save folds them in.
+				c.tailRows[table] += int64(n)
+				resave = float64(c.tailRows[table]) >= tailResaveFraction*float64(t.NumRows())
+			}
+		}
+		if resave && time.Since(c.lastResave) < c.resaveInterval() {
+			resave = false
+		}
+	}
+	c.snapMu.Unlock()
+	if resave {
+		c.kickResave()
+	}
+	return n, tailErr
+}
+
+// SetTTL installs a sliding-window retention policy on a base table:
+// rows whose value in col (float64 Unix seconds) is at least maxAge old
+// are tombstoned — and eventually physically dropped — by the table's
+// background compactions. A non-positive maxAge clears the policy.
+//
+// The policy itself is in-memory configuration, not snapshot state:
+// re-apply it after LoadSnapshot (as cmd/vasserve does from its flags).
+// Rows a TTL sweep tombstones are not tail-logged individually; they
+// are captured by the next full save, and any sweep lost to a crash is
+// simply re-run by the first compaction after the policy is re-applied.
+func (c *Catalog) SetTTL(table, col string, maxAge time.Duration) error {
+	t, err := c.st.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.SetTTL(col, maxAge)
 }
 
 // WaitBackground blocks until any in-flight background re-save has
@@ -703,6 +827,10 @@ func (c *Catalog) Handler() http.Handler {
 			// also lands in the snapshot tail log (durable across a
 			// restart); the server bumps the tile epoch itself.
 			AppendHook: c.appendCols,
+			// Deletes likewise route through the catalog so the
+			// predicate lands in the tail log; the server bumps the
+			// tile epoch itself.
+			DeleteHook: c.deleteWhere,
 			// Per-table tail-log durability for the
 			// vasserve_tail_log_degraded gauge.
 			TailStatus: c.tailStatus,
@@ -843,6 +971,19 @@ func (c *Catalog) LoadSnapshot(dir string) error {
 		if !ok {
 			return fmt.Errorf("vas: snapshot tail record %d targets unknown table %q", ri, rec.Table)
 		}
+		if rec.Delete {
+			cols := make(map[string]bool, len(t.Columns()))
+			for _, name := range t.Columns() {
+				cols[name] = true
+			}
+			for _, p := range rec.Preds {
+				if !cols[p.Col] {
+					return fmt.Errorf("vas: snapshot tail record %d deletes on unknown column %q of table %q",
+						ri, p.Col, rec.Table)
+				}
+			}
+			continue
+		}
 		if len(rec.Cols) != len(t.Columns()) {
 			return fmt.Errorf("vas: snapshot tail record %d has %d columns for %d-column table %q",
 				ri, len(rec.Cols), len(t.Columns()), rec.Table)
@@ -852,11 +993,26 @@ func (c *Catalog) LoadSnapshot(dir string) error {
 	if err := c.st.PublishCatalog(tables, cat.Samples); err != nil {
 		return fmt.Errorf("vas: snapshot %s: %w", filepath.Join(dir, SnapshotFile), err)
 	}
-	// Replay the tail: AppendRows bins every batch into the restored
-	// indexes' deltas — cheap, incremental, and cannot fail after the
-	// shape checks above.
+	// Replay the tail in order: AppendRows bins every batch into the
+	// restored indexes' deltas, and DeleteWhere re-tombstones by
+	// predicate — both cheap and incremental, and neither can fail after
+	// the shape checks above. Interleaving matters: a delete only covers
+	// the appends before it, exactly as it did in the original process.
 	for _, rec := range tail {
-		if err := byName[rec.Table].AppendRows(rec.Cols...); err != nil {
+		t := byName[rec.Table]
+		if rec.Delete {
+			preds := make([]store.Pred, len(rec.Preds))
+			for i, p := range rec.Preds {
+				preds[i] = store.Pred{Column: p.Col, Min: p.Min, Max: p.Max}
+			}
+			n, err := t.DeleteWhere(preds)
+			if err != nil {
+				return fmt.Errorf("vas: snapshot tail delete replay on %q: %w", rec.Table, err)
+			}
+			tailRows[rec.Table] += int64(n)
+			continue
+		}
+		if err := t.AppendRows(rec.Cols...); err != nil {
 			return fmt.Errorf("vas: snapshot tail replay into %q: %w", rec.Table, err)
 		}
 	}
@@ -948,6 +1104,30 @@ func (c *Catalog) QueryFiltered(table string, viewport Rect, filters []Pred, bud
 	resp, err := c.planner.Plan(query.Request{
 		Table: table, XCol: "x", YCol: "y",
 		Viewport: viewport, Filters: filters, Budget: budget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{
+		Points:        resp.Points,
+		Counts:        resp.Values,
+		SampleSize:    resp.Sample.Size,
+		PredictedTime: resp.PredictedTime,
+		Scan:          resp.Scan,
+	}, nil
+}
+
+// QueryRects answers one visualization request over the union of
+// several viewports — the multi-monitor / comparison-dashboard shape,
+// where two or more zoomed regions of the same table render in one
+// round trip. Each rectangle is probed separately against the served
+// table and the row sets are unioned, so a point inside two overlapping
+// rectangles is returned once. Filters apply to every rectangle. An
+// empty rects slice means the full extent.
+func (c *Catalog) QueryRects(table string, rects []Rect, filters []Pred, budget time.Duration) (*QueryResult, error) {
+	resp, err := c.planner.Plan(query.Request{
+		Table: table, XCol: "x", YCol: "y",
+		Rects: rects, Filters: filters, Budget: budget,
 	})
 	if err != nil {
 		return nil, err
