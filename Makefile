@@ -9,10 +9,13 @@ GO ?= go
 # scans (delta-index probe vs seed-state linear tail) plus append
 # throughput, the batch-vs-scalar kernel comparison inside
 # ScanRectFiltered (residual shapes report kernel_speedup), the
-# probe parallelism sweep, and the retention path: the filtered probe
+# probe parallelism sweep, the retention path: the filtered probe
 # with 10% of rows tombstoned (vs clean baseline and post-compaction)
-# plus the two-viewport union scan.
-SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered|ScanAfterAppend|AppendThroughput|ProbeParallelSweep|ScanAfterDelete|ScanRectsUnion
+# plus the two-viewport union scan — and the index-backend A/B: the
+# same clustered 1M-row table under a cluster-clipping 1% filtered
+# viewport served by the grid vs the STR R-tree, plus kNN latency
+# through the tree descent vs the brute-force fallback.
+SERVING_BENCH ?= QueryViewport|ExactScanParallel|QueryFullExtentProjection|ScanRectFiltered|ScanLinearFiltered|ScanAfterAppend|AppendThroughput|ProbeParallelSweep|ScanAfterDelete|ScanRectsUnion|SkewedViewport|Nearest
 # The cold-start benchmarks (root package): bringing a 1M-row catalog
 # up by full offline rebuild vs restoring it from a snapshot file —
 # plus the parallel HTTP query path, which guards the observability
@@ -39,13 +42,13 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the serving + cold-start benchmarks and commits the
-# numbers as BENCH_PR8.json (the repo's benchmark trajectory;
-# BENCH_PR2.json .. BENCH_PR7.json are the previous points on it).
+# numbers as BENCH_PR9.json (the repo's benchmark trajectory;
+# BENCH_PR2.json .. BENCH_PR8.json are the previous points on it).
 bench:
 	$(GO) test -run '^$$' -bench '$(SERVING_BENCH)' -benchmem ./internal/store | tee /tmp/bench_serving.txt
 	$(GO) test -run '^$$' -bench '$(SNAPSHOT_BENCH)' -benchmem . | tee -a /tmp/bench_serving.txt
-	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR8.json
-	@echo wrote BENCH_PR8.json
+	$(GO) run ./cmd/bench2json < /tmp/bench_serving.txt > BENCH_PR9.json
+	@echo wrote BENCH_PR9.json
 
 # bench-smoke is the CI guard: every committed benchmark must still
 # compile and complete one iteration.

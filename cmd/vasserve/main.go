@@ -45,6 +45,7 @@ func main() {
 		density = flag.Bool("density", true, "attach the §V density embedding to each sample")
 		passes  = flag.Int("passes", 1, "Interchange passes per sample build")
 		snapDir = flag.String("snapshot", "", "catalog snapshot directory: load when present and fresh, else build then save; appended batches land in its tail log")
+		backend = flag.String("index-backend", "auto", "spatial index backend for every table: auto (per-table choice from occupancy skew), grid, or rtree")
 		compact = flag.Float64("compact", vas.DefaultCompactFraction, "background-compaction threshold: delta/indexed-rows fraction that triggers a merge (<=0 disables)")
 		ttl     = flag.Duration("ttl", 0, "sliding-window retention: rows older than this are dropped by background compaction (0 disables; needs -ttl-col)")
 		ttlCol  = flag.String("ttl-col", "", "column holding each row's timestamp as float64 Unix seconds, for -ttl")
@@ -67,7 +68,7 @@ func main() {
 
 	opt := vas.Options{Passes: *passes}
 	start := time.Now()
-	cat, source := loadOrBuild(*snapDir, d, ks, *density, *compact, opt)
+	cat, source := loadOrBuild(*snapDir, d, ks, *density, *compact, *backend, opt)
 	cold := time.Since(start)
 	cat.RecordColdStart(source, cold)
 	fmt.Printf("catalog ready via %s in %s\n", source, cold.Round(time.Millisecond))
@@ -88,6 +89,7 @@ func main() {
 	fmt.Printf("serving on %s\n", *addr)
 	fmt.Printf("  GET  /v1/tables\n")
 	fmt.Printf("  GET  /v1/query?table=gps&budget=1600ms&minx=..&miny=..&maxx=..&maxy=..\n")
+	fmt.Printf("  GET  /v1/nearest?table=gps&x=..&y=..&k=10\n")
 	fmt.Printf("  GET  /v1/tile/gps/{z}/{x}/{y}.png?size=256&budget=1600ms\n")
 	fmt.Printf("  POST /v1/append/gps  (JSON {\"points\": [[x,y],...]})\n")
 	fmt.Printf("  POST /v1/delete/gps  (JSON {\"rect\": {...}} | {\"filters\": [...]} | {\"all\": true})\n")
@@ -133,10 +135,13 @@ func main() {
 // the restart — and otherwise rebuilds from scratch (saving the result
 // for the next start when a snapshot directory was given). The returned
 // source is "snapshot" or "rebuild", for the cold-start metric.
-func loadOrBuild(snapDir string, d *dataset.Dataset, ks []int, density bool, compact float64, opt vas.Options) (*vas.Catalog, string) {
+func loadOrBuild(snapDir string, d *dataset.Dataset, ks []int, density bool, compact float64, backend string, opt vas.Options) (*vas.Catalog, string) {
 	if snapDir != "" {
 		cat := vas.NewCatalog()
 		cat.SetCompactFraction(compact)
+		if err := cat.SetIndexBackend(backend); err != nil {
+			fail(err)
+		}
 		err := cat.LoadSnapshot(snapDir)
 		switch {
 		case err == nil && cat.SnapshotFresh("gps", d.Points, ks, density, opt):
@@ -154,6 +159,9 @@ func loadOrBuild(snapDir string, d *dataset.Dataset, ks []int, density bool, com
 	// snapshot can linger next to the new samples.
 	cat := vas.NewCatalog()
 	cat.SetCompactFraction(compact)
+	if err := cat.SetIndexBackend(backend); err != nil {
+		fail(err)
+	}
 	if err := cat.LoadTable("gps", d.Points); err != nil {
 		fail(err)
 	}

@@ -16,7 +16,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/geom"
-	"repro/internal/kdtree"
+	"repro/internal/strtree"
 
 	vas "repro"
 )
@@ -84,7 +84,7 @@ func main() {
 
 	// Sanity: counts must sum to the dataset size (every point routed to
 	// exactly one nearest sample point).
-	tree := kdtree.Build(ws.Points, nil)
+	tree := strtree.Build(ws.Points, nil)
 	_ = tree
 	fmt.Printf("counts sum=%d, dataset size=%d\n", ws.TotalCount(), d.Len())
 }

@@ -20,9 +20,9 @@ import (
 	"math/rand"
 
 	"repro/internal/geom"
-	"repro/internal/kdtree"
 	"repro/internal/proximity"
 	"repro/internal/stats"
+	"repro/internal/strtree"
 )
 
 // DefaultProbes is the paper's Monte Carlo budget: 1,000 random points.
@@ -80,7 +80,7 @@ func NewEvaluator(data []geom.Point, opt Options) (*Evaluator, error) {
 		}
 	}
 	// Nearest-neighbour membership tests against the full dataset.
-	tree := kdtree.Build(data, nil)
+	tree := strtree.Build(data, nil)
 	rng := rand.New(rand.NewSource(opt.Seed))
 	probes := make([]geom.Point, 0, n)
 	// Cap attempts so a pathological domain cannot loop forever; 1000×
@@ -126,11 +126,11 @@ func (e *Evaluator) Evaluate(sample []geom.Point) (Result, error) {
 	// Index the sample: for each probe we need Σ κ(x, si). With the
 	// Gaussian's 6ε support, only neighbours within support contribute
 	// above double-precision noise, so query the k-d tree for the ball.
-	tree := kdtree.Build(sample, nil)
+	tree := strtree.Build(sample, nil)
 	support := e.kern.Support()
 	logLosses := make([]float64, len(e.probes)) // log10 of point-loss
 	covered := 0
-	var scratch []kdtree.Neighbor
+	var scratch []strtree.Neighbor
 	for i, x := range e.probes {
 		scratch = scratch[:0]
 		scratch = tree.InRange(geom.RectAround(x, support), scratch)

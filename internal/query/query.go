@@ -222,6 +222,69 @@ func (pl *Planner) PlanCtx(ctx context.Context, req Request) (*Response, error) 
 	return resp, nil
 }
 
+// NearestRequest is one k-nearest-neighbors request.
+type NearestRequest struct {
+	// Table is the base table to answer from. kNN is always exact — the
+	// answer is k rows, so there is no latency/size tradeoff to plan,
+	// and the nearest neighbor in a sample is generally not the nearest
+	// neighbor in the data.
+	Table string
+	// XCol, YCol name the coordinate pair.
+	XCol, YCol string
+	// X, Y is the query point; K how many neighbors to return.
+	X, Y float64
+	K    int
+	// Filters restrict candidates exactly like query filters: a
+	// neighbor must satisfy every range predicate.
+	Filters []store.Pred
+}
+
+// NearestResponse is the kNN answer.
+type NearestResponse struct {
+	// Neighbors is ascending by (distance, row id); fewer than K when
+	// fewer rows match.
+	Neighbors []store.Neighbor
+	// PlanTime is the total in-engine time.
+	PlanTime time.Duration
+	// Scan reports how the candidate set was narrowed (tree descent
+	// leaves touched/pruned vs brute-force rows examined).
+	Scan store.ScanStats
+	// ServedRows is the base table's live row count before the search.
+	ServedRows int
+}
+
+// Nearest answers one kNN request.
+func (pl *Planner) Nearest(req NearestRequest) (*NearestResponse, error) {
+	return pl.NearestCtx(context.Background(), req)
+}
+
+// NearestCtx is Nearest with stage timing: the index descent (or
+// brute-force sweep) is recorded as the probe span on any trace ctx
+// carries.
+func (pl *Planner) NearestCtx(ctx context.Context, req NearestRequest) (*NearestResponse, error) {
+	tr := obs.FromContext(ctx)
+	start := time.Now()
+	if req.Table == "" || req.XCol == "" || req.YCol == "" {
+		return nil, errors.New("query: Table, XCol and YCol are required")
+	}
+	tr.SetTable(req.Table)
+	base, err := pl.st.Table(req.Table)
+	if err != nil {
+		return nil, err
+	}
+	servedRows := base.LiveRows()
+	ns, scanStats, err := base.NearestCtx(ctx, req.XCol, req.YCol, req.X, req.Y, req.K, req.Filters)
+	if err != nil {
+		return nil, err
+	}
+	return &NearestResponse{
+		Neighbors:  ns,
+		PlanTime:   time.Since(start),
+		Scan:       scanStats,
+		ServedRows: servedRows,
+	}, nil
+}
+
 // Choose resolves the sample the planner would serve for req without
 // scanning it. The tile server uses this to build cache keys: a cache hit
 // must not pay for a scan, so sample selection is separated from data

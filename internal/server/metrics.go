@@ -166,6 +166,8 @@ func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats, col
 	fmt.Fprintf(w, "vasserve_store_index_cells %d\n", idx.Cells)
 	ew.Head("vasserve_store_index_probes_total", "counter", "Viewport scans answered by an index probe.")
 	fmt.Fprintf(w, "vasserve_store_index_probes_total %d\n", idx.Probes)
+	ew.Head("vasserve_nearest_requests_total", "counter", "k-nearest-neighbour queries answered.")
+	fmt.Fprintf(w, "vasserve_nearest_requests_total %d\n", idx.NearestQueries)
 	ew.Head("vasserve_store_scan_fallbacks_total", "counter", "Viewport scans answered by the linear fallback.")
 	fmt.Fprintf(w, "vasserve_store_scan_fallbacks_total %d\n", idx.Fallbacks)
 	ew.Head("vasserve_store_filtered_probes_total", "counter", "Index probes carrying residual predicates.")
@@ -212,6 +214,31 @@ func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats, col
 		fmt.Fprintf(w, "vasserve_store_table_dead_rows{table=%q} %d\n", ti.Table, ti.DeadRows)
 		fmt.Fprintf(w, "vasserve_store_table_tail_rows{table=%q} %d\n", ti.Table, ti.TailRows)
 		fmt.Fprintf(w, "vasserve_store_table_delta_rows{table=%q} %d\n", ti.Table, ti.DeltaRows)
+	}
+	// Index-backend identity and the grid-occupancy evidence behind it:
+	// the backend gauge is 1 for the backend the table's primary index
+	// actually uses (grid or rtree), the occupancy pair is what auto mode
+	// decided from (row-weighted p99 cell population and its ratio to the
+	// mean; skew >= 8 flips a build to the R-tree).
+	if len(idx.PerTable) > 0 {
+		ew.Head("vasserve_store_index_backend", "gauge", "1 for the spatial-index backend serving the table (grid or rtree).")
+		for _, ti := range idx.PerTable {
+			if ti.Backend != "" {
+				fmt.Fprintf(w, "vasserve_store_index_backend{table=%q,backend=%q} 1\n", ti.Table, ti.Backend)
+			}
+		}
+		ew.Head("vasserve_store_index_occupancy_p99", "gauge", "Row-weighted 99th-percentile grid-cell population, per table.")
+		for _, ti := range idx.PerTable {
+			if ti.Backend != "" {
+				fmt.Fprintf(w, "vasserve_store_index_occupancy_p99{table=%q} %g\n", ti.Table, ti.CellOccupancyP99)
+			}
+		}
+		ew.Head("vasserve_store_index_skew_ratio", "gauge", "Occupancy p99 over mean cell population, per table (>=8 selects the R-tree in auto mode).")
+		for _, ti := range idx.PerTable {
+			if ti.Backend != "" {
+				fmt.Fprintf(w, "vasserve_store_index_skew_ratio{table=%q} %g\n", ti.Table, ti.SkewRatio)
+			}
+		}
 	}
 	ew.Head("vasserve_ingest_batches_total", "counter", "Append batches accepted.")
 	fmt.Fprintf(w, "vasserve_ingest_batches_total %d\n", m.ingestBatches.Load())

@@ -7,6 +7,7 @@
 //
 //	GET /v1/tables                      catalog listing (tables + samples)
 //	GET /v1/query                       budget-bound point query (JSON)
+//	GET /v1/nearest                     k-nearest-neighbour query (JSON)
 //	GET /v1/tile/{table}/{z}/{x}/{y}.png  rendered PNG tile
 //	POST /v1/append/{table}             live row ingest (JSON batch)
 //	POST /v1/delete/{table}             tombstone delete (rect and/or predicates)
@@ -156,7 +157,7 @@ func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
 		st:          st,
 		planner:     planner,
 		cache:       tilecache.New(cfg.TileCacheBytes),
-		metrics:     newMetrics("tables", "query", "tile", "append", "delete", "healthz", "metrics", "debug"),
+		metrics:     newMetrics("tables", "query", "nearest", "tile", "append", "delete", "healthz", "metrics", "debug"),
 		boundsCache: make(map[string]geom.Rect),
 		epochs:      make(map[string]uint64),
 	}
@@ -164,6 +165,7 @@ func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/tables", s.instrument("tables", s.handleTables))
 	mux.HandleFunc("GET /v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("GET /v1/nearest", s.instrument("nearest", s.handleNearest))
 	mux.HandleFunc("GET /v1/tile/{table}/{z}/{x}/{y}", s.instrument("tile", s.handleTile))
 	mux.HandleFunc("POST /v1/append/{table}", s.instrument("append", s.handleAppend))
 	mux.HandleFunc("POST /v1/delete/{table}", s.instrument("delete", s.handleDelete))
@@ -252,6 +254,8 @@ func httpError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, query.ErrNoSampleFits):
 		status = http.StatusUnprocessableEntity
+	case errors.Is(err, store.ErrBadNearest):
+		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -614,6 +618,96 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out.Points[i] = [2]float64{p.X, p.Y}
 	}
 	tr := obs.FromContext(r.Context())
+	tr.SetScan(out.Scan)
+	sp := tr.StartSpan(obs.StageEncode)
+	writeJSON(w, http.StatusOK, out)
+	sp.End()
+}
+
+// ---- /v1/nearest ----
+
+// NeighborJSON is one result row of /v1/nearest, nearest-first.
+type NeighborJSON struct {
+	Row  int     `json:"row"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	Dist float64 `json:"dist"`
+}
+
+// NearestResponse is the JSON answer to /v1/nearest.
+type NearestResponse struct {
+	Table     string         `json:"table"`
+	K         int            `json:"k"`
+	Neighbors []NeighborJSON `json:"neighbors"`
+	// ServedRows is the live row count of the base table at query time.
+	ServedRows int `json:"servedRows"`
+	// PlanMillis is the engine-side plan+search time.
+	PlanMillis float64 `json:"planMillis"`
+	// Scan reports how the search ran — best-first tree descent (index
+	// probe) vs brute-force sweep, and the leaf pruning achieved.
+	Scan ScanStatsJSON `json:"scan"`
+}
+
+// handleNearest serves GET /v1/nearest?table=&x=&y=&k=&filter=col:lo:hi —
+// the k nearest live rows to (x, y) by Euclidean distance, filtered by
+// the optional predicates. Always exact against the base table: a kNN
+// answer is k specific rows, so there is no sample/budget tradeoff to
+// make. Tree-backed tables answer with a best-first branch-and-bound
+// descent; grid-backed and unindexed tables fall back to a brute-force
+// sweep (both report their work in scan).
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	table := q.Get("table")
+	if table == "" {
+		badRequest(w, "missing table parameter")
+		return
+	}
+	xRaw, yRaw := q.Get("x"), q.Get("y")
+	if xRaw == "" || yRaw == "" {
+		badRequest(w, "missing x or y parameter")
+		return
+	}
+	x, errX := strconv.ParseFloat(xRaw, 64)
+	y, errY := strconv.ParseFloat(yRaw, 64)
+	if errX != nil || errY != nil {
+		badRequest(w, "x and y must be numbers")
+		return
+	}
+	k := 1
+	if raw := q.Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			badRequest(w, "k must be a positive integer")
+			return
+		}
+		k = v
+	}
+	filters, _, err := parseFilters(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	resp, err := s.planner.NearestCtx(r.Context(), query.NearestRequest{
+		Table: table, XCol: s.cfg.XCol, YCol: s.cfg.YCol,
+		X: x, Y: y, K: k, Filters: filters,
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	out := NearestResponse{
+		Table:      table,
+		K:          k,
+		Neighbors:  make([]NeighborJSON, len(resp.Neighbors)),
+		ServedRows: resp.ServedRows,
+		PlanMillis: float64(resp.PlanTime) / float64(time.Millisecond),
+		Scan:       scanStatsJSON(resp.Scan),
+	}
+	for i, n := range resp.Neighbors {
+		out.Neighbors[i] = NeighborJSON{Row: n.Row, X: n.X, Y: n.Y, Dist: n.Dist}
+	}
+	tr := obs.FromContext(r.Context())
+	tr.SetTable(table)
 	tr.SetScan(out.Scan)
 	sp := tr.StartSpan(obs.StageEncode)
 	writeJSON(w, http.StatusOK, out)

@@ -842,3 +842,83 @@ func TestEmptyAppendIsNoOp(t *testing.T) {
 		t.Errorf("both-shapes append = %d, want 400", rec.Code)
 	}
 }
+
+func TestNearestEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	// The base table is a diagonal (i, i); from (10.2, 10.2) the nearest
+	// three rows are 10, 11, 9 in that order.
+	rec := get(t, s, "/v1/nearest?table=base&x=10.2&y=10.2&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var out NearestResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Table != "base" || out.K != 3 || out.ServedRows != 400 {
+		t.Errorf("response envelope = %+v", out)
+	}
+	if len(out.Neighbors) != 3 {
+		t.Fatalf("neighbors = %+v, want 3", out.Neighbors)
+	}
+	for i, want := range []int{10, 11, 9} {
+		if out.Neighbors[i].Row != want {
+			t.Errorf("neighbor %d = row %d, want %d", i, out.Neighbors[i].Row, want)
+		}
+	}
+	for i := 1; i < len(out.Neighbors); i++ {
+		if out.Neighbors[i].Dist < out.Neighbors[i-1].Dist {
+			t.Errorf("neighbors not ascending by distance: %+v", out.Neighbors)
+		}
+	}
+	// A pushdown filter excludes rows below x=11.
+	rec = get(t, s, "/v1/nearest?table=base&x=10.2&y=10.2&k=2&filter=x:11:")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("filtered status = %d, body %s", rec.Code, rec.Body)
+	}
+	out = NearestResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Neighbors) != 2 || out.Neighbors[0].Row != 11 || out.Neighbors[1].Row != 12 {
+		t.Errorf("filtered neighbors = %+v, want rows 11, 12", out.Neighbors)
+	}
+	// k defaults to 1.
+	rec = get(t, s, "/v1/nearest?table=base&x=42&y=42")
+	out = NearestResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Neighbors) != 1 || out.Neighbors[0].Row != 42 || out.Neighbors[0].Dist != 0 {
+		t.Errorf("default-k neighbors = %+v, want row 42 at distance 0", out.Neighbors)
+	}
+
+	// Error surface.
+	for url, want := range map[string]int{
+		"/v1/nearest?x=1&y=1":                     http.StatusBadRequest, // no table
+		"/v1/nearest?table=base&y=1":              http.StatusBadRequest, // no x
+		"/v1/nearest?table=base&x=zap&y=1":        http.StatusBadRequest,
+		"/v1/nearest?table=base&x=1&y=1&k=0":      http.StatusBadRequest,
+		"/v1/nearest?table=base&x=1&y=1&k=-3":     http.StatusBadRequest,
+		"/v1/nearest?table=base&x=1&y=1&filter=x": http.StatusBadRequest,
+		"/v1/nearest?table=nope&x=1&y=1":          http.StatusNotFound,
+	} {
+		if rec := get(t, s, url); rec.Code != want {
+			t.Errorf("GET %s = %d, want %d (body %s)", url, rec.Code, want, rec.Body)
+		}
+	}
+
+	// The kNN counter and backend gauges surface on /metrics.
+	mrec := get(t, s, "/metrics")
+	body := mrec.Body.String()
+	for _, want := range []string{
+		"vasserve_nearest_requests_total 3",
+		`vasserve_requests_total{route="nearest"}`,
+		"vasserve_store_index_backend{table=",
+		"vasserve_store_index_skew_ratio{table=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -32,6 +32,12 @@ func fuzzSeeds(t testing.TB) [][]byte {
 	for i := 16; i < 24; i++ {
 		hostileLen[i] = 0xFF
 	}
+	tree, _ := validTreeSnapshotBytes(t)
+	treeTruncated := tree[:len(tree)*3/5]
+	treeFlipped := append([]byte(nil), tree...)
+	treeFlipped[len(treeFlipped)/2] ^= 0x10
+	treeDowngraded := append([]byte(nil), tree...)
+	treeDowngraded[4] = 2 // v2 header on a tree-bearing v3 body: rejected
 	return [][]byte{
 		valid,
 		truncated,
@@ -42,6 +48,10 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		hostileLen,
 		[]byte(Magic),
 		nil,
+		tree,
+		treeTruncated,
+		treeFlipped,
+		treeDowngraded,
 	}
 }
 

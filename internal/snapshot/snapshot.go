@@ -13,7 +13,8 @@
 //	section: uint32 kind | uint64 payload length | payload | uint32 CRC32(payload)
 //
 // Section kinds: 1 = catalog metadata (sample lineage + provenance),
-// 2 = one table. Payloads are encoded with internal/binio (the same
+// 2 = one table, 3 = one table's tombstone set (v2+), 4 = one table's
+// R-tree indexes (v3+). Payloads are encoded with internal/binio (the same
 // codec the dataset files use). Every section carries its own IEEE
 // CRC32, so a flipped bit anywhere is detected before any of the
 // section's content is trusted; length prefixes are validated against
@@ -49,16 +50,19 @@ const (
 	Magic = "VCAT"
 	// FormatVersion is bumped on any incompatible layout change; the
 	// decoder refuses other versions rather than misparsing them.
-	// v2 added tombstone sections (kind 3); every other section is
-	// byte-identical to v1, so the decoder still accepts v1 files — old
-	// snapshots load with an empty tombstone set.
-	FormatVersion = 2
+	// v2 added tombstone sections (kind 3); v3 added tree-index sections
+	// (kind 4) for R-tree-backed tables. Every pre-existing section is
+	// byte-identical across versions, so the decoder still accepts v1
+	// and v2 files — old snapshots load with an empty tombstone set and
+	// grid indexes only.
+	FormatVersion = 3
 	// minFormatVersion is the oldest version Read still accepts.
 	minFormatVersion = 1
 
 	sectionCatalog   = 1
 	sectionTable     = 2
 	sectionTombstone = 3
+	sectionTree      = 4
 
 	// Structural caps: generous for any real catalog, small enough that
 	// a hostile header cannot direct absurd loops or allocations (sizes
@@ -126,13 +130,16 @@ func Write(w io.Writer, c *Catalog) error {
 	bw := binio.NewWriter(w)
 	bw.Raw([]byte(Magic))
 	bw.U32(FormatVersion)
-	ntomb := 0
+	ntomb, ntree := 0, 0
 	for _, ts := range c.Tables {
 		if len(ts.Dead) > 0 {
 			ntomb++
 		}
+		if len(ts.TreeIndexes) > 0 {
+			ntree++
+		}
 	}
-	bw.U32(uint32(1 + len(c.Tables) + ntomb))
+	bw.U32(uint32(1 + len(c.Tables) + ntomb + ntree))
 	var payload bytes.Buffer
 	var encErr error
 
@@ -207,6 +214,47 @@ func Write(w io.Writer, c *Catalog) error {
 				pw.Bools(ix.ZNaN)
 			}
 		})
+		// Tree indexes ride in their own section (like tombstones below)
+		// so the table encoding stays byte-identical to v1: a catalog of
+		// grid-backed tables round-trips to the same table bytes it
+		// always has.
+		if len(ts.TreeIndexes) > 0 {
+			encodeSection(sectionTree, func(pw *binio.Writer) {
+				pw.String(ts.Name)
+				pw.U32(uint32(len(ts.TreeIndexes)))
+				for _, ix := range ts.TreeIndexes {
+					pw.U32(uint32(ix.XCol))
+					pw.U32(uint32(ix.YCol))
+					pw.F64(ix.Bounds.MinX)
+					pw.F64(ix.Bounds.MinY)
+					pw.F64(ix.Bounds.MaxX)
+					pw.F64(ix.Bounds.MaxY)
+					pw.U32(uint32(ix.NX))
+					pw.U32(uint32(ix.NY))
+					pw.F64(ix.CellW)
+					pw.F64(ix.CellH)
+					pw.U64(uint64(ix.NumRows))
+					pw.F64(ix.OccP99)
+					pw.F64(ix.Skew)
+					pw.I32s(ix.RowID)
+					pw.I32s(ix.LeafOff)
+					pw.F64s(ix.LeafMBR)
+					pw.I32s(ix.Extra)
+					pw.F64s(ix.NodeMBR)
+					pw.I32s(ix.NodeLo)
+					pw.I32s(ix.NodeHi)
+					pw.I32s(ix.NodeLeafLo)
+					pw.I32s(ix.NodeLeafHi)
+					pw.Bools(ix.NodeLeafKids)
+					pw.F64s(ix.ZMin)
+					pw.F64s(ix.ZMax)
+					pw.Bools(ix.ZNaN)
+					pw.F64s(ix.NZMin)
+					pw.F64s(ix.NZMax)
+					pw.Bools(ix.NZNaN)
+				}
+			})
+		}
 		// Tombstones ride in their own section (rather than inside the
 		// table payload) so the table encoding stays byte-identical to
 		// v1: a catalog with no pending deletions round-trips to the
@@ -255,10 +303,11 @@ func Read(r io.Reader, size int64) (*Catalog, error) {
 	}
 	cat := &Catalog{}
 	sawCatalog := false
-	// Tombstone sections reference their table by name; collect them and
-	// attach after every section is read, so a file that orders them
-	// before their table still loads.
+	// Tombstone and tree-index sections reference their table by name;
+	// collect them and attach after every section is read, so a file
+	// that orders them before their table still loads.
 	tombstones := make(map[string][]int32)
+	trees := make(map[string][]store.TreeIndexSnapshot)
 	for si := uint32(0); si < nsections; si++ {
 		kind := br.U32()
 		plen := br.U64()
@@ -307,6 +356,18 @@ func Read(r io.Reader, size int64) (*Catalog, error) {
 				return nil, corrupt("duplicate tombstone section for table %q", name)
 			}
 			tombstones[name] = dead
+		case sectionTree:
+			if version < 3 {
+				return nil, corrupt("section %d: tree-index section in a v%d file", si, version)
+			}
+			name, tixs, err := decodeTreeSection(pr, si)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := trees[name]; dup {
+				return nil, corrupt("duplicate tree-index section for table %q", name)
+			}
+			trees[name] = tixs
 		default:
 			return nil, corrupt("section %d has unknown kind %d", si, kind)
 		}
@@ -331,6 +392,19 @@ func Read(r io.Reader, size int64) (*Catalog, error) {
 		}
 		if !attached {
 			return nil, corrupt("tombstone section for unknown table %q", name)
+		}
+	}
+	for name, tixs := range trees {
+		attached := false
+		for i := range cat.Tables {
+			if cat.Tables[i].Name == name {
+				cat.Tables[i].TreeIndexes = tixs
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			return nil, corrupt("tree-index section for unknown table %q", name)
 		}
 	}
 	return cat, nil
@@ -458,6 +532,62 @@ func decodeTableSection(pr *binio.Reader) (store.TableSnapshot, error) {
 		return ts, corrupt("table %q section: %v", ts.Name, err)
 	}
 	return ts, nil
+}
+
+func decodeTreeSection(pr *binio.Reader, si uint32) (string, []store.TreeIndexSnapshot, error) {
+	name := pr.String(maxNameLen)
+	ntree := pr.U32()
+	if pr.Err() == nil && ntree > maxIndexes {
+		return name, nil, corrupt("table %q claims %d tree indexes, limit %d", name, ntree, maxIndexes)
+	}
+	var tixs []store.TreeIndexSnapshot
+	for i := uint32(0); i < ntree && pr.Err() == nil; i++ {
+		var ix store.TreeIndexSnapshot
+		ix.XCol = int(int32(pr.U32()))
+		ix.YCol = int(int32(pr.U32()))
+		ix.Bounds.MinX = pr.F64()
+		ix.Bounds.MinY = pr.F64()
+		ix.Bounds.MaxX = pr.F64()
+		ix.Bounds.MaxY = pr.F64()
+		ix.NX = int(int32(pr.U32()))
+		ix.NY = int(int32(pr.U32()))
+		ix.CellW = pr.F64()
+		ix.CellH = pr.F64()
+		n := pr.U64()
+		if pr.Err() != nil {
+			break
+		}
+		if n > math.MaxInt32 {
+			return name, nil, corrupt("table %q tree index %d claims %d rows", name, i, n)
+		}
+		ix.NumRows = int(n)
+		ix.OccP99 = pr.F64()
+		ix.Skew = pr.F64()
+		ix.RowID = pr.I32s()
+		ix.LeafOff = pr.I32s()
+		ix.LeafMBR = pr.F64s()
+		ix.Extra = pr.I32s()
+		ix.NodeMBR = pr.F64s()
+		ix.NodeLo = pr.I32s()
+		ix.NodeHi = pr.I32s()
+		ix.NodeLeafLo = pr.I32s()
+		ix.NodeLeafHi = pr.I32s()
+		ix.NodeLeafKids = pr.Bools()
+		ix.ZMin = pr.F64s()
+		ix.ZMax = pr.F64s()
+		ix.ZNaN = pr.Bools()
+		ix.NZMin = pr.F64s()
+		ix.NZMax = pr.F64s()
+		ix.NZNaN = pr.Bools()
+		if pr.Err() != nil {
+			break
+		}
+		tixs = append(tixs, ix)
+	}
+	if err := pr.Err(); err != nil {
+		return name, nil, corrupt("tree-index section %d (table %q): %v", si, name, err)
+	}
+	return name, tixs, nil
 }
 
 // Save atomically writes c to path: the bytes go to a temp file in the

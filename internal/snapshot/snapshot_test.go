@@ -50,6 +50,12 @@ func randomStore(t testing.TB, rng *rand.Rand) (*store.Store, []string) {
 			t.Fatal(err)
 		}
 		if ti != 1 { // leave one table unindexed when there are several
+			if rng.Intn(2) == 0 {
+				// Exercise the R-tree backend's snapshot path too.
+				if err := tb.SetIndexBackend(store.BackendRTree); err != nil {
+					t.Fatal(err)
+				}
+			}
 			if err := tb.IndexOn("x", "y"); err != nil {
 				t.Fatal(err)
 			}
@@ -295,6 +301,238 @@ func validSnapshotBytes(t testing.TB) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// validTreeSnapshotBytes is validSnapshotBytes with the base table
+// forced onto the R-tree backend, so the file carries a v3 tree-index
+// section. Returns the bytes and the store they encode.
+func validTreeSnapshotBytes(t testing.TB) ([]byte, *store.Store) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	st := store.New()
+	tb, err := st.CreateTable("a_tbl", "x", "y", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	xs, ys, vs := make([]float64, n), make([]float64, n), make([]float64, n)
+	for i := range xs {
+		// Heavily clustered so a tree is the natural backend; a few NaN
+		// rows keep the extras path in the file.
+		xs[i], ys[i], vs[i] = rng.NormFloat64()*0.5, rng.NormFloat64()*0.5, rng.Float64()*100
+		if i%10 == 0 {
+			xs[i], ys[i] = rng.Float64()*200-100, rng.Float64()*200-100
+		}
+		if i%41 == 0 {
+			xs[i] = math.NaN()
+		}
+	}
+	if err := tb.BulkLoad(xs, ys, vs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetIndexBackend(store.BackendRTree); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.IndexOn("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Append(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.DeleteWhere([]store.Pred{{Column: "v", Min: 40, Max: 45}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, snapshotStore(t, st, nil)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), st
+}
+
+// TestFormatV3TreeCompat pins the version gate for tree-index sections:
+// a v3 file with a tree-backed table round-trips (same scans, same kNN
+// answers, backend preserved), a grid-only catalog stamped v2 still
+// loads, and a tree section stamped v2 is corruption, not data.
+func TestFormatV3TreeCompat(t *testing.T) {
+	t.Run("tree round trip", func(t *testing.T) {
+		data, orig := validTreeSnapshotBytes(t)
+		cat, err := Read(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatalf("tree snapshot rejected: %v", err)
+		}
+		fresh := restoreStore(t, cat)
+		fStats := fresh.IndexStats()
+		if len(fStats.PerTable) != 1 || fStats.PerTable[0].Backend != store.BackendRTree {
+			t.Fatalf("restored backend: %+v", fStats.PerTable)
+		}
+		ot, _ := orig.Table("a_tbl")
+		ft, err := fresh.Table("a_tbl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for probe := 0; probe < 20; probe++ {
+			r := geom.NewRect(
+				geom.Pt(rng.NormFloat64()*30, rng.NormFloat64()*30),
+				geom.Pt(rng.NormFloat64()*30, rng.NormFloat64()*30),
+			)
+			var preds []store.Pred
+			if probe%2 == 1 {
+				preds = append(preds, store.Pred{Column: "v", Min: 10, Max: 70})
+			}
+			want, wantSt, err := ot.ScanRectWhere("x", "y", r, preds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotSt, err := ft.ScanRectWhere("x", "y", r, preds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(want.Indices(), got.Indices()) || wantSt != gotSt {
+				t.Fatalf("probe %d: scans diverge after restore (%+v vs %+v)", probe, wantSt, gotSt)
+			}
+		}
+		// kNN must answer identically at the same query points.
+		for probe := 0; probe < 20; probe++ {
+			x, y := rng.NormFloat64()*10, rng.NormFloat64()*10
+			wn, _, err := ot.Nearest("x", "y", x, y, 7, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gn, _, err := ft.Nearest("x", "y", x, y, 7, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wn) != len(gn) {
+				t.Fatalf("kNN at (%g,%g): %d vs %d results", x, y, len(wn), len(gn))
+			}
+			for i := range wn {
+				if wn[i] != gn[i] {
+					t.Fatalf("kNN at (%g,%g) result %d: %+v vs %+v", x, y, i, wn[i], gn[i])
+				}
+			}
+		}
+	})
+	t.Run("grid-only catalog stamped v2 loads", func(t *testing.T) {
+		st := store.New()
+		tb, err := st.CreateTable("a_tbl", "x", "y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.BulkLoad([]float64{1, 2, 3}, []float64{4, 5, 6}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.IndexOn("x", "y"); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, snapshotStore(t, st, nil)); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		data[4] = 2
+		if _, err := Read(bytes.NewReader(data), int64(len(data))); err != nil {
+			t.Fatalf("v2 grid snapshot rejected: %v", err)
+		}
+	})
+	t.Run("tree section in v2 rejected", func(t *testing.T) {
+		data, _ := validTreeSnapshotBytes(t)
+		data = append([]byte(nil), data...)
+		data[4] = 2
+		if _, err := Read(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("tree-bearing v2 file loaded: err %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// TestDecodeRejectsTreeCorruption repeats the corruption treatment on a
+// tree-bearing v3 file: truncations at every boundary region and
+// single-bit flips anywhere must error — never panic, never publish.
+func TestDecodeRejectsTreeCorruption(t *testing.T) {
+	valid, _ := validTreeSnapshotBytes(t)
+	if _, err := Read(bytes.NewReader(valid), int64(len(valid))); err != nil {
+		t.Fatalf("valid tree snapshot rejected: %v", err)
+	}
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(valid); cut += 1 + cut/7 {
+			data := valid[:cut]
+			cat, err := Read(bytes.NewReader(data), int64(len(data)))
+			if err == nil {
+				t.Fatalf("truncation at %d/%d bytes was accepted (%d tables)", cut, len(valid), len(cat.Tables))
+			}
+		}
+	})
+	t.Run("bit flips", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 400; trial++ {
+			data := append([]byte(nil), valid...)
+			pos := rng.Intn(len(data))
+			data[pos] ^= 1 << rng.Intn(8)
+			cat, err := Read(bytes.NewReader(data), int64(len(data)))
+			if err == nil {
+				t.Fatalf("bit flip at byte %d was accepted (%d tables)", pos, len(cat.Tables))
+			}
+		}
+	})
+	// Structurally intact but semantically hostile: flip bits in the
+	// decoded tree arrays and require TableFromSnapshot to reject or
+	// survive them — the fuzz invariant, pinned on the real payload.
+	t.Run("mutated tree structure", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(13))
+		for trial := 0; trial < 200; trial++ {
+			cat, err := Read(bytes.NewReader(valid), int64(len(valid)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range cat.Tables {
+				for j := range cat.Tables[i].TreeIndexes {
+					ix := &cat.Tables[i].TreeIndexes[j]
+					switch rng.Intn(6) {
+					case 0:
+						if len(ix.RowID) > 0 {
+							ix.RowID[rng.Intn(len(ix.RowID))] = int32(rng.Intn(1 << 20))
+						}
+					case 1:
+						if len(ix.LeafOff) > 0 {
+							ix.LeafOff[rng.Intn(len(ix.LeafOff))] += int32(rng.Intn(64)) - 32
+						}
+					case 2:
+						if len(ix.NodeLo) > 0 {
+							k := rng.Intn(len(ix.NodeLo))
+							ix.NodeLo[k] = int32(rng.Intn(1 << 16))
+							ix.NodeHi[k] = int32(rng.Intn(1 << 16))
+						}
+					case 3:
+						if len(ix.NodeLeafLo) > 0 {
+							k := rng.Intn(len(ix.NodeLeafLo))
+							ix.NodeLeafLo[k] = int32(rng.Intn(1 << 16))
+							ix.NodeLeafHi[k] = int32(rng.Intn(1 << 16))
+						}
+					case 4:
+						if len(ix.NodeLeafKids) > 0 {
+							k := rng.Intn(len(ix.NodeLeafKids))
+							ix.NodeLeafKids[k] = !ix.NodeLeafKids[k]
+						}
+					case 5:
+						ix.NumRows += rng.Intn(40) - 20
+					}
+				}
+				// Must reject or produce a well-formed table; the scan
+				// below panics (failing the test) if validation let a
+				// descent-breaking structure through.
+				tb, err := store.TableFromSnapshot(cat.Tables[i])
+				if err != nil {
+					continue
+				}
+				if _, _, err := tb.ScanRectWhere("x", "y", geom.Rect{MinX: -5, MinY: -5, MaxX: 5, MaxY: 5}, nil); err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := tb.Nearest("x", "y", 0, 0, 3, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // TestFormatV1Compat: a v1 file is a v2 file without tombstone

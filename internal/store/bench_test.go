@@ -418,7 +418,12 @@ func benchIngestTable(b *testing.B, tail int, stripDelta bool) *Table {
 	if stripDelta {
 		d := tb.snapshot()
 		for _, ix := range d.indexes {
-			ix.delta = nil
+			switch cx := ix.(type) {
+			case *rectIndex:
+				cx.delta = nil
+			case *treeIndex:
+				cx.delta = nil
+			}
 		}
 	}
 	// Drop the garbage of earlier sub-benchmarks' tables before the

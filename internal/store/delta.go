@@ -57,7 +57,7 @@ const compactMinRows = 256
 // and only briefly.
 type deltaIndex struct {
 	mu    sync.RWMutex
-	base  *rectIndex // immutable geometry donor; covers rows [0, base.n)
+	base  *gridGeom // immutable geometry donor; covers rows [0, base.n)
 	ncols int
 	rows  int // absorbed rows: ids [base.n, base.n+rows)
 	// saturated stops absorption permanently when a row id cannot be
@@ -86,7 +86,7 @@ type deltaIndex struct {
 	znan       []bool
 }
 
-func newDeltaIndex(base *rectIndex, ncols int) *deltaIndex {
+func newDeltaIndex(base *gridGeom, ncols int) *deltaIndex {
 	return &deltaIndex{base: base, ncols: ncols}
 }
 
@@ -338,8 +338,8 @@ func (t *Table) maybeCompact() {
 		trigger = true
 	}
 	for _, ix := range d.indexes {
-		tail := d.n - ix.n
-		if tail >= compactMinRows && float64(tail) >= frac*float64(ix.n) {
+		tail := d.n - ix.rows()
+		if tail >= compactMinRows && float64(tail) >= frac*float64(ix.rows()) {
 			trigger = true
 			break
 		}
@@ -386,7 +386,7 @@ func (t *Table) Compact() {
 	deadCount := d.deadCount()
 	need := deadCount > 0
 	for _, ix := range d.indexes {
-		if ix.n < d.n {
+		if ix.rows() < d.n {
 			need = true
 			break
 		}
@@ -401,9 +401,10 @@ func (t *Table) Compact() {
 		t.compactReclaim(d, pairs, deadCount, start)
 		return
 	}
-	built := make(map[[2]int]*rectIndex, len(pairs))
+	mode := t.backendMode.Load()
+	built := make(map[[2]int]spatialIndex, len(pairs))
 	for _, p := range pairs {
-		if ix := buildRectIndex(p[0], p[1], d.cols, d.n); ix != nil {
+		if ix := buildSpatialIndex(p[0], p[1], d.cols, d.n, mode); ix != nil {
 			built[p] = ix
 		}
 	}
@@ -415,11 +416,11 @@ func (t *Table) Compact() {
 		t.mu.Unlock()
 		return
 	}
-	indexes := make([]*rectIndex, 0, len(pairs))
+	indexes := make([]spatialIndex, 0, len(pairs))
 	for _, p := range pairs {
 		nw := built[p]
 		old := cur.indexFor(p[0], p[1])
-		if nw == nil || (old != nil && old.n >= nw.n) {
+		if nw == nil || (old != nil && old.rows() >= nw.rows()) {
 			// A concurrent IndexOn absorbed at least as much; keep it.
 			if old != nil {
 				indexes = append(indexes, old)
@@ -429,7 +430,7 @@ func (t *Table) Compact() {
 		// Rows appended while we were building are already in cur; bin
 		// them into the fresh delta so the new generation starts fully
 		// covered.
-		nw.delta.absorbRange(cur.cols, nw.n, cur.n)
+		nw.deltaIdx().absorbRange(cur.cols, nw.rows(), cur.n)
 		indexes = append(indexes, nw)
 	}
 	t.data = &tableData{cols: cur.cols, n: cur.n, indexes: indexes, dead: cur.dead, loadGen: cur.loadGen}
@@ -459,9 +460,10 @@ func (t *Table) compactReclaim(d *tableData, pairs [][2]int, deadCount int, star
 		gatherVals(out, alive, c)
 		newCols[i] = out
 	}
-	built := make([]*rectIndex, 0, len(pairs))
+	mode := t.backendMode.Load()
+	built := make([]spatialIndex, 0, len(pairs))
 	for _, p := range pairs {
-		if ix := buildRectIndex(p[0], p[1], newCols, nn); ix != nil {
+		if ix := buildSpatialIndex(p[0], p[1], newCols, nn, mode); ix != nil {
 			built = append(built, ix)
 		}
 	}
@@ -482,7 +484,7 @@ func (t *Table) compactReclaim(d *tableData, pairs [][2]int, deadCount int, star
 		}
 	}
 	for _, ix := range built {
-		ix.delta.absorbRange(newCols, ix.n, nn+tail)
+		ix.deltaIdx().absorbRange(newCols, ix.rows(), nn+tail)
 	}
 	t.data = &tableData{cols: newCols, n: nn + tail, indexes: built, loadGen: cur.loadGen + 1}
 	t.mu.Unlock()

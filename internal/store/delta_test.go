@@ -240,11 +240,11 @@ func TestAutoCompactTriggers(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		d := tb.snapshot()
-		if len(d.indexes) == 1 && d.indexes[0].n == d.n {
+		if len(d.indexes) == 1 && d.indexes[0].rows() == d.n {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("auto-compaction never fired: index covers %d of %d rows", d.indexes[0].n, d.n)
+			t.Fatalf("auto-compaction never fired: index covers %d of %d rows", d.indexes[0].rows(), d.n)
 		}
 		time.Sleep(time.Millisecond)
 	}

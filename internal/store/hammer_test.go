@@ -97,6 +97,62 @@ func TestFilteredScanHammer(t *testing.T) {
 		}
 	}()
 
+	// Backend churner: flips the index backend policy under the live
+	// appends, compactions, and scans, forcing grid→tree→auto rebuilds
+	// to publish mid-flight. Readers must stay exact across every flip.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		modes := []string{BackendRTree, BackendGrid, BackendAuto}
+		for i := 0; time.Now().Before(deadline); i++ {
+			if err := tb.SetIndexBackend(modes[i%len(modes)]); err != nil {
+				report(err)
+				return
+			}
+			if err := tb.IndexOn("x", "y"); err != nil {
+				report(err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// kNN reader: structural assertions under churn — results ascending
+	// by (distance, row), within the snapshot, matching the predicate.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(55))
+		for time.Now().Before(deadline) {
+			preds := []Pred{{Column: "m", Min: 20, Max: 80}}
+			ns, _, err := tb.Nearest("x", "y", rng.Float64()*100, rng.Float64()*100, 12, preds)
+			if err != nil {
+				report(err)
+				return
+			}
+			nAfter := tb.NumRows()
+			mc, err := tb.Column("m")
+			if err != nil {
+				report(err)
+				return
+			}
+			for i, nb := range ns {
+				if nb.Row < 0 || nb.Row >= nAfter {
+					t.Errorf("kNN row %d outside snapshot (n %d)", nb.Row, nAfter)
+					return
+				}
+				if i > 0 && (ns[i-1].Dist > nb.Dist || (ns[i-1].Dist == nb.Dist && ns[i-1].Row >= nb.Row)) {
+					t.Errorf("kNN results out of order at %d: %+v then %+v", i, ns[i-1], nb)
+					return
+				}
+				if mc[nb.Row] < 20 || mc[nb.Row] > 80 {
+					t.Errorf("kNN row %d m=%g fails predicate", nb.Row, mc[nb.Row])
+					return
+				}
+			}
+		}
+	}()
+
 	// Compactor: folds the delta into fresh generations while scans and
 	// appends are in flight — the background-compaction publish racing
 	// the read path.

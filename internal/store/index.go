@@ -25,18 +25,95 @@ const (
 	indexMaxDim = 1024
 )
 
+// spatialIndex is what the read path needs from a spatial index backend:
+// a rect probe that emits row ids through the selection-vector kernels,
+// zone-map pruning and bulk emission, a delta for post-build appends, and
+// the identity/stats accessors the generation machinery and /metrics
+// consume. Two implementations exist: rectIndex (the uniform CSR grid)
+// and treeIndex (the packed STR R-tree, strtree.go). Implementations are
+// immutable after construction except for their delta side structure,
+// matching the generation-publish model.
+type spatialIndex interface {
+	// pair returns the (x, y) column ordinals the index is built over.
+	pair() (xi, yi int)
+	// rows returns how many rows the index covers; rows at or beyond it
+	// take the table's unindexed tail path.
+	rows() int
+	// extent returns the finite bounding rectangle of the binned rows
+	// (empty when nothing was binnable).
+	extent() geom.Rect
+	// extraCount returns how many indexed rows have a non-finite
+	// coordinate (they are filtered per probe, outside the structure).
+	extraCount() int
+	// cells returns the pruning granularity — grid cells or tree leaves —
+	// for the /metrics cell gauge.
+	cells() int
+	// backend names the implementation ("grid" or "rtree") for stats.
+	backend() string
+	// occ returns the cell-occupancy p99 and skew ratio (p99 over mean)
+	// measured over the build-time grid binning — the statistics the
+	// backend planner chose from.
+	occ() (p99, skew float64)
+	// coversAll reports whether r trivially contains every indexed row,
+	// enabling the dense-range fast path.
+	coversAll(r geom.Rect) bool
+	// collect returns the sorted ids of indexed rows inside r that
+	// satisfy every residual predicate; see rectIndex.collect for the
+	// exact contract.
+	collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats) []int
+	// deltaIdx returns the mutable delta absorbing post-build appends.
+	deltaIdx() *deltaIndex
+}
+
+// gridGeom is the shared grid geometry both backends carry: the identity
+// of the indexed pair, the covered row count, and the uniform binning
+// the delta index uses to bucket appended rows. For the grid backend it
+// is also the probe geometry; for the tree backend it exists purely so
+// deltas (and their zone maps) work identically under either backend.
+type gridGeom struct {
+	xi, yi       int
+	bounds       geom.Rect
+	nx, ny       int
+	cellW, cellH float64
+	n            int // rows indexed; rows >= n (post-build appends) are unindexed
+}
+
+func (g *gridGeom) pair() (int, int)  { return g.xi, g.yi }
+func (g *gridGeom) rows() int         { return g.n }
+func (g *gridGeom) extent() geom.Rect { return g.bounds }
+
+// sizeGrid stretches the uniform grid over bounds for n rows: dim² cells
+// targeting indexTargetRowsPerCell rows each, with degenerate axes (all
+// rows on a line) given a positive step so cell arithmetic stays
+// well-defined; same convention as grid.New.
+func (g *gridGeom) sizeGrid(n int) {
+	dim := int(math.Sqrt(float64(n) / indexTargetRowsPerCell))
+	if dim < 1 {
+		dim = 1
+	}
+	if dim > indexMaxDim {
+		dim = indexMaxDim
+	}
+	g.nx, g.ny = dim, dim
+	g.cellW = g.bounds.Width() / float64(dim)
+	g.cellH = g.bounds.Height() / float64(dim)
+	if g.cellW == 0 || math.IsNaN(g.cellW) {
+		g.cellW = 1
+	}
+	if g.cellH == 0 || math.IsNaN(g.cellH) {
+		g.cellH = 1
+	}
+}
+
 // rectIndex is a grid-binned spatial index over the column pair (xi, yi)
 // of one table generation. rowID packs the row ids of all cells in
 // row-major cell order; cellOff[c] .. cellOff[c+1] delimit cell c's run,
 // and ids are ascending within each run (the build is a stable counting
 // sort over ascending rows).
 type rectIndex struct {
-	xi, yi       int
-	bounds       geom.Rect
-	nx, ny       int
-	cellW, cellH float64
-	cellOff      []int32
-	rowID        []int32
+	gridGeom
+	cellOff []int32
+	rowID   []int32
 	// extra holds rows (ascending) with a non-finite coordinate: NaN
 	// compares false against every bound and so matches every range
 	// predicate, and ±Inf defeats the cell arithmetic, so such rows
@@ -44,7 +121,11 @@ type rectIndex struct {
 	// cells. Keeping them out of the grid preserves the index for the
 	// finite bulk of a dirty dataset instead of refusing to index it.
 	extra []int32
-	n     int // rows indexed; rows >= n (post-build appends) are unindexed
+
+	// occP99 and occSkew are the build-time occupancy statistics the
+	// backend planner consulted (p99 cell population, and its ratio to
+	// the mean); exported through IndexStats.PerTable.
+	occP99, occSkew float64
 
 	// Zone maps: per (column, cell) min/max over the binned rows, laid
 	// out flat as [col·cells + cell], built in the same pass (and
@@ -76,8 +157,8 @@ func buildRectIndex(xi, yi int, cols [][]float64, n int) *rectIndex {
 		return nil
 	}
 	xs, ys := cols[xi], cols[yi]
-	ix := &rectIndex{xi: xi, yi: yi, n: n, bounds: geom.EmptyRect()}
-	ix.delta = newDeltaIndex(ix, len(cols))
+	ix := &rectIndex{gridGeom: gridGeom{xi: xi, yi: yi, n: n, bounds: geom.EmptyRect()}}
+	ix.delta = newDeltaIndex(&ix.gridGeom, len(cols))
 	if n == 0 {
 		return ix
 	}
@@ -99,28 +180,11 @@ func buildRectIndex(xi, yi int, cols [][]float64, n int) *rectIndex {
 		// extent must never be built.
 		return nil
 	}
-	dim := int(math.Sqrt(float64(n) / indexTargetRowsPerCell))
-	if dim < 1 {
-		dim = 1
-	}
-	if dim > indexMaxDim {
-		dim = indexMaxDim
-	}
-	ix.nx, ix.ny = dim, dim
-	ix.cellW = ix.bounds.Width() / float64(dim)
-	ix.cellH = ix.bounds.Height() / float64(dim)
-	// Degenerate axes (all rows on a line) still need a positive step so
-	// cellOf stays well-defined; same convention as grid.New.
-	if ix.cellW == 0 || math.IsNaN(ix.cellW) {
-		ix.cellW = 1
-	}
-	if ix.cellH == 0 || math.IsNaN(ix.cellH) {
-		ix.cellH = 1
-	}
+	ix.sizeGrid(n)
 	// Counting sort rows into cells: count, prefix-sum, place. Iterating
 	// rows ascending keeps each cell's run ascending. Non-finite rows
 	// (already collected into extra) are skipped.
-	cells := dim * dim
+	cells := ix.nx * ix.ny
 	counts := make([]int32, cells+1)
 	cellOf := make([]int32, n)
 	for i := 0; i < n; i++ {
@@ -133,6 +197,7 @@ func buildRectIndex(xi, yi int, cols [][]float64, n int) *rectIndex {
 		cellOf[i] = c
 		counts[c+1]++
 	}
+	ix.occP99, ix.occSkew = occFromCounts(counts[1:], n-len(ix.extra))
 	for c := 1; c <= cells; c++ {
 		counts[c] += counts[c-1]
 	}
@@ -191,9 +256,9 @@ func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 // would overflow the conversion — float→int of an out-of-range value
 // yields MinInt64 on amd64 — and clamp to the wrong edge, inverting
 // cell ranges.
-func (ix *rectIndex) cellCoords(x, y float64) (int, int) {
-	c := clampCell((x-ix.bounds.MinX)/ix.cellW, ix.nx)
-	r := clampCell((y-ix.bounds.MinY)/ix.cellH, ix.ny)
+func (g *gridGeom) cellCoords(x, y float64) (int, int) {
+	c := clampCell((x-g.bounds.MinX)/g.cellW, g.nx)
+	r := clampCell((y-g.bounds.MinY)/g.cellH, g.ny)
 	return c, r
 }
 
@@ -211,9 +276,9 @@ func clampCell(q float64, n int) int {
 	return int(q)
 }
 
-func (ix *rectIndex) cellIndex(x, y float64) int32 {
-	c, r := ix.cellCoords(x, y)
-	return int32(r*ix.nx + c)
+func (g *gridGeom) cellIndex(x, y float64) int32 {
+	c, r := g.cellCoords(x, y)
+	return int32(r*g.nx + c)
 }
 
 // inRect mirrors the linear scan's predicate form exactly (inclusive
@@ -522,3 +587,8 @@ func (ix *rectIndex) coversAll(r geom.Rect) bool {
 func (ix *rectIndex) cells() int {
 	return ix.nx * ix.ny
 }
+
+func (ix *rectIndex) extraCount() int         { return len(ix.extra) }
+func (ix *rectIndex) backend() string         { return BackendGrid }
+func (ix *rectIndex) occ() (float64, float64) { return ix.occP99, ix.occSkew }
+func (ix *rectIndex) deltaIdx() *deltaIndex   { return ix.delta }

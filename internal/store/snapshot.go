@@ -47,6 +47,50 @@ type IndexSnapshot struct {
 	ZNaN       []bool
 }
 
+// TreeIndexSnapshot is the exported form of one packed STR R-tree
+// spatial index, mirroring treeIndex field for field with rectangles
+// flattened to float64 quads (MinX, MinY, MaxX, MaxY per entry) so the
+// on-disk codec stays an array-of-scalars format.
+type TreeIndexSnapshot struct {
+	// XCol, YCol are ordinals into the table's column list.
+	XCol, YCol int
+	// Bounds, NX, NY, CellW, CellH are the DELTA grid geometry — not
+	// probe geometry; they let appended rows bucket identically to the
+	// grid backend after a restore.
+	Bounds       geom.Rect
+	NX, NY       int
+	CellW, CellH float64
+	// RowID packs the finite rows in leaf order (ascending within each
+	// leaf); LeafOff delimits leaf runs; LeafMBR holds one rectangle
+	// quad per leaf.
+	RowID   []int32
+	LeafOff []int32
+	LeafMBR []float64
+	// Extra holds the ascending ids of rows with a non-finite coordinate.
+	Extra []int32
+	// NumRows is the number of rows the index covers.
+	NumRows int
+	// The packed node hierarchy, one entry per node (root last):
+	// NodeMBR is a rectangle quad per node; children are
+	// nodes[NodeLo:NodeHi] or leaves when NodeLeafKids; NodeLeafLo/Hi
+	// give the contiguous leaf span the subtree covers.
+	NodeMBR      []float64
+	NodeLo       []int32
+	NodeHi       []int32
+	NodeLeafLo   []int32
+	NodeLeafHi   []int32
+	NodeLeafKids []bool
+	// Per-(column, leaf) and per-(column, node) zone maps, flat as
+	// [col·numLeaves + leaf] and [col·numNodes + node].
+	ZMin, ZMax   []float64
+	ZNaN         []bool
+	NZMin, NZMax []float64
+	NZNaN        []bool
+	// OccP99, Skew are the build-time occupancy statistics the backend
+	// planner consulted.
+	OccP99, Skew float64
+}
+
 // TableSnapshot is the exported form of one table generation: the
 // column schema and data plus every spatial index built from exactly
 // those columns.
@@ -62,11 +106,27 @@ type TableSnapshot struct {
 	Cols    [][]float64
 	NumRows int
 	Indexes []IndexSnapshot
+	// TreeIndexes holds the R-tree-backed indexes (snapshot format v3;
+	// empty in files written before the tree backend existed).
+	TreeIndexes []TreeIndexSnapshot
 	// Dead holds the ascending, duplicate-free ids of tombstoned rows —
 	// deleted but not yet physically reclaimed at capture time. Empty
 	// for snapshots from before the retention layer (and after every
 	// reclaiming compaction).
 	Dead []int32
+}
+
+// flattenRects packs rectangles into (MinX, MinY, MaxX, MaxY) quads.
+func flattenRects(rs []geom.Rect) []float64 {
+	out := make([]float64, 0, 4*len(rs))
+	for _, r := range rs {
+		out = append(out, r.MinX, r.MinY, r.MaxX, r.MaxY)
+	}
+	return out
+}
+
+func unflattenRect(q []float64) geom.Rect {
+	return geom.Rect{MinX: q[0], MinY: q[1], MaxX: q[2], MaxY: q[3]}
 }
 
 // SnapshotGeneration exports the table's current generation. The
@@ -87,18 +147,51 @@ func (t *Table) SnapshotGeneration() TableSnapshot {
 		ts.Dead = make([]int32, 0, d.dead.count)
 		d.dead.forEach(func(r int) { ts.Dead = append(ts.Dead, int32(r)) })
 	}
-	for _, ix := range d.indexes {
-		ts.Indexes = append(ts.Indexes, IndexSnapshot{
-			XCol: ix.xi, YCol: ix.yi,
-			Bounds: ix.bounds,
-			NX:     ix.nx, NY: ix.ny,
-			CellW: ix.cellW, CellH: ix.cellH,
-			CellOff: ix.cellOff,
-			RowID:   ix.rowID,
-			Extra:   ix.extra,
-			NumRows: ix.n,
-			ZMin:    ix.zmin, ZMax: ix.zmax, ZNaN: ix.znan,
-		})
+	for _, six := range d.indexes {
+		switch ix := six.(type) {
+		case *rectIndex:
+			ts.Indexes = append(ts.Indexes, IndexSnapshot{
+				XCol: ix.xi, YCol: ix.yi,
+				Bounds: ix.bounds,
+				NX:     ix.nx, NY: ix.ny,
+				CellW: ix.cellW, CellH: ix.cellH,
+				CellOff: ix.cellOff,
+				RowID:   ix.rowID,
+				Extra:   ix.extra,
+				NumRows: ix.n,
+				ZMin:    ix.zmin, ZMax: ix.zmax, ZNaN: ix.znan,
+			})
+		case *treeIndex:
+			tis := TreeIndexSnapshot{
+				XCol: ix.xi, YCol: ix.yi,
+				Bounds: ix.bounds,
+				NX:     ix.nx, NY: ix.ny,
+				CellW: ix.cellW, CellH: ix.cellH,
+				RowID:   ix.rowID,
+				LeafOff: ix.leafOff,
+				LeafMBR: flattenRects(ix.leafMBR),
+				Extra:   ix.extra,
+				NumRows: ix.n,
+				ZMin:    ix.zmin, ZMax: ix.zmax, ZNaN: ix.znan,
+				NZMin: ix.nzmin, NZMax: ix.nzmax, NZNaN: ix.nznan,
+				OccP99: ix.occP99, Skew: ix.occSkew,
+			}
+			if nn := len(ix.nodes); nn > 0 {
+				tis.NodeMBR = make([]float64, 0, 4*nn)
+				tis.NodeLo = make([]int32, nn)
+				tis.NodeHi = make([]int32, nn)
+				tis.NodeLeafLo = make([]int32, nn)
+				tis.NodeLeafHi = make([]int32, nn)
+				tis.NodeLeafKids = make([]bool, nn)
+				for i, nd := range ix.nodes {
+					tis.NodeMBR = append(tis.NodeMBR, nd.mbr.MinX, nd.mbr.MinY, nd.mbr.MaxX, nd.mbr.MaxY)
+					tis.NodeLo[i], tis.NodeHi[i] = nd.lo, nd.hi
+					tis.NodeLeafLo[i], tis.NodeLeafHi[i] = nd.llo, nd.lhi
+					tis.NodeLeafKids[i] = nd.leafKids
+				}
+			}
+			ts.TreeIndexes = append(ts.TreeIndexes, tis)
+		}
 	}
 	return ts
 }
@@ -157,22 +250,38 @@ func TableFromSnapshot(snap TableSnapshot) (*Table, error) {
 		// refine kernel indexes directly.
 		d.dead, _ = orBitmapRows(nil, ids)
 	}
-	seenPair := make(map[[2]int]bool, len(snap.Indexes))
-	for i, is := range snap.Indexes {
-		ix, err := indexFromSnapshot(snap.Name, is, len(snap.Cols), snap.NumRows)
-		if err != nil {
-			return nil, fmt.Errorf("store: snapshot table %q index %d: %w", snap.Name, i, err)
-		}
-		pair := [2]int{ix.xi, ix.yi}
+	seenPair := make(map[[2]int]bool, len(snap.Indexes)+len(snap.TreeIndexes))
+	register := func(ix spatialIndex) error {
+		xi, yi := ix.pair()
+		pair := [2]int{xi, yi}
 		if seenPair[pair] {
-			return nil, fmt.Errorf("store: snapshot table %q: duplicate index over columns (%d,%d)",
-				snap.Name, ix.xi, ix.yi)
+			return fmt.Errorf("store: snapshot table %q: duplicate index over columns (%d,%d)",
+				snap.Name, xi, yi)
 		}
 		seenPair[pair] = true
 		d.indexes = append(d.indexes, ix)
 		// Register the pair so a later BulkLoad rebuilds it, exactly as
 		// if IndexOn had been called.
 		t.indexPairs = append(t.indexPairs, pair)
+		return nil
+	}
+	for i, is := range snap.Indexes {
+		ix, err := indexFromSnapshot(snap.Name, is, len(snap.Cols), snap.NumRows)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot table %q index %d: %w", snap.Name, i, err)
+		}
+		if err := register(ix); err != nil {
+			return nil, err
+		}
+	}
+	for i, is := range snap.TreeIndexes {
+		ix, err := treeFromSnapshot(is, len(snap.Cols), snap.NumRows)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot table %q tree index %d: %w", snap.Name, i, err)
+		}
+		if err := register(ix); err != nil {
+			return nil, err
+		}
 	}
 	// A snapshot saved mid-ingest carries rows past its indexes'
 	// coverage (the appended tail at save time, and any tail-log rows
@@ -181,7 +290,7 @@ func TableFromSnapshot(snap TableSnapshot) (*Table, error) {
 	// speed from its first request, exactly like the live table it was
 	// captured from.
 	for _, ix := range d.indexes {
-		ix.delta.absorbRange(d.cols, ix.n, d.n)
+		ix.deltaIdx().absorbRange(d.cols, ix.rows(), d.n)
 	}
 	t.data = d
 	return t, nil
@@ -197,17 +306,19 @@ func indexFromSnapshot(table string, is IndexSnapshot, ncols, tableRows int) (*r
 		return nil, fmt.Errorf("covers %d rows of a %d-row table", is.NumRows, tableRows)
 	}
 	ix := &rectIndex{
-		xi: is.XCol, yi: is.YCol,
-		bounds: is.Bounds,
-		nx:     is.NX, ny: is.NY,
-		cellW: is.CellW, cellH: is.CellH,
+		gridGeom: gridGeom{
+			xi: is.XCol, yi: is.YCol,
+			bounds: is.Bounds,
+			nx:     is.NX, ny: is.NY,
+			cellW: is.CellW, cellH: is.CellH,
+			n: is.NumRows,
+		},
 		cellOff: is.CellOff,
 		rowID:   is.RowID,
 		extra:   is.Extra,
-		n:       is.NumRows,
 		zmin:    is.ZMin, zmax: is.ZMax, znan: is.ZNaN,
 	}
-	ix.delta = newDeltaIndex(ix, ncols)
+	ix.delta = newDeltaIndex(&ix.gridGeom, ncols)
 	if is.NumRows == 0 {
 		// An empty index has no grid at all (buildRectIndex returns
 		// before sizing one); any grid payload here is corruption.
@@ -286,6 +397,189 @@ func indexFromSnapshot(table string, is IndexSnapshot, ncols, tableRows int) (*r
 	if len(is.ZMin) != ncols*cells || len(is.ZMax) != ncols*cells || len(is.ZNaN) != ncols*cells {
 		return nil, fmt.Errorf("zone maps sized %d/%d/%d for %d columns x %d cells",
 			len(is.ZMin), len(is.ZMax), len(is.ZNaN), ncols, cells)
+	}
+	// The snapshot format predates the occupancy statistics; the CSR
+	// offsets are the per-cell histogram, so rederive them exactly.
+	counts := make([]int32, cells)
+	for c := 0; c < cells; c++ {
+		counts[c] = is.CellOff[c+1] - is.CellOff[c]
+	}
+	ix.occP99, ix.occSkew = occFromCounts(counts, len(is.RowID))
+	return ix, nil
+}
+
+// treeFromSnapshot validates one R-tree index snapshot and converts it
+// to a treeIndex. Structural invariants — everything the iterative
+// descents and bulk-emit slicing index by — are verified; semantic
+// values (MBR extents, zone-map contents, occupancy statistics) are
+// trusted exactly as the grid's are.
+func treeFromSnapshot(is TreeIndexSnapshot, ncols, tableRows int) (*treeIndex, error) {
+	if is.XCol < 0 || is.XCol >= ncols || is.YCol < 0 || is.YCol >= ncols {
+		return nil, fmt.Errorf("column pair (%d,%d) out of range for %d columns", is.XCol, is.YCol, ncols)
+	}
+	if is.NumRows < 0 || is.NumRows > tableRows {
+		return nil, fmt.Errorf("covers %d rows of a %d-row table", is.NumRows, tableRows)
+	}
+	ix := &treeIndex{
+		gridGeom: gridGeom{
+			xi: is.XCol, yi: is.YCol,
+			bounds: is.Bounds,
+			nx:     is.NX, ny: is.NY,
+			cellW: is.CellW, cellH: is.CellH,
+			n: is.NumRows,
+		},
+		rowID:   is.RowID,
+		leafOff: is.LeafOff,
+		extra:   is.Extra,
+		zmin:    is.ZMin, zmax: is.ZMax, znan: is.ZNaN,
+		nzmin: is.NZMin, nzmax: is.NZMax, nznan: is.NZNaN,
+		occP99: is.OccP99, occSkew: is.Skew,
+	}
+	ix.delta = newDeltaIndex(&ix.gridGeom, ncols)
+	if is.NumRows == 0 {
+		// An empty index has no payload at all (buildTreeIndex returns
+		// before packing anything); anything here is corruption.
+		if is.NX != 0 || is.NY != 0 || len(is.RowID) != 0 || len(is.LeafOff) != 0 ||
+			len(is.LeafMBR) != 0 || len(is.Extra) != 0 || len(is.NodeMBR) != 0 ||
+			len(is.ZMin) != 0 || len(is.ZMax) != 0 || len(is.ZNaN) != 0 ||
+			len(is.NZMin) != 0 || len(is.NZMax) != 0 || len(is.NZNaN) != 0 {
+			return nil, errors.New("empty index carries tree data")
+		}
+		return ix, nil
+	}
+	// Delta grid geometry: same admission rules as the grid backend's.
+	if is.NX < 1 || is.NY < 1 || is.NX > maxSnapshotGridDim || is.NY > maxSnapshotGridDim {
+		return nil, fmt.Errorf("delta grid %dx%d out of range [1,%d]", is.NX, is.NY, maxSnapshotGridDim)
+	}
+	if !(is.CellW > 0) || !(is.CellH > 0) || math.IsInf(is.CellW, 0) || math.IsInf(is.CellH, 0) {
+		return nil, fmt.Errorf("cell extent %gx%g is not positive finite", is.CellW, is.CellH)
+	}
+	if !isFinite(is.Bounds.MinX) || !isFinite(is.Bounds.MinY) ||
+		!isFinite(is.Bounds.MaxX) || !isFinite(is.Bounds.MaxY) || is.Bounds.IsEmpty() {
+		return nil, fmt.Errorf("bounds %v are not a finite non-empty rectangle", is.Bounds)
+	}
+	binned := len(is.RowID)
+	if binned+len(is.Extra) != is.NumRows {
+		return nil, fmt.Errorf("%d packed + %d extra rows for a %d-row index",
+			binned, len(is.Extra), is.NumRows)
+	}
+	if binned == 0 {
+		return nil, errors.New("index with no packed rows should not carry a tree")
+	}
+	numLeaves := len(is.LeafOff) - 1
+	if numLeaves < 1 {
+		return nil, fmt.Errorf("%d leaf offsets cannot delimit any leaf", len(is.LeafOff))
+	}
+	if len(is.LeafMBR) != 4*numLeaves {
+		return nil, fmt.Errorf("%d MBR scalars for %d leaves", len(is.LeafMBR), numLeaves)
+	}
+	if is.LeafOff[0] != 0 {
+		return nil, fmt.Errorf("leaf offsets start at %d, not 0", is.LeafOff[0])
+	}
+	for l := 1; l <= numLeaves; l++ {
+		// Strictly increasing: the builder never emits an empty leaf.
+		if is.LeafOff[l] <= is.LeafOff[l-1] {
+			return nil, fmt.Errorf("leaf offsets not increasing at leaf %d", l)
+		}
+	}
+	if int(is.LeafOff[numLeaves]) != binned {
+		return nil, fmt.Errorf("leaf offsets cover %d rows, row-id packing has %d", is.LeafOff[numLeaves], binned)
+	}
+	// Every indexed row appears exactly once, packed (ascending within
+	// its leaf) or extra.
+	seen := make([]bool, is.NumRows)
+	for l := 0; l < numLeaves; l++ {
+		prev := int32(-1)
+		for _, id := range is.RowID[is.LeafOff[l]:is.LeafOff[l+1]] {
+			if id < 0 || int(id) >= is.NumRows {
+				return nil, fmt.Errorf("row id %d out of range [0,%d)", id, is.NumRows)
+			}
+			if id <= prev {
+				return nil, fmt.Errorf("leaf %d row ids not ascending (%d after %d)", l, id, prev)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("row id %d appears twice", id)
+			}
+			seen[id] = true
+			prev = id
+		}
+	}
+	prev := int32(-1)
+	for _, id := range is.Extra {
+		if id < 0 || int(id) >= is.NumRows {
+			return nil, fmt.Errorf("extra row id %d out of range [0,%d)", id, is.NumRows)
+		}
+		if id <= prev {
+			return nil, fmt.Errorf("extra row ids not ascending (%d after %d)", id, prev)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("row id %d appears twice", id)
+		}
+		seen[id] = true
+		prev = id
+	}
+	// Node hierarchy: the parallel arrays must agree, children must sit
+	// at strictly lower indices (descent termination), child spans must
+	// contiguously partition their parent's, and the root (last node)
+	// must cover every leaf.
+	numNodes := len(is.NodeLo)
+	if numNodes < 1 {
+		return nil, errors.New("tree has no nodes")
+	}
+	if len(is.NodeHi) != numNodes || len(is.NodeLeafLo) != numNodes ||
+		len(is.NodeLeafHi) != numNodes || len(is.NodeLeafKids) != numNodes {
+		return nil, fmt.Errorf("node arrays sized %d/%d/%d/%d for %d nodes",
+			len(is.NodeHi), len(is.NodeLeafLo), len(is.NodeLeafHi), len(is.NodeLeafKids), numNodes)
+	}
+	if len(is.NodeMBR) != 4*numNodes {
+		return nil, fmt.Errorf("%d MBR scalars for %d nodes", len(is.NodeMBR), numNodes)
+	}
+	ix.leafMBR = make([]geom.Rect, numLeaves)
+	for l := range ix.leafMBR {
+		ix.leafMBR[l] = unflattenRect(is.LeafMBR[4*l : 4*l+4])
+	}
+	ix.nodes = make([]treeNode, numNodes)
+	for ni := 0; ni < numNodes; ni++ {
+		nd := treeNode{
+			mbr: unflattenRect(is.NodeMBR[4*ni : 4*ni+4]),
+			lo:  is.NodeLo[ni], hi: is.NodeHi[ni],
+			llo: is.NodeLeafLo[ni], lhi: is.NodeLeafHi[ni],
+			leafKids: is.NodeLeafKids[ni],
+		}
+		if nd.leafKids {
+			if nd.lo < 0 || nd.lo >= nd.hi || int(nd.hi) > numLeaves {
+				return nil, fmt.Errorf("node %d leaf children [%d,%d) out of range [0,%d)", ni, nd.lo, nd.hi, numLeaves)
+			}
+			if nd.llo != nd.lo || nd.lhi != nd.hi {
+				return nil, fmt.Errorf("node %d leaf span [%d,%d) disagrees with children [%d,%d)",
+					ni, nd.llo, nd.lhi, nd.lo, nd.hi)
+			}
+		} else {
+			if nd.lo < 0 || nd.lo >= nd.hi || int(nd.hi) > ni {
+				return nil, fmt.Errorf("node %d children [%d,%d) not strictly below it", ni, nd.lo, nd.hi)
+			}
+			if nd.llo != ix.nodes[nd.lo].llo || nd.lhi != ix.nodes[nd.hi-1].lhi {
+				return nil, fmt.Errorf("node %d leaf span [%d,%d) disagrees with its children's", ni, nd.llo, nd.lhi)
+			}
+			for c := int(nd.lo); c < int(nd.hi)-1; c++ {
+				if ix.nodes[c].lhi != ix.nodes[c+1].llo {
+					return nil, fmt.Errorf("node %d children do not partition its span contiguously at child %d", ni, c)
+				}
+			}
+		}
+		ix.nodes[ni] = nd
+	}
+	root := ix.nodes[numNodes-1]
+	if root.llo != 0 || int(root.lhi) != numLeaves {
+		return nil, fmt.Errorf("root spans leaves [%d,%d), want [0,%d)", root.llo, root.lhi, numLeaves)
+	}
+	if len(is.ZMin) != ncols*numLeaves || len(is.ZMax) != ncols*numLeaves || len(is.ZNaN) != ncols*numLeaves {
+		return nil, fmt.Errorf("leaf zone maps sized %d/%d/%d for %d columns x %d leaves",
+			len(is.ZMin), len(is.ZMax), len(is.ZNaN), ncols, numLeaves)
+	}
+	if len(is.NZMin) != ncols*numNodes || len(is.NZMax) != ncols*numNodes || len(is.NZNaN) != ncols*numNodes {
+		return nil, fmt.Errorf("node zone maps sized %d/%d/%d for %d columns x %d nodes",
+			len(is.NZMin), len(is.NZMax), len(is.NZNaN), ncols, numNodes)
 	}
 	return ix, nil
 }

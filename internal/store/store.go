@@ -66,6 +66,11 @@ type Table struct {
 	// sharded linear scan) instead of paying for them on every cell.
 	zoneStat []zoneColStat
 
+	// backendMode holds the index backend policy code (backendAuto /
+	// backendGrid / backendRTree) consulted at every index-build point;
+	// see backend.go.
+	backendMode atomic.Int32
+
 	// autoCompact holds the float64 bits of the auto-compaction
 	// threshold fraction (0 = disabled); compacting gates the single
 	// background compaction goroutine; compactMu serializes Compact
@@ -124,6 +129,9 @@ type tableCounters struct {
 	// Retention counters.
 	deletedRows   atomic.Int64 // rows tombstoned by DeleteRect/DeleteWhere/TTL
 	reclaimedRows atomic.Int64 // tombstoned rows physically dropped by compaction
+
+	// kNN counters.
+	nearestQueries atomic.Int64 // Nearest calls served (any backend)
 }
 
 // tableData is one immutable generation of a table: column storage, row
@@ -133,7 +141,7 @@ type tableCounters struct {
 type tableData struct {
 	cols    [][]float64
 	n       int
-	indexes []*rectIndex
+	indexes []spatialIndex
 	// dead is the generation's tombstone set: rows < n whose bit is set
 	// are deleted and invisible to every read. Like everything else in
 	// the generation it is immutable — DeleteWhere publishes a fresh
@@ -161,9 +169,9 @@ func (d *tableData) deadCount() int {
 }
 
 // indexFor returns this generation's index over the column pair, or nil.
-func (d *tableData) indexFor(xi, yi int) *rectIndex {
+func (d *tableData) indexFor(xi, yi int) spatialIndex {
 	for _, ix := range d.indexes {
-		if ix.xi == xi && ix.yi == yi {
+		if x, y := ix.pair(); x == xi && y == yi {
 			return ix
 		}
 	}
@@ -250,8 +258,8 @@ func (t *Table) Append(values ...float64) error {
 		cols[i] = append(d.cols[i], v)
 	}
 	for _, ix := range d.indexes {
-		if ix.delta != nil {
-			ix.delta.absorbRange(cols, d.n, d.n+1)
+		if dx := ix.deltaIdx(); dx != nil {
+			dx.absorbRange(cols, d.n, d.n+1)
 		}
 	}
 	t.data = &tableData{cols: cols, n: d.n + 1, indexes: d.indexes, dead: d.dead, loadGen: d.loadGen}
@@ -284,8 +292,8 @@ func (t *Table) AppendRows(cols ...[]float64) error {
 		fresh[i] = append(d.cols[i], cols[i]...)
 	}
 	for _, ix := range d.indexes {
-		if ix.delta != nil {
-			ix.delta.absorbRange(fresh, d.n, d.n+n)
+		if dx := ix.deltaIdx(); dx != nil {
+			dx.absorbRange(fresh, d.n, d.n+n)
 		}
 	}
 	t.data = &tableData{cols: fresh, n: d.n + n, indexes: d.indexes, dead: d.dead, loadGen: d.loadGen}
@@ -317,9 +325,10 @@ func (t *Table) BulkLoad(cols ...[]float64) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var indexes []*rectIndex
+	var indexes []spatialIndex
+	mode := t.backendMode.Load()
 	for _, p := range t.indexPairs {
-		if ix := buildRectIndex(p[0], p[1], fresh, n); ix != nil {
+		if ix := buildSpatialIndex(p[0], p[1], fresh, n, mode); ix != nil {
 			indexes = append(indexes, ix)
 		}
 	}
@@ -374,20 +383,22 @@ func (t *Table) IndexOn(xCol, yCol string) error {
 		t.indexPairs = append(t.indexPairs, pair)
 	}
 	d := t.data
+	mode := t.backendMode.Load()
 	// Already covering the current generation (the common reload path:
-	// BulkLoad just rebuilt every registered pair) — nothing to do.
+	// BulkLoad just rebuilt every registered pair) with a backend the
+	// current policy accepts — nothing to do.
 	if registered {
-		if old := d.indexFor(xi, yi); old != nil && old.n == d.n {
+		if old := d.indexFor(xi, yi); old != nil && old.rows() == d.n && backendSatisfies(mode, old.backend()) {
 			return nil
 		}
 	}
-	indexes := make([]*rectIndex, 0, len(d.indexes)+1)
+	indexes := make([]spatialIndex, 0, len(d.indexes)+1)
 	for _, old := range d.indexes {
-		if old.xi != xi || old.yi != yi {
+		if ox, oy := old.pair(); ox != xi || oy != yi {
 			indexes = append(indexes, old)
 		}
 	}
-	if ix := buildRectIndex(xi, yi, d.cols, d.n); ix != nil {
+	if ix := buildSpatialIndex(xi, yi, d.cols, d.n, mode); ix != nil {
 		indexes = append(indexes, ix)
 	}
 	t.data = &tableData{cols: d.cols, n: d.n, indexes: indexes, dead: d.dead, loadGen: d.loadGen}
@@ -678,7 +689,7 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 	}
 	st.IndexProbe = true
 	t.counters.indexProbes.Add(1)
-	if len(preds) == 0 && ix.n == d.n && ix.coversAll(r) {
+	if len(preds) == 0 && ix.rows() == d.n && ix.coversAll(r) {
 		return rangeMinusBitmap(0, d.n, d.dead), st, nil
 	}
 	var tally zoneTally
@@ -692,9 +703,9 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 	// binned under the same grid, so the probe reaches them through
 	// cells (zone-pruned like base cells) instead of walking the tail.
 	// All delta ids exceed every base id, so the result stays sorted.
-	covered := ix.n
-	if ix.delta != nil {
-		ids, covered = ix.delta.collect(d.cols, r, preds, pi, skip, d.n, &st, ids)
+	covered := ix.rows()
+	if dx := ix.deltaIdx(); dx != nil {
+		ids, covered = dx.collect(d.cols, r, preds, pi, skip, d.n, &st, ids)
 	}
 	sp.End()
 	// Anything past the delta watermark (pre-delta generations, id
@@ -966,8 +977,8 @@ func (t *Table) Bounds(xCol, yCol string) (geom.Rect, error) {
 	// there are neither — the linear path below folds ±Inf coordinates
 	// into the extent like UnionPoint always has, and skips dead rows
 	// so a delete can shrink the served extent.
-	if ix := d.indexFor(xi, yi); ix != nil && ix.n == d.n && len(ix.extra) == 0 && d.deadCount() == 0 {
-		return ix.bounds, nil
+	if ix := d.indexFor(xi, yi); ix != nil && ix.rows() == d.n && ix.extraCount() == 0 && d.deadCount() == 0 {
+		return ix.extent(), nil
 	}
 	xs, ys := d.cols[xi], d.cols[yi]
 	b := geom.EmptyRect()
@@ -1217,6 +1228,9 @@ type IndexStats struct {
 	// their pending tombstones with them).
 	DeletedRows   int64
 	ReclaimedRows int64
+	// NearestQueries counts Table.Nearest calls served, any backend
+	// (monotonic, survives drops).
+	NearestQueries int64
 	// PerTable breaks the ingest gauges down by live table, name-sorted,
 	// for tables carrying at least one spatial index.
 	PerTable []TableIngestStats
@@ -1239,6 +1253,16 @@ type TableIngestStats struct {
 	// tombstoned-awaiting-reclaim set.
 	LiveRows int64
 	DeadRows int64
+	// Backend names the spatial index implementation serving the table
+	// ("grid" or "rtree"; the first index's, when several are present).
+	Backend string
+	// CellOccupancyP99 is the row-weighted 99th-percentile grid-cell
+	// population measured at build time (the population of the cell the
+	// 99th-percentile row lives in), and SkewRatio its ratio to the mean
+	// cell population — the evidence the backend planner chose from (~1
+	// for uniform scatter, large under clustering).
+	CellOccupancyP99 float64
+	SkewRatio        float64
 }
 
 // IndexStats returns a point-in-time aggregate over all tables.
@@ -1261,14 +1285,14 @@ func (s *Store) IndexStats() IndexStats {
 		var tailRows, deltaRows int64
 		for _, ix := range d.indexes {
 			st.Indexes++
-			st.IndexedRows += int64(ix.n)
+			st.IndexedRows += int64(ix.rows())
 			st.Cells += int64(ix.cells())
-			if tail := int64(d.n - ix.n); tail > tailRows {
+			if tail := int64(d.n - ix.rows()); tail > tailRows {
 				tailRows = tail
 			}
-			if ix.delta != nil {
-				absorbed := int64(ix.delta.coveredRows())
-				if beyond := int64(d.n - ix.n); absorbed > beyond {
+			if dx := ix.deltaIdx(); dx != nil {
+				absorbed := int64(dx.coveredRows())
+				if beyond := int64(d.n - ix.rows()); absorbed > beyond {
 					// Absorbed rows past this reader's snapshot.
 					absorbed = beyond
 				}
@@ -1282,9 +1306,11 @@ func (s *Store) IndexStats() IndexStats {
 		if len(d.indexes) > 0 {
 			st.TailRows += tailRows
 			st.DeltaRows += deltaRows
+			p99, skew := d.indexes[0].occ()
 			st.PerTable = append(st.PerTable, TableIngestStats{
 				Table: t.name, Rows: int64(d.n), TailRows: tailRows, DeltaRows: deltaRows,
 				LiveRows: int64(d.n) - dead, DeadRows: dead,
+				Backend: d.indexes[0].backend(), CellOccupancyP99: p99, SkewRatio: skew,
 			})
 		}
 		st.addCounters(t.counters)
@@ -1309,4 +1335,5 @@ func (st *IndexStats) addCounters(c *tableCounters) {
 	st.CompactionSeconds += float64(c.compactionNanos.Load()) / 1e9
 	st.DeletedRows += c.deletedRows.Load()
 	st.ReclaimedRows += c.reclaimedRows.Load()
+	st.NearestQueries += c.nearestQueries.Load()
 }

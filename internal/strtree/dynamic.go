@@ -1,14 +1,15 @@
-// Package rtree implements an in-memory R-tree over 2D points with
-// quadratic-split node overflow handling (Guttman 1984). The VAS Interchange
-// algorithm uses it to exploit the locality of the proximity function
-// (paper §IV-B): when a new data point arrives, only sample points within
-// the kernel's support radius contribute non-negligibly to the
-// responsibility updates, and the R-tree finds exactly those points.
+package strtree
+
+// The mutable tree: a quadratic-split R-tree (Guttman 1984) over 2D
+// points, folded in from the former internal/rtree package. The VAS
+// Interchange algorithm uses it to exploit the locality of the proximity
+// function (paper §IV-B): when a new data point arrives, only sample
+// points within the kernel's support radius contribute non-negligibly to
+// the responsibility updates, and the tree finds exactly those points.
 //
-// The tree stores points with an opaque integer payload (the sample-slot
-// id), supports insertion, deletion by (point, id), axis-aligned range
+// It stores points with an opaque integer payload (the sample-slot id),
+// supports insertion, deletion by (point, id), axis-aligned range
 // search, radius search, and k-nearest-neighbour search.
-package rtree
 
 import (
 	"container/heap"
@@ -32,31 +33,31 @@ type Item struct {
 	ID int
 }
 
-type node struct {
+type dnode struct {
 	bounds   geom.Rect
 	leaf     bool
-	items    []Item  // populated when leaf
-	children []*node // populated when !leaf
+	items    []Item   // populated when leaf
+	children []*dnode // populated when !leaf
 }
 
-func newNode(leaf bool) *node {
-	n := &node{bounds: geom.EmptyRect(), leaf: leaf}
+func newDNode(leaf bool) *dnode {
+	n := &dnode{bounds: geom.EmptyRect(), leaf: leaf}
 	if leaf {
 		n.items = make([]Item, 0, MaxEntries+1)
 	} else {
-		n.children = make([]*node, 0, MaxEntries+1)
+		n.children = make([]*dnode, 0, MaxEntries+1)
 	}
 	return n
 }
 
-func (n *node) entryCount() int {
+func (n *dnode) entryCount() int {
 	if n.leaf {
 		return len(n.items)
 	}
 	return len(n.children)
 }
 
-func (n *node) recomputeBounds() {
+func (n *dnode) recomputeBounds() {
 	b := geom.EmptyRect()
 	if n.leaf {
 		for _, it := range n.items {
@@ -70,27 +71,27 @@ func (n *node) recomputeBounds() {
 	n.bounds = b
 }
 
-// Tree is an R-tree over 2D points. The zero value is not usable; construct
-// with New. Tree is not safe for concurrent mutation.
-type Tree struct {
-	root *node
+// Dynamic is a mutable R-tree over 2D points. The zero value is not
+// usable; construct with NewDynamic. Not safe for concurrent mutation.
+type Dynamic struct {
+	root *dnode
 	size int
 }
 
-// New returns an empty R-tree.
-func New() *Tree {
-	return &Tree{root: newNode(true)}
+// NewDynamic returns an empty mutable R-tree.
+func NewDynamic() *Dynamic {
+	return &Dynamic{root: newDNode(true)}
 }
 
 // Len returns the number of stored items.
-func (t *Tree) Len() int { return t.size }
+func (t *Dynamic) Len() int { return t.size }
 
 // Bounds returns the bounding rectangle of all stored points.
-func (t *Tree) Bounds() geom.Rect { return t.root.bounds }
+func (t *Dynamic) Bounds() geom.Rect { return t.root.bounds }
 
 // Insert adds the point p with payload id. Duplicates (same point and id)
 // are stored independently.
-func (t *Tree) Insert(p geom.Point, id int) {
+func (t *Dynamic) Insert(p geom.Point, id int) {
 	it := Item{P: p, ID: id}
 	path := t.pathToLeaf(t.root, p)
 	leaf := path[len(path)-1]
@@ -102,12 +103,12 @@ func (t *Tree) Insert(p geom.Point, id int) {
 
 // pathToLeaf returns the root..leaf path chosen for inserting p, adjusting
 // bounds along the way.
-func (t *Tree) pathToLeaf(n *node, p geom.Point) []*node {
-	path := []*node{n}
+func (t *Dynamic) pathToLeaf(n *dnode, p geom.Point) []*dnode {
+	path := []*dnode{n}
 	cur := n
 	for !cur.leaf {
 		cur.bounds = cur.bounds.UnionPoint(p)
-		var best *node
+		var best *dnode
 		bestEnl := math.Inf(1)
 		bestArea := math.Inf(1)
 		target := geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
@@ -127,7 +128,7 @@ func (t *Tree) pathToLeaf(n *node, p geom.Point) []*node {
 
 // splitUpward splits overflowing nodes from the end of the insert path
 // toward the root. The path carries the parents, so no searching is needed.
-func (t *Tree) splitUpward(path []*node) {
+func (t *Dynamic) splitUpward(path []*dnode) {
 	for i := len(path) - 1; i >= 0; i-- {
 		n := path[i]
 		if n.entryCount() <= MaxEntries {
@@ -136,7 +137,7 @@ func (t *Tree) splitUpward(path []*node) {
 		left, right := splitNode(n)
 		if i == 0 {
 			// n is the root: grow the tree.
-			newRoot := newNode(false)
+			newRoot := newDNode(false)
 			newRoot.children = append(newRoot.children, left, right)
 			newRoot.recomputeBounds()
 			t.root = newRoot
@@ -157,17 +158,17 @@ func (t *Tree) splitUpward(path []*node) {
 // splitNode partitions an overflowing node into two using Guttman's
 // quadratic split: pick the pair of entries wasting the most area as seeds,
 // then assign each remaining entry to the group needing least enlargement.
-func splitNode(n *node) (*node, *node) {
+func splitNode(n *dnode) (*dnode, *dnode) {
 	if n.leaf {
 		a, b := quadraticSplitItems(n.items)
-		left, right := newNode(true), newNode(true)
+		left, right := newDNode(true), newDNode(true)
 		left.items, right.items = a, b
 		left.recomputeBounds()
 		right.recomputeBounds()
 		return left, right
 	}
 	a, b := quadraticSplitChildren(n.children)
-	left, right := newNode(false), newNode(false)
+	left, right := newDNode(false), newDNode(false)
 	left.children, right.children = a, b
 	left.recomputeBounds()
 	right.recomputeBounds()
@@ -187,9 +188,6 @@ func quadraticSplitItems(items []Item) ([]Item, []Item) {
 		if i == seedA || i == seedB {
 			continue
 		}
-		// Force minimum fill.
-		remaining := len(items) - i - 1 // not exact but conservative
-		_ = remaining
 		switch {
 		case len(ga) >= MaxEntries-MinEntries+1:
 			gb = append(gb, it)
@@ -212,10 +210,10 @@ func quadraticSplitItems(items []Item) ([]Item, []Item) {
 	return ga, gb
 }
 
-func quadraticSplitChildren(children []*node) ([]*node, []*node) {
+func quadraticSplitChildren(children []*dnode) ([]*dnode, []*dnode) {
 	seedA, seedB := pickSeeds(len(children), func(i int) geom.Rect { return children[i].bounds })
-	ga := []*node{children[seedA]}
-	gb := []*node{children[seedB]}
+	ga := []*dnode{children[seedA]}
+	gb := []*dnode{children[seedB]}
 	ra, rb := children[seedA].bounds, children[seedB].bounds
 	for i, c := range children {
 		if i == seedA || i == seedB {
@@ -266,8 +264,8 @@ func pickSeeds(n int, rect func(int) geom.Rect) (int, int) {
 // remaining entries (the standard condense-tree approach). Only the
 // root-to-leaf deletion path is touched, so a delete costs O(depth·M) plus
 // any orphan re-insertions.
-func (t *Tree) Delete(p geom.Point, id int) bool {
-	path := make([]*node, 0, 8)
+func (t *Dynamic) Delete(p geom.Point, id int) bool {
+	path := make([]*dnode, 0, 8)
 	leaf, idx := t.findLeafPath(t.root, p, id, &path)
 	if leaf == nil {
 		return false
@@ -280,7 +278,7 @@ func (t *Tree) Delete(p geom.Point, id int) bool {
 
 // findLeafPath locates the leaf holding (p, id) and records the root..leaf
 // path into *path.
-func (t *Tree) findLeafPath(n *node, p geom.Point, id int, path *[]*node) (*node, int) {
+func (t *Dynamic) findLeafPath(n *dnode, p geom.Point, id int, path *[]*dnode) (*dnode, int) {
 	if !n.bounds.Contains(p) {
 		return nil, -1
 	}
@@ -306,7 +304,7 @@ func (t *Tree) findLeafPath(n *node, p geom.Point, id int, path *[]*node) (*node
 // condense rebalances after a deletion along the recorded path: non-root
 // nodes that underflow are detached and their entries re-inserted; the
 // bounds of the surviving ancestors are refreshed bottom-up.
-func (t *Tree) condense(path []*node) {
+func (t *Dynamic) condense(path []*dnode) {
 	var orphans []Item
 	for i := len(path) - 1; i >= 1; i-- {
 		n := path[i]
@@ -329,7 +327,7 @@ func (t *Tree) condense(path []*node) {
 		t.root = t.root.children[0]
 	}
 	if t.root.entryCount() == 0 && !t.root.leaf {
-		t.root = newNode(true)
+		t.root = newDNode(true)
 	}
 	t.size -= len(orphans)
 	for _, it := range orphans {
@@ -337,7 +335,7 @@ func (t *Tree) condense(path []*node) {
 	}
 }
 
-func collectItems(n *node) []Item {
+func collectItems(n *dnode) []Item {
 	if n.leaf {
 		out := make([]Item, len(n.items))
 		copy(out, n.items)
@@ -352,11 +350,11 @@ func collectItems(n *node) []Item {
 
 // Search appends to dst every stored item whose point lies inside r and
 // returns the extended slice.
-func (t *Tree) Search(r geom.Rect, dst []Item) []Item {
+func (t *Dynamic) Search(r geom.Rect, dst []Item) []Item {
 	return searchNode(t.root, r, dst)
 }
 
-func searchNode(n *node, r geom.Rect, dst []Item) []Item {
+func searchNode(n *dnode, r geom.Rect, dst []Item) []Item {
 	if !n.bounds.Intersects(r) {
 		return dst
 	}
@@ -376,13 +374,13 @@ func searchNode(n *node, r geom.Rect, dst []Item) []Item {
 
 // Within appends every item within Euclidean distance radius of p to dst.
 // This is the query Interchange ES+Loc issues per scanned data point.
-func (t *Tree) Within(p geom.Point, radius float64, dst []Item) []Item {
+func (t *Dynamic) Within(p geom.Point, radius float64, dst []Item) []Item {
 	box := geom.RectAround(p, radius)
 	r2 := radius * radius
 	return withinNode(t.root, p, box, r2, dst)
 }
 
-func withinNode(n *node, p geom.Point, box geom.Rect, r2 float64, dst []Item) []Item {
+func withinNode(n *dnode, p geom.Point, box geom.Rect, r2 float64, dst []Item) []Item {
 	if !n.bounds.Intersects(box) {
 		return dst
 	}
@@ -403,18 +401,18 @@ func withinNode(n *node, p geom.Point, box geom.Rect, r2 float64, dst []Item) []
 // nnEntry is a priority-queue element for best-first kNN search.
 type nnEntry struct {
 	dist float64
-	node *node
+	node *dnode
 	item Item
 	leaf bool
 }
 
 type nnQueue []nnEntry
 
-func (q nnQueue) Len() int            { return len(q) }
-func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnEntry)) }
-func (q *nnQueue) Pop() interface{} {
+func (q nnQueue) Len() int           { return len(q) }
+func (q nnQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x any)        { *q = append(*q, x.(nnEntry)) }
+func (q *nnQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
@@ -425,7 +423,7 @@ func (q *nnQueue) Pop() interface{} {
 // Nearest returns the k items nearest to p in increasing distance order
 // using best-first search. It returns fewer than k items when the tree
 // holds fewer.
-func (t *Tree) Nearest(p geom.Point, k int) []Item {
+func (t *Dynamic) Nearest(p geom.Point, k int) []Item {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
@@ -455,28 +453,28 @@ func (t *Tree) Nearest(p geom.Point, k int) []Item {
 // Validate checks the structural invariants of the tree and returns an
 // error describing the first violation found. It is used by tests and
 // property checks.
-func (t *Tree) Validate() error {
+func (t *Dynamic) Validate() error {
 	count, err := validateNode(t.root, t.root)
 	if err != nil {
 		return err
 	}
 	if count != t.size {
-		return fmt.Errorf("rtree: size mismatch: counted %d, recorded %d", count, t.size)
+		return fmt.Errorf("strtree: size mismatch: counted %d, recorded %d", count, t.size)
 	}
 	return nil
 }
 
-func validateNode(n, root *node) (int, error) {
+func validateNode(n, root *dnode) (int, error) {
 	if n != root && n.entryCount() < MinEntries {
-		return 0, fmt.Errorf("rtree: node underflow: %d < %d", n.entryCount(), MinEntries)
+		return 0, fmt.Errorf("strtree: node underflow: %d < %d", n.entryCount(), MinEntries)
 	}
 	if n.entryCount() > MaxEntries {
-		return 0, fmt.Errorf("rtree: node overflow: %d > %d", n.entryCount(), MaxEntries)
+		return 0, fmt.Errorf("strtree: node overflow: %d > %d", n.entryCount(), MaxEntries)
 	}
 	if n.leaf {
 		for _, it := range n.items {
 			if !n.bounds.Contains(it.P) {
-				return 0, fmt.Errorf("rtree: item %v outside leaf bounds %v", it.P, n.bounds)
+				return 0, fmt.Errorf("strtree: item %v outside leaf bounds %v", it.P, n.bounds)
 			}
 		}
 		return len(n.items), nil
@@ -484,7 +482,7 @@ func validateNode(n, root *node) (int, error) {
 	total := 0
 	for _, c := range n.children {
 		if !n.bounds.ContainsRect(c.bounds) {
-			return 0, fmt.Errorf("rtree: child bounds %v outside parent %v", c.bounds, n.bounds)
+			return 0, fmt.Errorf("strtree: child bounds %v outside parent %v", c.bounds, n.bounds)
 		}
 		sub, err := validateNode(c, root)
 		if err != nil {
@@ -496,7 +494,7 @@ func validateNode(n, root *node) (int, error) {
 }
 
 // Depth returns the height of the tree (1 for a single leaf).
-func (t *Tree) Depth() int {
+func (t *Dynamic) Depth() int {
 	d := 1
 	for n := t.root; !n.leaf; n = n.children[0] {
 		d++

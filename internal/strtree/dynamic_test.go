@@ -1,4 +1,4 @@
-package rtree
+package strtree
 
 import (
 	"math/rand"
@@ -8,7 +8,7 @@ import (
 	"repro/internal/geom"
 )
 
-func randPoints(n int, seed int64) []geom.Point {
+func uniformPoints(n int, seed int64) []geom.Point {
 	rng := rand.New(rand.NewSource(seed))
 	pts := make([]geom.Point, n)
 	for i := range pts {
@@ -17,9 +17,9 @@ func randPoints(n int, seed int64) []geom.Point {
 	return pts
 }
 
-func TestInsertAndLen(t *testing.T) {
-	tr := New()
-	pts := randPoints(500, 1)
+func TestDynamicInsertAndLen(t *testing.T) {
+	tr := NewDynamic()
+	pts := uniformPoints(500, 1)
 	for i, p := range pts {
 		tr.Insert(p, i)
 		if tr.Len() != i+1 {
@@ -34,9 +34,9 @@ func TestInsertAndLen(t *testing.T) {
 	}
 }
 
-func TestSearchMatchesBruteForce(t *testing.T) {
-	tr := New()
-	pts := randPoints(1000, 2)
+func TestDynamicSearchMatchesBruteForce(t *testing.T) {
+	tr := NewDynamic()
+	pts := uniformPoints(1000, 2)
 	for i, p := range pts {
 		tr.Insert(p, i)
 	}
@@ -60,9 +60,9 @@ func TestSearchMatchesBruteForce(t *testing.T) {
 	}
 }
 
-func TestWithinMatchesBruteForce(t *testing.T) {
-	tr := New()
-	pts := randPoints(800, 4)
+func TestDynamicWithinMatchesBruteForce(t *testing.T) {
+	tr := NewDynamic()
+	pts := uniformPoints(800, 4)
 	for i, p := range pts {
 		tr.Insert(p, i)
 	}
@@ -84,9 +84,9 @@ func TestWithinMatchesBruteForce(t *testing.T) {
 	}
 }
 
-func TestNearestMatchesBruteForce(t *testing.T) {
-	tr := New()
-	pts := randPoints(600, 6)
+func TestDynamicNearestMatchesBruteForce(t *testing.T) {
+	tr := NewDynamic()
+	pts := uniformPoints(600, 6)
 	for i, p := range pts {
 		tr.Insert(p, i)
 	}
@@ -116,8 +116,8 @@ func TestNearestMatchesBruteForce(t *testing.T) {
 	}
 }
 
-func TestNearestEdgeCases(t *testing.T) {
-	tr := New()
+func TestDynamicNearestEdgeCases(t *testing.T) {
+	tr := NewDynamic()
 	if res := tr.Nearest(geom.Pt(0, 0), 3); res != nil {
 		t.Error("empty tree should return nil")
 	}
@@ -130,9 +130,9 @@ func TestNearestEdgeCases(t *testing.T) {
 	}
 }
 
-func TestDelete(t *testing.T) {
-	tr := New()
-	pts := randPoints(400, 8)
+func TestDynamicDelete(t *testing.T) {
+	tr := NewDynamic()
+	pts := uniformPoints(400, 8)
 	for i, p := range pts {
 		tr.Insert(p, i)
 	}
@@ -166,9 +166,9 @@ func TestDelete(t *testing.T) {
 	}
 }
 
-func TestDeleteAllThenReuse(t *testing.T) {
-	tr := New()
-	pts := randPoints(150, 9)
+func TestDynamicDeleteAllThenReuse(t *testing.T) {
+	tr := NewDynamic()
+	pts := uniformPoints(150, 9)
 	for i, p := range pts {
 		tr.Insert(p, i)
 	}
@@ -190,8 +190,8 @@ func TestDeleteAllThenReuse(t *testing.T) {
 	}
 }
 
-func TestDuplicatePoints(t *testing.T) {
-	tr := New()
+func TestDynamicDuplicatePoints(t *testing.T) {
+	tr := NewDynamic()
 	p := geom.Pt(5, 5)
 	for i := 0; i < 40; i++ {
 		tr.Insert(p, i)
@@ -217,11 +217,11 @@ func TestDuplicatePoints(t *testing.T) {
 	}
 }
 
-func TestRandomizedInsertDeleteInvariant(t *testing.T) {
+func TestDynamicRandomizedInsertDeleteInvariant(t *testing.T) {
 	// Fuzz-style: random interleaving of inserts and deletes, validating
 	// structure throughout and checking contents against a reference map.
 	rng := rand.New(rand.NewSource(10))
-	tr := New()
+	tr := NewDynamic()
 	type item struct {
 		p  geom.Point
 		id int
@@ -266,8 +266,8 @@ func TestRandomizedInsertDeleteInvariant(t *testing.T) {
 	}
 }
 
-func TestBoundsTracking(t *testing.T) {
-	tr := New()
+func TestDynamicBoundsTracking(t *testing.T) {
+	tr := NewDynamic()
 	if !tr.Bounds().IsEmpty() {
 		t.Error("empty tree should have empty bounds")
 	}

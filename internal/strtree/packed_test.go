@@ -1,4 +1,4 @@
-package kdtree
+package strtree
 
 import (
 	"math/rand"
@@ -8,7 +8,7 @@ import (
 	"repro/internal/geom"
 )
 
-func randPoints(n int, seed int64) []geom.Point {
+func normPoints(n int, seed int64) []geom.Point {
 	rng := rand.New(rand.NewSource(seed))
 	pts := make([]geom.Point, n)
 	for i := range pts {
@@ -17,8 +17,8 @@ func randPoints(n int, seed int64) []geom.Point {
 	return pts
 }
 
-func TestNearestMatchesBruteForce(t *testing.T) {
-	pts := randPoints(700, 1)
+func TestPackedNearestMatchesBruteForce(t *testing.T) {
+	pts := normPoints(700, 1)
 	tr := Build(pts, nil)
 	rng := rand.New(rand.NewSource(2))
 	for q := 0; q < 200; q++ {
@@ -43,7 +43,7 @@ func TestNearestMatchesBruteForce(t *testing.T) {
 	}
 }
 
-func TestNearestEmpty(t *testing.T) {
+func TestPackedNearestEmpty(t *testing.T) {
 	tr := Build(nil, nil)
 	if _, _, _, ok := tr.Nearest(geom.Pt(0, 0)); ok {
 		t.Error("empty tree Nearest should report !ok")
@@ -53,7 +53,7 @@ func TestNearestEmpty(t *testing.T) {
 	}
 }
 
-func TestNearestSinglePoint(t *testing.T) {
+func TestPackedNearestSinglePoint(t *testing.T) {
 	tr := Build([]geom.Point{geom.Pt(3, 4)}, []int{99})
 	id, p, d, ok := tr.Nearest(geom.Pt(0, 0))
 	if !ok || id != 99 || !p.Equal(geom.Pt(3, 4)) || d != 5 {
@@ -61,8 +61,8 @@ func TestNearestSinglePoint(t *testing.T) {
 	}
 }
 
-func TestKNearestOrderAndCompleteness(t *testing.T) {
-	pts := randPoints(400, 3)
+func TestPackedKNearestOrderAndCompleteness(t *testing.T) {
+	pts := normPoints(400, 3)
 	tr := Build(pts, nil)
 	rng := rand.New(rand.NewSource(4))
 	for q := 0; q < 60; q++ {
@@ -90,8 +90,8 @@ func TestKNearestOrderAndCompleteness(t *testing.T) {
 	}
 }
 
-func TestKNearestMoreThanSize(t *testing.T) {
-	pts := randPoints(5, 5)
+func TestPackedKNearestMoreThanSize(t *testing.T) {
+	pts := normPoints(5, 5)
 	tr := Build(pts, nil)
 	got := tr.KNearest(geom.Pt(0, 0), 50)
 	if len(got) != 5 {
@@ -102,8 +102,8 @@ func TestKNearestMoreThanSize(t *testing.T) {
 	}
 }
 
-func TestInRangeMatchesBruteForce(t *testing.T) {
-	pts := randPoints(500, 6)
+func TestPackedInRangeMatchesBruteForce(t *testing.T) {
+	pts := normPoints(500, 6)
 	tr := Build(pts, nil)
 	rng := rand.New(rand.NewSource(7))
 	for q := 0; q < 60; q++ {
@@ -129,7 +129,7 @@ func TestInRangeMatchesBruteForce(t *testing.T) {
 	}
 }
 
-func TestCustomIDs(t *testing.T) {
+func TestPackedCustomIDs(t *testing.T) {
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
 	tr := Build(pts, []int{42, 77})
 	id, _, _, _ := tr.Nearest(geom.Pt(9, 0))
@@ -138,16 +138,16 @@ func TestCustomIDs(t *testing.T) {
 	}
 }
 
-func TestBuildPanicsOnIDMismatch(t *testing.T) {
+func TestPackedBuildPanicsOnIDMismatch(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("want panic on ids/pts length mismatch")
 		}
 	}()
-	Build(randPoints(3, 8), []int{1, 2})
+	Build(normPoints(3, 8), []int{1, 2})
 }
 
-func TestDuplicateCoordinates(t *testing.T) {
+func TestPackedDuplicateCoordinates(t *testing.T) {
 	// Many identical points must not break construction or search.
 	pts := make([]geom.Point, 64)
 	for i := range pts {
@@ -165,8 +165,8 @@ func TestDuplicateCoordinates(t *testing.T) {
 	}
 }
 
-func TestTreeIsImmutableCopy(t *testing.T) {
-	pts := randPoints(10, 9)
+func TestPackedTreeIsImmutableCopy(t *testing.T) {
+	pts := normPoints(10, 9)
 	tr := Build(pts, nil)
 	// Mutating the caller's slice must not affect the tree.
 	orig := pts[0]
@@ -174,5 +174,38 @@ func TestTreeIsImmutableCopy(t *testing.T) {
 	id, p, _, _ := tr.Nearest(orig)
 	if !p.Equal(orig) && id == 0 {
 		t.Error("tree shares storage with caller slice")
+	}
+}
+
+// TestPackedScalesAcrossLeafBoundaries drives sizes around the leaf and
+// fanout boundaries so single-leaf, single-node, and multi-level trees
+// all get the brute-force treatment.
+func TestPackedScalesAcrossLeafBoundaries(t *testing.T) {
+	sizes := []int{1, 2, packedLeafSize - 1, packedLeafSize, packedLeafSize + 1,
+		packedLeafSize * packedFanout, packedLeafSize*packedFanout + 1, 5000}
+	for _, n := range sizes {
+		pts := normPoints(n, int64(n))
+		tr := Build(pts, nil)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		probe := geom.Pt(1, -2)
+		_, _, d, ok := tr.Nearest(probe)
+		if !ok {
+			t.Fatalf("n=%d: Nearest !ok", n)
+		}
+		bestD := probe.Dist(pts[0])
+		for _, p := range pts[1:] {
+			if dd := probe.Dist(p); dd < bestD {
+				bestD = dd
+			}
+		}
+		if d > bestD+1e-9 {
+			t.Fatalf("n=%d: Nearest %v, brute %v", n, d, bestD)
+		}
+		all := tr.InRange(geom.Rect{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9}, nil)
+		if len(all) != n {
+			t.Fatalf("n=%d: full-extent InRange found %d", n, len(all))
+		}
 	}
 }

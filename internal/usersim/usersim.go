@@ -23,8 +23,8 @@ import (
 	"math/rand"
 
 	"repro/internal/geom"
-	"repro/internal/kdtree"
 	"repro/internal/render"
+	"repro/internal/strtree"
 )
 
 // Config holds the study-wide knobs. Zero fields take defaults from
@@ -112,8 +112,8 @@ func Regression(data []geom.Point, values []float64, sample []geom.Point, sample
 	}
 	cfg.fillDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	dataTree := kdtree.Build(data, nil)
-	sampleTree := kdtree.Build(sample, nil)
+	dataTree := strtree.Build(data, nil)
+	sampleTree := strtree.Build(sample, nil)
 	bounds := geom.Bounds(data)
 
 	success, abstain := 0, 0
@@ -202,7 +202,7 @@ func Regression(data []geom.Point, values []float64, sample []geom.Point, sample
 // view: a random spot whose nearest data point is close enough to "be"
 // that spot on screen. Returns !ok when several tries find no data-backed
 // spot (the caller redraws the region).
-func areaWeightedProbe(rng *rand.Rand, dataTree *kdtree.Tree, vp geom.Rect, maxDist float64) (geom.Point, bool) {
+func areaWeightedProbe(rng *rand.Rand, dataTree *strtree.Tree, vp geom.Rect, maxDist float64) (geom.Point, bool) {
 	for try := 0; try < 12; try++ {
 		spot := randomInRect(rng, vp)
 		_, p, d, ok := dataTree.Nearest(spot)
@@ -230,9 +230,9 @@ func zoomInto(core geom.Rect, c geom.Point, factor float64) geom.Rect {
 
 // visibleWithin returns the indices of up to k sample points that are both
 // inside the viewport and within radius of the probe.
-func visibleWithin(tree *kdtree.Tree, sample []geom.Point, vp geom.Rect, probe geom.Point, radius float64, k int) []kdtree.Neighbor {
+func visibleWithin(tree *strtree.Tree, sample []geom.Point, vp geom.Rect, probe geom.Point, radius float64, k int) []strtree.Neighbor {
 	nbs := tree.KNearest(probe, k*4)
-	var out []kdtree.Neighbor
+	var out []strtree.Neighbor
 	for _, nb := range nbs {
 		if nb.Dist <= radius && vp.Contains(sample[nb.ID]) {
 			out = append(out, nb)
@@ -244,7 +244,7 @@ func visibleWithin(tree *kdtree.Tree, sample []geom.Point, vp geom.Rect, probe g
 	return out
 }
 
-func meanValue(nbs []kdtree.Neighbor, values []float64) float64 {
+func meanValue(nbs []strtree.Neighbor, values []float64) float64 {
 	if len(nbs) == 0 {
 		return math.NaN()
 	}
@@ -257,7 +257,7 @@ func meanValue(nbs []kdtree.Neighbor, values []float64) float64 {
 
 // weightedEstimate is inverse-distance-weighted interpolation from the
 // visible points — the visual read-off a human makes from nearby dots.
-func weightedEstimate(probe geom.Point, nbs []kdtree.Neighbor, values []float64) float64 {
+func weightedEstimate(probe geom.Point, nbs []strtree.Neighbor, values []float64) float64 {
 	var num, den float64
 	for _, nb := range nbs {
 		w := 1 / (nb.Dist + 1e-12)
@@ -284,8 +284,8 @@ func Density(data []geom.Point, sample []geom.Point, weights []int64, cfg Config
 	}
 	cfg.fillDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	dataTree := kdtree.Build(data, nil)
-	sampleTree := kdtree.Build(sample, nil)
+	dataTree := strtree.Build(data, nil)
+	sampleTree := strtree.Build(sample, nil)
 	bounds := geom.Bounds(data)
 
 	var score float64
@@ -379,7 +379,7 @@ func quadrants(vp geom.Rect) []geom.Rect {
 // unweighted sample the perception is the dot count; for a §V
 // density-embedded sample it is the total ink — the sum of dot areas,
 // which the encoding makes proportional to the represented data mass.
-func sampleMassIn(tree *kdtree.Tree, q geom.Rect, weights []int64) float64 {
+func sampleMassIn(tree *strtree.Tree, q geom.Rect, weights []int64) float64 {
 	var count float64
 	var sumW int64
 	for _, nb := range tree.InRange(q, nil) {

@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
-	"repro/internal/kdtree"
+	"repro/internal/strtree"
 )
 
 // This file implements the density-embedding extension of §V: VAS alone
@@ -63,7 +63,7 @@ func DensityPass(sample []geom.Point, ids []int, data []geom.Point) (*WeightedSa
 	if ids != nil && len(ids) != len(sample) {
 		return nil, fmt.Errorf("vas: ids length %d != sample length %d", len(ids), len(sample))
 	}
-	t := kdtree.Build(sample, nil)
+	t := strtree.Build(sample, nil)
 	counts := make([]int64, len(sample))
 	for _, p := range data {
 		i, _, _, ok := t.Nearest(p)
@@ -88,7 +88,7 @@ func DensityPass(sample []geom.Point, ids []int, data []geom.Point) (*WeightedSa
 // pass — "while scanning the dataset once more" — and is what cmd/vasgen
 // uses for CSV streams.
 type DensityAccumulator struct {
-	tree   *kdtree.Tree
+	tree   *strtree.Tree
 	sample []geom.Point
 	ids    []int
 	counts []int64
@@ -104,7 +104,7 @@ func NewDensityAccumulator(sample []geom.Point, ids []int) (*DensityAccumulator,
 		return nil, fmt.Errorf("vas: ids length %d != sample length %d", len(ids), len(sample))
 	}
 	return &DensityAccumulator{
-		tree:   kdtree.Build(sample, nil),
+		tree:   strtree.Build(sample, nil),
 		sample: append([]geom.Point(nil), sample...),
 		ids:    append([]int(nil), ids...),
 		counts: make([]int64, len(sample)),

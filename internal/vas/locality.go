@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/grid"
-	"repro/internal/rtree"
+	"repro/internal/strtree"
 )
 
 // locIndex abstracts the spatial index that the ESLoc variant uses to find
@@ -28,13 +28,13 @@ type slotDist struct {
 	d2   float64
 }
 
-// rtreeIndex adapts internal/rtree to locIndex.
+// rtreeIndex adapts the mutable internal/strtree tree to locIndex.
 type rtreeIndex struct {
-	t       *rtree.Tree
-	scratch []rtree.Item
+	t       *strtree.Dynamic
+	scratch []strtree.Item
 }
 
-func newRTreeIndex() *rtreeIndex { return &rtreeIndex{t: rtree.New()} }
+func newRTreeIndex() *rtreeIndex { return &rtreeIndex{t: strtree.NewDynamic()} }
 
 func (ix *rtreeIndex) insert(p geom.Point, slot int) { ix.t.Insert(p, slot) }
 func (ix *rtreeIndex) remove(p geom.Point, slot int) { ix.t.Delete(p, slot) }

@@ -74,7 +74,7 @@ func ParseVariant(s string) (Variant, error) {
 type IndexKind int
 
 const (
-	// IndexRTree uses the quadratic-split R-tree from internal/rtree.
+	// IndexRTree uses the quadratic-split R-tree from internal/strtree.
 	IndexRTree IndexKind = iota
 	// IndexGrid uses a uniform grid sized from the data bounds.
 	IndexGrid

@@ -71,6 +71,17 @@ type Pred = store.Pred
 // pruned for filtered queries.
 type ScanStats = store.ScanStats
 
+// Neighbor is one k-nearest-neighbour result row (see Catalog.Nearest).
+type Neighbor = store.Neighbor
+
+// Index-backend policy names accepted by Catalog.SetIndexBackend and
+// the vasserve -index-backend flag.
+const (
+	IndexBackendAuto  = store.BackendAuto
+	IndexBackendGrid  = store.BackendGrid
+	IndexBackendRTree = store.BackendRTree
+)
+
 // Options configures Build.
 type Options struct {
 	// K is the sample size (required, positive).
@@ -359,6 +370,10 @@ type Catalog struct {
 	// compactFrac is the auto-compaction threshold applied to every
 	// base table the catalog loads (see store.Table.SetAutoCompact).
 	compactFrac float64
+	// indexBackend is the spatial-index backend policy applied to every
+	// table the catalog loads or restores ("" = auto; see
+	// store.Table.SetIndexBackend).
+	indexBackend string
 }
 
 // DefaultCompactFraction is the auto-compaction threshold applied to
@@ -395,6 +410,30 @@ func (c *Catalog) compactFraction() float64 {
 	return c.compactFrac
 }
 
+// SetIndexBackend sets the spatial-index backend policy applied to
+// every table the catalog loads (LoadTable, BuildSamples) or restores
+// (LoadSnapshot) from now on: "auto" (the default — per-table choice
+// from grid-occupancy skew), "grid", or "rtree". On a snapshot restore
+// a table whose persisted index already complies keeps it; one that
+// does not is rebuilt under the policy.
+func (c *Catalog) SetIndexBackend(mode string) error {
+	switch mode {
+	case IndexBackendAuto, "", IndexBackendGrid, IndexBackendRTree:
+	default:
+		return fmt.Errorf("vas: unknown index backend %q (want auto, grid, or rtree)", mode)
+	}
+	c.snapMu.Lock()
+	c.indexBackend = mode
+	c.snapMu.Unlock()
+	return nil
+}
+
+func (c *Catalog) indexBackendMode() string {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	return c.indexBackend
+}
+
 // LoadTable registers a base table named name with columns x and y, or
 // replaces its contents when the table already exists. The (x, y) pair is
 // spatially indexed at load time, so viewport queries and tile renders
@@ -415,6 +454,9 @@ func (c *Catalog) LoadTable(name string, points []Point) error {
 	for i, p := range points {
 		xs[i] = p.X
 		ys[i] = p.Y
+	}
+	if err := t.SetIndexBackend(c.indexBackendMode()); err != nil {
+		return err
 	}
 	if err := t.BulkLoad(xs, ys); err != nil {
 		return err
@@ -951,6 +993,7 @@ func (c *Catalog) LoadSnapshot(dir string) error {
 		return fmt.Errorf("vas: snapshot tail %s: %w", filepath.Join(dir, TailFile), err)
 	}
 	frac := c.compactFrac
+	mode := c.indexBackend
 	tables := make([]*store.Table, 0, len(cat.Tables))
 	byName := make(map[string]*store.Table, len(cat.Tables))
 	for _, ts := range cat.Tables {
@@ -959,6 +1002,18 @@ func (c *Catalog) LoadSnapshot(dir string) error {
 			return fmt.Errorf("vas: snapshot %s: %w", filepath.Join(dir, SnapshotFile), err)
 		}
 		t.SetAutoCompact(frac)
+		if err := t.SetIndexBackend(mode); err != nil {
+			return err
+		}
+		// A forced backend rebuilds any restored index that does not
+		// comply; under auto (the default) IndexOn's fast path keeps every
+		// persisted index as-is, so restores stay rebuild-free.
+		if mode != "" && mode != IndexBackendAuto {
+			if err := t.IndexOn("x", "y"); err != nil {
+				return fmt.Errorf("vas: snapshot %s: reindex %q under %q backend: %w",
+					filepath.Join(dir, SnapshotFile), t.Name(), mode, err)
+			}
+		}
 		tables = append(tables, t)
 		byName[t.Name()] = t
 	}
@@ -1155,4 +1210,31 @@ func (c *Catalog) QueryExact(table string, viewport Rect) (*QueryResult, error) 
 		PredictedTime: resp.PredictedTime,
 		Scan:          resp.Scan,
 	}, nil
+}
+
+// NearestResult is the answer to a k-nearest-neighbour query.
+type NearestResult struct {
+	// Neighbors are the k nearest live rows, nearest first (ties broken
+	// by row id); fewer when the table holds fewer matching rows.
+	Neighbors []Neighbor
+	// Scan reports how the search ran — best-first tree descent for
+	// R-tree-backed tables, brute-force sweep otherwise.
+	Scan ScanStats
+}
+
+// Nearest answers the k nearest live rows of the base table to (x, y)
+// by Euclidean distance, restricted to rows matching every filter.
+// Always exact — a kNN answer is k specific rows, so no sample or
+// latency-budget tradeoff applies. R-tree-backed tables (see
+// SetIndexBackend) answer with a best-first branch-and-bound descent;
+// grid-backed and unindexed tables fall back to a brute-force sweep.
+func (c *Catalog) Nearest(table string, x, y float64, k int, filters []Pred) (*NearestResult, error) {
+	resp, err := c.planner.Nearest(query.NearestRequest{
+		Table: table, XCol: "x", YCol: "y",
+		X: x, Y: y, K: k, Filters: filters,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &NearestResult{Neighbors: resp.Neighbors, Scan: resp.Scan}, nil
 }
