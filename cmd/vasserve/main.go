@@ -21,19 +21,34 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -debug-addr
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/obs"
 
 	vas "repro"
+)
+
+// Listener hardening shared by the serving and debug servers: slow or
+// stalled clients cannot hold a connection (and its handler goroutine)
+// forever. WriteTimeout is generous because budget-bound tile renders
+// legitimately take seconds on cold caches.
+const (
+	httpReadTimeout  = 15 * time.Second
+	httpWriteTimeout = 60 * time.Second
+	httpIdleTimeout  = 120 * time.Second
+	shutdownGrace    = 30 * time.Second
 )
 
 func main() {
@@ -51,6 +66,12 @@ func main() {
 		ttlCol  = flag.String("ttl-col", "", "column holding each row's timestamp as float64 Unix seconds, for -ttl")
 		debug   = flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling (e.g. localhost:6060); empty disables")
 		slow    = flag.Duration("slow-threshold", 0, "record request traces slower than this in /debug/slow (0 = server default 250ms, negative = record everything)")
+
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline on heavy routes: requests past it are canceled inside the scan kernels and answered 503 + Retry-After (0 disables)")
+		inflight   = flag.Int("max-inflight", 0, "admission control: max concurrently executing requests per heavy route; excess waits in a bounded queue, the rest is shed 503/429 + Retry-After (0 disables)")
+		queueDepth = flag.Int("queue-depth", 0, "admission control: waiters allowed per heavy route beyond -max-inflight before shedding (needs -max-inflight)")
+		queueWait  = flag.Duration("queue-timeout", 250*time.Millisecond, "admission control: how long a queued request waits for an execution slot before being shed 429")
+		readOnly   = flag.Bool("read-only-on-degrade", false, "reject appends/deletes with 503 while snapshot persistence is degraded, instead of accepting rows that cannot be made durable")
 	)
 	flag.Parse()
 	var ks []int
@@ -86,6 +107,11 @@ func main() {
 		fmt.Printf("retention: rows with %s older than %s are dropped by compaction\n", *ttlCol, *ttl)
 	}
 
+	// Resilience knobs must land before Handler() builds the server.
+	cat.SetRequestTimeout(*reqTimeout)
+	cat.SetAdmissionLimits(*inflight, *queueDepth, *queueWait)
+	cat.SetReadOnlyOnDegrade(*readOnly)
+
 	fmt.Printf("serving on %s\n", *addr)
 	fmt.Printf("  GET  /v1/tables\n")
 	fmt.Printf("  GET  /v1/query?table=gps&budget=1600ms&minx=..&miny=..&maxx=..&maxy=..\n")
@@ -104,18 +130,22 @@ func main() {
 			s.SlowLog().SetThreshold(d)
 		}
 	}
+	var dbg *http.Server
 	if *debug != "" {
 		// pprof lives on its own listener so profiling endpoints are never
 		// exposed on the serving address. net/http/pprof registered its
 		// handlers on http.DefaultServeMux at import.
 		fmt.Printf("pprof on http://%s/debug/pprof/\n", *debug)
+		dbg = &http.Server{
+			Addr:              *debug,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       httpReadTimeout,
+			WriteTimeout:      httpWriteTimeout,
+			IdleTimeout:       httpIdleTimeout,
+		}
 		go func() {
-			dbg := &http.Server{
-				Addr:              *debug,
-				Handler:           http.DefaultServeMux,
-				ReadHeaderTimeout: 5 * time.Second,
-			}
-			if err := dbg.ListenAndServe(); err != nil {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "vasserve: debug listener: %v\n", err)
 			}
 		}()
@@ -124,10 +154,47 @@ func main() {
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       httpReadTimeout,
+		WriteTimeout:      httpWriteTimeout,
+		IdleTimeout:       httpIdleTimeout,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: on SIGTERM/SIGINT stop accepting, drain
+	// in-flight requests (bounded), stop the debug listener, wait for
+	// background compaction/re-save goroutines, and flush one final
+	// snapshot so the next start replays nothing from the tail log.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		// The listener died on its own (bad -addr, port in use, ...):
+		// ErrServerClosed is impossible here, so this is always fatal.
 		fail(err)
+	case <-ctx.Done():
 	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Println("shutting down: draining in-flight requests...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "vasserve: drain: %v\n", err)
+	}
+	if dbg != nil {
+		if err := dbg.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "vasserve: debug drain: %v\n", err)
+		}
+	}
+	cat.WaitBackground()
+	if *snapDir != "" {
+		if err := cat.SaveSnapshot(*snapDir); err != nil {
+			fmt.Fprintf(os.Stderr, "vasserve: final snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("final snapshot saved to %s\n", *snapDir)
+	}
+	fmt.Println("shutdown complete")
 }
 
 // loadOrBuild restores the catalog from a fresh snapshot when one is

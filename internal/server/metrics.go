@@ -18,10 +18,17 @@ import (
 // counts and latency observations always reconcile.
 const routeOther = "other"
 
-// routeMetrics is one route's request counter and latency histogram.
+// routeMetrics is one route's request counter and latency histogram,
+// plus its resilience counters: requests shed by admission control
+// (split by reason) and requests that failed at the per-request
+// deadline.
 type routeMetrics struct {
 	count   atomic.Int64
 	latency *obs.Histogram
+
+	shedCapacity     atomic.Int64
+	shedQueueTimeout atomic.Int64
+	timeouts         atomic.Int64
 }
 
 // TailStatus is one base table's snapshot-tail durability state, fed by
@@ -76,6 +83,30 @@ func (m *metrics) record(route string, status int, d time.Duration) {
 	}
 }
 
+// recordShed counts one request rejected by admission control.
+func (m *metrics) recordShed(route, reason string) {
+	rm, ok := m.requests[route]
+	if !ok {
+		rm = m.requests[routeOther]
+	}
+	switch reason {
+	case shedReasonQueueTimeout:
+		rm.shedQueueTimeout.Add(1)
+	default:
+		rm.shedCapacity.Add(1)
+	}
+}
+
+// recordTimeout counts one request that failed at the per-request
+// deadline.
+func (m *metrics) recordTimeout(route string) {
+	rm, ok := m.requests[route]
+	if !ok {
+		rm = m.requests[routeOther]
+	}
+	rm.timeouts.Add(1)
+}
+
 // recordStages folds a finished trace into the per-stage histograms:
 // one observation per stage the request actually touched, of that
 // stage's accumulated duration within the request.
@@ -101,6 +132,17 @@ func (m *metrics) write(w io.Writer, cache cacheStats, idx store.IndexStats, col
 	}
 	ew.Head("vasserve_request_errors_total", "counter", "Responses with status >= 400.")
 	fmt.Fprintf(w, "vasserve_request_errors_total %d\n", m.errors.Load())
+
+	ew.Head("vasserve_requests_shed_total", "counter", "Requests rejected by admission control before reaching a handler, by route and reason (capacity = in-flight cap and wait queue both full; queue_timeout = queued but no slot freed in time).")
+	for _, r := range m.routes {
+		rm := m.requests[r]
+		fmt.Fprintf(w, "vasserve_requests_shed_total{route=%q,reason=%q} %d\n", r, shedReasonCapacity, rm.shedCapacity.Load())
+		fmt.Fprintf(w, "vasserve_requests_shed_total{route=%q,reason=%q} %d\n", r, shedReasonQueueTimeout, rm.shedQueueTimeout.Load())
+	}
+	ew.Head("vasserve_request_timeouts_total", "counter", "Requests that failed at the per-request deadline (503 to the client), by route.")
+	for _, r := range m.routes {
+		fmt.Fprintf(w, "vasserve_request_timeouts_total{route=%q} %d\n", r, m.requests[r].timeouts.Load())
+	}
 
 	// Per-route latency histograms, plus process-wide p50/p99 derived
 	// from their merged buckets (kept for dashboards that predate the

@@ -82,6 +82,27 @@ type Config struct {
 	// for the vasserve_tail_log_degraded gauge — the catalog layer wires
 	// its sticky SnapshotErr through here.
 	TailStatus func() []TailStatus
+	// RequestTimeout, when positive, bounds the handling of every
+	// data-touching request (query, nearest, tile, append, delete,
+	// tables): the request context is canceled at the deadline, the
+	// engine's cooperative cancellation checks unwind the scan, and the
+	// client gets 503 with Retry-After. Probe routes (healthz, metrics,
+	// debug) are exempt. Zero means no deadline.
+	RequestTimeout time.Duration
+	// MaxInFlight, when positive, caps concurrently executing requests
+	// PER data-touching route; excess requests join a bounded wait
+	// queue of QueueDepth slots for up to QueueTimeout before being
+	// shed (503 reason=capacity when the queue itself is full, 429
+	// reason=queue_timeout when no slot freed in time; both carry
+	// Retry-After and count in vasserve_requests_shed_total). Zero
+	// admits everything.
+	MaxInFlight int
+	// QueueDepth is the wait-queue length behind MaxInFlight; 0 means
+	// no queue (immediate shed once the cap is reached).
+	QueueDepth int
+	// QueueTimeout is how long a queued request waits for an in-flight
+	// slot; 0 means 250ms.
+	QueueTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +127,9 @@ func (c Config) withDefaults() Config {
 	case c.SlowThreshold < 0:
 		c.SlowThreshold = 0
 	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -119,6 +143,9 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *metrics
 	slow    *obs.SlowLog
+	// limiters holds the per-route admission gates (nil entries / nil
+	// map = unlimited); built once in New from Config.MaxInFlight.
+	limiters map[string]*limiter
 
 	// boundsMu guards boundsCache — the lazily computed per-table data
 	// extents tile addresses are resolved against — and epochs, the
@@ -162,6 +189,12 @@ func New(st *store.Store, planner *query.Planner, cfg Config) *Server {
 		epochs:      make(map[string]uint64),
 	}
 	s.slow = obs.NewSlowLog(s.cfg.SlowLogSize, s.cfg.SlowThreshold)
+	if s.cfg.MaxInFlight > 0 {
+		s.limiters = make(map[string]*limiter, len(heavyRoutes))
+		for route := range heavyRoutes {
+			s.limiters[route] = newLimiter(s.cfg.MaxInFlight, s.cfg.QueueDepth, s.cfg.QueueTimeout)
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/tables", s.instrument("tables", s.handleTables))
 	mux.HandleFunc("GET /v1/query", s.instrument("query", s.handleQuery))
@@ -227,17 +260,42 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the observability middleware: every
-// request gets a fresh trace carried in its context (handlers and the
-// layers below record stage spans into it), and on completion the
-// trace feeds the per-route latency histogram, the per-stage duration
-// histograms, and the slow-query log.
+// instrument wraps a handler with the resilience + observability
+// middleware. In order: admission control (the per-route in-flight cap
+// with its bounded wait queue — shed requests are answered and counted
+// without ever reaching the handler), the per-request deadline (the
+// context is canceled at Config.RequestTimeout and the engine's
+// cooperative cancellation checks unwind the scan), then tracing —
+// every request gets a fresh trace carried in its context, and on
+// completion the trace feeds the per-route latency histogram, the
+// per-stage duration histograms, and the slow-query log.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTrace(route)
-		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if lim := s.limiters[route]; lim != nil {
+			if reason := lim.acquire(r.Context()); reason != "" {
+				s.shed(sw, route, reason)
+				tr.Status = sw.status
+				s.metrics.record(route, sw.status, tr.Finish())
+				return
+			}
+			defer lim.release()
+		}
+		ctx := obs.WithTrace(r.Context(), tr)
+		if s.cfg.RequestTimeout > 0 && heavyRoutes[route] {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		r = r.WithContext(ctx)
 		h(sw, r)
+		if ctx.Err() == context.DeadlineExceeded && sw.status >= 400 {
+			// The deadline fired AND the request failed: the handler
+			// unwound through the cancellation path, not a race where
+			// the response won by a hair.
+			s.metrics.recordTimeout(route)
+		}
 		tr.Status = sw.status
 		total := tr.Finish()
 		s.metrics.record(route, sw.status, total)
@@ -246,7 +304,12 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// httpError maps engine errors onto HTTP statuses and writes a JSON body.
+// httpError maps engine errors onto HTTP statuses and writes a JSON
+// body. The resilience taxonomy is explicit: a deadline that fired
+// server-side is 503 + Retry-After (the server was too slow — back off
+// and retry), a canceled context is 499 (the client hung up — nobody is
+// reading), and a degraded-mode write rejection is 503 + Retry-After
+// (the mode clears when persistence heals).
 func httpError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -256,6 +319,14 @@ func httpError(w http.ResponseWriter, err error) {
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, store.ErrBadNearest):
 		status = http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
+	case errors.Is(err, ErrDegraded):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -820,7 +891,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		switch {
-		case errors.Is(err, store.ErrNotFound):
+		case errors.Is(err, store.ErrNotFound), errors.Is(err, ErrDegraded):
 			httpError(w, err)
 		case n > 0:
 			// The batch is live but a server-side step (the snapshot

@@ -38,12 +38,28 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 
 	"repro/internal/binio"
+	"repro/internal/fault"
 	"repro/internal/store"
 )
+
+// fsys is the filesystem every snapshot and tail-log operation goes
+// through. Production uses the zero-overhead passthrough; tests swap in
+// a fault.Injector via SetFS to script errors, torn writes, and crash
+// points at any file-op site.
+var fsys fault.FS = fault.OS{}
+
+// SetFS replaces the package's filesystem and returns a restore
+// function. It is a test seam: callers are expected to run serially
+// (the torture suite does) — there is no synchronization against
+// in-flight saves.
+func SetFS(f fault.FS) (restore func()) {
+	old := fsys
+	fsys = f
+	return func() { fsys = old }
+}
 
 const (
 	// Magic identifies a catalog snapshot file.
@@ -51,11 +67,13 @@ const (
 	// FormatVersion is bumped on any incompatible layout change; the
 	// decoder refuses other versions rather than misparsing them.
 	// v2 added tombstone sections (kind 3); v3 added tree-index sections
-	// (kind 4) for R-tree-backed tables. Every pre-existing section is
-	// byte-identical across versions, so the decoder still accepts v1
-	// and v2 files — old snapshots load with an empty tombstone set and
-	// grid indexes only.
-	FormatVersion = 3
+	// (kind 4) for R-tree-backed tables; v4 appended the save epoch to
+	// the catalog section, pairing each snapshot with the tail log
+	// written against it. Every pre-existing section is byte-identical
+	// across versions, so the decoder still accepts v1–v3 files — old
+	// snapshots load with an empty tombstone set, grid indexes only,
+	// and epoch zero (the "unpaired" legacy value).
+	FormatVersion = 4
 	// minFormatVersion is the oldest version Read still accepts.
 	minFormatVersion = 1
 
@@ -102,6 +120,15 @@ type Catalog struct {
 	Tables     []store.TableSnapshot
 	Samples    []store.SampleMeta
 	Provenance []Provenance
+	// Epoch is the save generation this snapshot captured: incremented
+	// on every full save, stamped into the tail log written against the
+	// saved base. On load, a tail whose epoch predates the snapshot's is
+	// a leftover the save already folded in (the crash window between
+	// writing the snapshot and removing the tail) and must be discarded,
+	// not replayed — replay would duplicate its rows. Zero means a
+	// pre-v4 file with no pairing information; such tails replay
+	// unconditionally, as they always have.
+	Epoch uint64
 }
 
 // HashColumns fingerprints column data for provenance: FNV-1a folded
@@ -181,6 +208,8 @@ func Write(w io.Writer, c *Catalog) error {
 			pw.U64(uint64(p.Rows))
 			pw.String(p.Build)
 		}
+		// v4: the save epoch, appended so v1–v3 decoding is unchanged.
+		pw.U64(c.Epoch)
 	})
 	for _, ts := range c.Tables {
 		encodeSection(sectionTable, func(pw *binio.Writer) {
@@ -334,7 +363,7 @@ func Read(r io.Reader, size int64) (*Catalog, error) {
 				return nil, corrupt("duplicate catalog section")
 			}
 			sawCatalog = true
-			if err := decodeCatalogSection(pr, cat); err != nil {
+			if err := decodeCatalogSection(pr, cat, version); err != nil {
 				return nil, err
 			}
 		case sectionTable:
@@ -419,7 +448,7 @@ func corrupt(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }
 
-func decodeCatalogSection(pr *binio.Reader, cat *Catalog) error {
+func decodeCatalogSection(pr *binio.Reader, cat *Catalog, version uint32) error {
 	nsamples := pr.U32()
 	if pr.Err() == nil && nsamples > maxEntries {
 		return corrupt("catalog claims %d samples, limit %d", nsamples, maxEntries)
@@ -461,6 +490,9 @@ func decodeCatalogSection(pr *binio.Reader, cat *Catalog) error {
 		}
 		p.Rows = int64(rows)
 		cat.Provenance = append(cat.Provenance, p)
+	}
+	if version >= 4 {
+		cat.Epoch = pr.U64()
 	}
 	if err := pr.Err(); err != nil {
 		return corrupt("catalog section: %v", err)
@@ -596,17 +628,17 @@ func decodeTreeSection(pr *binio.Reader, si uint32) (string, []store.TreeIndexSn
 // place — never a torn one.
 func Save(path string, c *Catalog) error {
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("snapshot: create directory: %w", err)
 	}
-	f, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	f, err := fsys.CreateTemp(dir, ".snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("snapshot: create temp file: %w", err)
 	}
 	tmp := f.Name()
 	cleanup := func() {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 	}
 	if err := Write(f, c); err != nil {
 		cleanup()
@@ -617,17 +649,17 @@ func Save(path string, c *Catalog) error {
 		return fmt.Errorf("snapshot: sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("snapshot: close: %w", err)
 	}
 	// CreateTemp makes the file 0600; a snapshot is a serving artifact
 	// (the next process may run as a different user), not a secret.
-	if err := os.Chmod(tmp, 0o644); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Chmod(tmp, 0o644); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("snapshot: chmod: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("snapshot: rename into place: %w", err)
 	}
 	return nil
@@ -636,7 +668,7 @@ func Save(path string, c *Catalog) error {
 // Load reads the snapshot at path. The file's size bounds every
 // allocation the decoder makes.
 func Load(path string) (*Catalog, error) {
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,9 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"os"
@@ -12,6 +14,28 @@ import (
 	"repro/internal/geom"
 	"repro/internal/store"
 )
+
+// downgrade re-stamps a freshly written snapshot as an older format
+// version: it patches the header version and strips the v4 epoch field
+// from the end of the catalog section (the first section Write emits),
+// recomputing the section's length and CRC, so the bytes are exactly
+// what an older build would have produced.
+func downgrade(t *testing.T, data []byte, version byte) []byte {
+	t.Helper()
+	out := append([]byte(nil), data...)
+	out[4] = version
+	const secOff = 12 // magic + version + section count
+	plen := binary.LittleEndian.Uint64(out[secOff+4 : secOff+12])
+	if plen < 8 {
+		t.Fatalf("catalog section only %d bytes", plen)
+	}
+	payload := out[secOff+12 : secOff+12+int(plen)-8]
+	rest := out[secOff+12+int(plen)+4:]
+	binary.LittleEndian.PutUint64(out[secOff+4:secOff+12], plen-8)
+	head := out[:secOff+12+int(plen)-8]
+	head = binary.LittleEndian.AppendUint32(head, crc32.ChecksumIEEE(payload))
+	return append(head, rest...)
+}
 
 // randomStore builds a store of 1-3 random multi-column tables: NaN and
 // ±Inf coordinates (the index extras path), NaN values in filter
@@ -429,16 +453,14 @@ func TestFormatV3TreeCompat(t *testing.T) {
 		if err := Write(&buf, snapshotStore(t, st, nil)); err != nil {
 			t.Fatal(err)
 		}
-		data := buf.Bytes()
-		data[4] = 2
+		data := downgrade(t, buf.Bytes(), 2)
 		if _, err := Read(bytes.NewReader(data), int64(len(data))); err != nil {
 			t.Fatalf("v2 grid snapshot rejected: %v", err)
 		}
 	})
 	t.Run("tree section in v2 rejected", func(t *testing.T) {
 		data, _ := validTreeSnapshotBytes(t)
-		data = append([]byte(nil), data...)
-		data[4] = 2
+		data = downgrade(t, data, 2)
 		if _, err := Read(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("tree-bearing v2 file loaded: err %v, want ErrCorrupt", err)
 		}
@@ -552,8 +574,7 @@ func TestFormatV1Compat(t *testing.T) {
 		if err := Write(&buf, snapshotStore(t, st, nil)); err != nil {
 			t.Fatal(err)
 		}
-		data := buf.Bytes()
-		data[4] = 1
+		data := downgrade(t, buf.Bytes(), 1)
 		cat, err := Read(bytes.NewReader(data), int64(len(data)))
 		if err != nil {
 			t.Fatalf("v1 snapshot rejected: %v", err)
@@ -568,8 +589,7 @@ func TestFormatV1Compat(t *testing.T) {
 		}
 	})
 	t.Run("tombstone section in v1 rejected", func(t *testing.T) {
-		data := append([]byte(nil), validSnapshotBytes(t)...) // has tombstones
-		data[4] = 1
+		data := downgrade(t, validSnapshotBytes(t), 1) // has tombstones
 		if _, err := Read(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("tombstone-bearing v1 file loaded: err %v, want ErrCorrupt", err)
 		}

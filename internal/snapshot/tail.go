@@ -25,16 +25,23 @@ import (
 //
 // Layout (little-endian), append-only:
 //
-//	header: magic "VTLG" | uint32 format version
+//	header: magic "VTLG" | uint32 format version | uint64 base epoch (v3+)
 //	record: uint64 payload length | payload | uint32 CRC32(payload)
-//	v2 payload: uint32 kind | body
+//	v2+ payload: uint32 kind | body
 //	  kind 0 (append): table name | uint32 ncols | uint64 rows | ncols × F64s
 //	  kind 1 (delete): table name | uint32 npreds | npreds × (col | F64 min | F64 max)
 //
 // v1 payloads are kind-0 bodies without the kind prefix (the format
-// predates deletes); LoadTail still reads them, and the first append to
-// a v1 log rewrites it in place as v2 (temp + rename) before the new
-// record lands, so one file never mixes frame layouts.
+// predates deletes); v2 added the kind prefix but no epoch. LoadTail
+// still reads both, and the first append to a legacy log rewrites it in
+// place at the current version (temp + rename) before the new record
+// lands, so one file never mixes frame layouts.
+//
+// The v3 base epoch pairs the log with the snapshot it extends: a full
+// save stamps the snapshot with a fresh epoch and then deletes the tail
+// it folded in. If the process dies between those two steps, the
+// leftover tail's epoch is older than the snapshot's, and the loader
+// discards it instead of replaying rows the base already contains.
 //
 // Delete records carry the PREDICATE, not the matched row ids: row ids
 // shift when a reclaiming compaction rewrites the survivors, but
@@ -55,13 +62,14 @@ const (
 	TailMagic = "VTLG"
 	// TailFormatVersion is bumped on incompatible record layout changes.
 	// v2 prefixed every payload with a record kind to make room for
-	// delete records.
-	TailFormatVersion = 2
+	// delete records; v3 added the base epoch to the header.
+	TailFormatVersion = 3
 	// minTailFormatVersion is the oldest version LoadTail still reads.
 	minTailFormatVersion = 1
 
-	tailHeaderLen = 8 // magic + version
-	tailFrameLen  = 12
+	tailHeaderLen   = 8  // magic + version (v1/v2)
+	tailHeaderLenV3 = 16 // magic + version + base epoch
+	tailFrameLen    = 12
 
 	// Record kinds (v2 payload prefix).
 	tailKindAppend = 0
@@ -89,12 +97,12 @@ type TailRecord struct {
 }
 
 // AppendTail appends one batch record to the tail log at path, creating
-// the log (with its header) when absent and upgrading a v1 log in
-// place. Columns must be non-empty and of equal length. The whole
-// record is issued as a single write on an O_APPEND descriptor, so
-// concurrent readers of the file never observe a frame boundary inside
-// it.
-func AppendTail(path, table string, cols [][]float64) error {
+// the log (with its header, stamped with the catalog's save epoch) when
+// absent and upgrading a legacy log in place. Columns must be non-empty
+// and of equal length. The whole record is issued as a single write on
+// an O_APPEND descriptor, so concurrent readers of the file never
+// observe a frame boundary inside it.
+func AppendTail(path, table string, cols [][]float64, epoch uint64) error {
 	if table == "" {
 		return errors.New("snapshot: tail append: empty table name")
 	}
@@ -114,17 +122,25 @@ func AppendTail(path, table string, cols [][]float64) error {
 	if err != nil {
 		return fmt.Errorf("snapshot: tail append: %w", err)
 	}
-	return appendTailPayload(path, payload)
+	return appendTailPayload(path, payload, epoch)
 }
 
 // AppendTailDelete appends one delete record to the tail log at path:
 // the predicate (not the matched rows) is logged, so replay reproduces
 // the delete against whatever state the preceding records rebuilt. An
 // empty predicate list is the delete-everything record.
-func AppendTailDelete(path, table string, preds []TailPred) error {
+func AppendTailDelete(path, table string, preds []TailPred, epoch uint64) error {
 	if table == "" {
 		return errors.New("snapshot: tail append: empty table name")
 	}
+	payload, err := encodeTailDelete(table, preds)
+	if err != nil {
+		return fmt.Errorf("snapshot: tail append: %w", err)
+	}
+	return appendTailPayload(path, payload, epoch)
+}
+
+func encodeTailDelete(table string, preds []TailPred) ([]byte, error) {
 	var payload bytes.Buffer
 	pw := binio.NewWriter(&payload)
 	pw.U32(tailKindDelete)
@@ -136,9 +152,9 @@ func AppendTailDelete(path, table string, preds []TailPred) error {
 		pw.F64(p.Max)
 	}
 	if err := pw.Flush(); err != nil {
-		return fmt.Errorf("snapshot: tail append: %w", err)
+		return nil, err
 	}
-	return appendTailPayload(path, payload.Bytes())
+	return payload.Bytes(), nil
 }
 
 func encodeTailAppend(table string, cols [][]float64) ([]byte, error) {
@@ -159,9 +175,13 @@ func encodeTailAppend(table string, cols [][]float64) ([]byte, error) {
 
 // appendTailPayload frames payload and appends it to the log, writing
 // the header first when the log is new (or its header write was torn)
-// and promoting a v1 log to v2 before anything lands in it.
-func appendTailPayload(path string, payload []byte) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+// and promoting a legacy v1/v2 log to the current version before
+// anything lands in it. A v3 log whose epoch differs from the
+// catalog's was written against a different base — its records are
+// either already folded into the snapshot we serve or unreachable from
+// it — so it is truncated and restarted rather than appended to.
+func appendTailPayload(path string, payload []byte, epoch uint64) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("snapshot: tail append: %w", err)
 	}
@@ -172,8 +192,8 @@ func appendTailPayload(path string, payload []byte) error {
 	}
 	size := st.Size()
 	if size >= tailHeaderLen {
-		var hdr [tailHeaderLen]byte
-		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		var hdr [tailHeaderLenV3]byte
+		if _, err := f.ReadAt(hdr[:min(size, tailHeaderLenV3)], 0); err != nil {
 			return fmt.Errorf("snapshot: tail append: %w", err)
 		}
 		if string(hdr[:4]) != TailMagic {
@@ -181,17 +201,35 @@ func appendTailPayload(path string, payload []byte) error {
 		}
 		switch v := binary.LittleEndian.Uint32(hdr[4:8]); v {
 		case TailFormatVersion:
-		case 1:
-			// A log written by a pre-delete build: re-frame it as v2 in
-			// place (temp + rename, same crash guarantee as Save) and
-			// append to the promoted file.
+			switch {
+			case size < tailHeaderLenV3:
+				// A torn header write: the epoch never landed, so nothing
+				// after it can be valid. Start over.
+				if err := f.Truncate(0); err != nil {
+					return fmt.Errorf("snapshot: tail append: %w", err)
+				}
+				size = 0
+			case binary.LittleEndian.Uint64(hdr[8:16]) != epoch:
+				// A stale log from another save generation (e.g. the crash
+				// window between writing a snapshot and removing the tail it
+				// folded in). Its records must never replay against the
+				// current base; restart the log for this epoch.
+				if err := f.Truncate(0); err != nil {
+					return fmt.Errorf("snapshot: tail append: %w", err)
+				}
+				size = 0
+			}
+		case 1, 2:
+			// A log written by an older build: re-frame it at the current
+			// version in place (temp + rename, same crash guarantee as
+			// Save) and append to the promoted file.
 			if err := f.Close(); err != nil {
 				return fmt.Errorf("snapshot: tail append: %w", err)
 			}
-			if err := promoteTailV1(path); err != nil {
-				return fmt.Errorf("snapshot: tail append: promote v1 log: %w", err)
+			if err := promoteTail(path, epoch); err != nil {
+				return fmt.Errorf("snapshot: tail append: promote v%d log: %w", v, err)
 			}
-			if f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+			if f, err = fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 				return fmt.Errorf("snapshot: tail append: %w", err)
 			}
 			if st, err = f.Stat(); err != nil {
@@ -208,10 +246,11 @@ func appendTailPayload(path string, payload []byte) error {
 		}
 		size = 0
 	}
-	buf := make([]byte, 0, tailHeaderLen+tailFrameLen+len(payload))
+	buf := make([]byte, 0, tailHeaderLenV3+tailFrameLen+len(payload))
 	if size == 0 {
 		buf = append(buf, TailMagic...)
 		buf = binary.LittleEndian.AppendUint32(buf, TailFormatVersion)
+		buf = binary.LittleEndian.AppendUint64(buf, epoch)
 	}
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
 	buf = append(buf, payload...)
@@ -232,31 +271,38 @@ func appendTailPayload(path string, payload []byte) error {
 	return f.Close()
 }
 
-// promoteTailV1 rewrites the v1 log at path as v2, atomically.
-func promoteTailV1(path string) error {
-	recs, err := LoadTail(path)
+// promoteTail rewrites the legacy v1/v2 log at path at the current
+// version with the given base epoch, atomically.
+func promoteTail(path string, epoch uint64) error {
+	recs, _, err := LoadTail(path)
 	if err != nil {
 		return err
 	}
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".tail-*.tmp")
+	f, err := fsys.CreateTemp(dir, ".tail-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	cleanup := func() {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 	}
-	buf := make([]byte, 0, tailHeaderLen)
+	buf := make([]byte, 0, tailHeaderLenV3)
 	buf = append(buf, TailMagic...)
 	buf = binary.LittleEndian.AppendUint32(buf, TailFormatVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
 	if _, err := f.Write(buf); err != nil {
 		cleanup()
 		return err
 	}
 	for _, rec := range recs {
-		payload, err := encodeTailAppend(rec.Table, rec.Cols)
+		var payload []byte
+		if rec.Delete {
+			payload, err = encodeTailDelete(rec.Table, rec.Preds)
+		} else {
+			payload, err = encodeTailAppend(rec.Table, rec.Cols)
+		}
 		if err != nil {
 			cleanup()
 			return err
@@ -275,49 +321,60 @@ func promoteTailV1(path string) error {
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Chmod(tmp, 0o644); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Chmod(tmp, 0o644); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
 	return nil
 }
 
-// LoadTail reads every complete record of the tail log at path. A
-// missing file is an empty tail (nil, nil). An incomplete final record
-// — the expected remnant of a crash mid-append — is dropped silently;
-// checksum mismatches, bad framing, and version skew return an error
-// (ErrCorrupt / ErrVersionSkew) so the caller can fall back to a full
-// rebuild instead of serving a half-trusted tail. v1 logs (all records
-// are appends) load transparently.
-func LoadTail(path string) ([]TailRecord, error) {
-	raw, err := os.ReadFile(path)
+// LoadTail reads every complete record of the tail log at path and the
+// base epoch the log was written against (zero for legacy v1/v2 logs).
+// A missing file is an empty tail (nil, 0, nil). An incomplete final
+// record — the expected remnant of a crash mid-append — is dropped
+// silently; checksum mismatches, bad framing, and version skew return
+// an error (ErrCorrupt / ErrVersionSkew) so the caller can fall back to
+// a full rebuild instead of serving a half-trusted tail. v1 logs (all
+// records are appends) load transparently.
+func LoadTail(path string) ([]TailRecord, uint64, error) {
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	if len(raw) < tailHeaderLen {
 		// Too short to even hold the header: a torn first write.
-		return nil, nil
+		return nil, 0, nil
 	}
 	if string(raw[:4]) != TailMagic {
-		return nil, corrupt("tail log: bad magic %q", raw[:4])
+		return nil, 0, corrupt("tail log: bad magic %q", raw[:4])
 	}
 	version := binary.LittleEndian.Uint32(raw[4:8])
 	if version < minTailFormatVersion || version > TailFormatVersion {
-		return nil, fmt.Errorf("%w: tail log is format v%d, this build reads v%d–v%d",
+		return nil, 0, fmt.Errorf("%w: tail log is format v%d, this build reads v%d–v%d",
 			ErrVersionSkew, version, minTailFormatVersion, TailFormatVersion)
 	}
-	var recs []TailRecord
+	var epoch uint64
 	off := tailHeaderLen
+	if version >= 3 {
+		if len(raw) < tailHeaderLenV3 {
+			// The epoch half of the header never landed: a torn first
+			// write, nothing after it can be valid.
+			return nil, 0, nil
+		}
+		epoch = binary.LittleEndian.Uint64(raw[8:16])
+		off = tailHeaderLenV3
+	}
+	var recs []TailRecord
 	for ri := 0; off < len(raw); ri++ {
 		if len(raw)-off < 8 {
 			break // torn final frame header
@@ -329,16 +386,16 @@ func LoadTail(path string) ([]TailRecord, error) {
 		payload := raw[off+8 : off+8+int(plen)]
 		sum := binary.LittleEndian.Uint32(raw[off+8+int(plen) : off+tailFrameLen+int(plen)])
 		if crc32.ChecksumIEEE(payload) != sum {
-			return nil, corrupt("tail log record %d checksum mismatch", ri)
+			return nil, 0, corrupt("tail log record %d checksum mismatch", ri)
 		}
 		rec, err := decodeTailRecord(payload, ri, version)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		recs = append(recs, rec)
 		off += tailFrameLen + int(plen)
 	}
-	return recs, nil
+	return recs, epoch, nil
 }
 
 func decodeTailRecord(payload []byte, ri int, version uint32) (TailRecord, error) {
@@ -406,7 +463,7 @@ func decodeTailRecord(payload []byte, ri int, version uint32) (TailRecord, error
 // RemoveTail deletes the tail log at path; a missing log is fine (the
 // caller just folded it into a full snapshot, or never wrote one).
 func RemoveTail(path string) error {
-	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+	if err := fsys.Remove(path); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	return nil

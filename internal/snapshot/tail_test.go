@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/binio"
+	"repro/internal/fault"
 )
 
 func TestTailRoundTrip(t *testing.T) {
@@ -24,11 +25,11 @@ func TestTailRoundTrip(t *testing.T) {
 		{"other", [][]float64{{9}, {10}, {11}}},
 	}
 	for _, b := range batches {
-		if err := AppendTail(path, b.table, b.cols); err != nil {
+		if err := AppendTail(path, b.table, b.cols, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
-	recs, err := LoadTail(path)
+	recs, _, err := LoadTail(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestTailRoundTrip(t *testing.T) {
 }
 
 func TestTailMissingIsEmpty(t *testing.T) {
-	recs, err := LoadTail(filepath.Join(t.TempDir(), "nope.tail"))
+	recs, _, err := LoadTail(filepath.Join(t.TempDir(), "nope.tail"))
 	if err != nil || recs != nil {
 		t.Fatalf("missing tail: recs %v err %v, want nil/nil", recs, err)
 	}
@@ -66,14 +67,14 @@ func TestTailMissingIsEmpty(t *testing.T) {
 func TestTailTornFinalRecordDropped(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "catalog.tail")
-	if err := AppendTail(path, "gps", [][]float64{{1, 2}, {3, 4}}); err != nil {
+	if err := AppendTail(path, "gps", [][]float64{{1, 2}, {3, 4}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	whole, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := AppendTail(path, "gps", [][]float64{{5, 6, 7}, {8, 9, 10}}); err != nil {
+	if err := AppendTail(path, "gps", [][]float64{{5, 6, 7}, {8, 9, 10}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	full, err := os.ReadFile(path)
@@ -85,7 +86,7 @@ func TestTailTornFinalRecordDropped(t *testing.T) {
 		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		recs, err := LoadTail(torn)
+		recs, _, err := LoadTail(torn)
 		if err != nil {
 			t.Fatalf("cut at %d: %v", cut, err)
 		}
@@ -101,7 +102,7 @@ func TestTailTornFinalRecordDropped(t *testing.T) {
 func TestTailCorruptionRejected(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "catalog.tail")
-	if err := AppendTail(path, "gps", [][]float64{{1, 2, 3}, {4, 5, 6}}); err != nil {
+	if err := AppendTail(path, "gps", [][]float64{{1, 2, 3}, {4, 5, 6}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -109,11 +110,11 @@ func TestTailCorruptionRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Flip a payload byte (inside the record, past header + frame len).
-	raw[tailHeaderLen+8+4] ^= 0x40
+	raw[tailHeaderLenV3+8+4] ^= 0x40
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadTail(path); !errors.Is(err, ErrCorrupt) {
+	if _, _, err := LoadTail(path); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("corrupted tail loaded: err %v, want ErrCorrupt", err)
 	}
 }
@@ -121,7 +122,7 @@ func TestTailCorruptionRejected(t *testing.T) {
 func TestTailVersionSkewRejected(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "catalog.tail")
-	if err := AppendTail(path, "gps", [][]float64{{1}, {2}}); err != nil {
+	if err := AppendTail(path, "gps", [][]float64{{1}, {2}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -132,7 +133,7 @@ func TestTailVersionSkewRejected(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadTail(path); !errors.Is(err, ErrVersionSkew) {
+	if _, _, err := LoadTail(path); !errors.Is(err, ErrVersionSkew) {
 		t.Fatalf("version-skewed tail loaded: err %v, want ErrVersionSkew", err)
 	}
 }
@@ -143,7 +144,7 @@ func TestRemoveTail(t *testing.T) {
 	if err := RemoveTail(path); err != nil {
 		t.Fatalf("removing a missing tail: %v", err)
 	}
-	if err := AppendTail(path, "gps", [][]float64{{1}, {2}}); err != nil {
+	if err := AppendTail(path, "gps", [][]float64{{1}, {2}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := RemoveTail(path); err != nil {
@@ -185,23 +186,23 @@ func writeV1Tail(t *testing.T, path string, batches []TailRecord) {
 // checks the replay stream comes back in order with exact predicates.
 func TestTailDeleteRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "catalog.tail")
-	if err := AppendTail(path, "gps", [][]float64{{1, 2}, {3, 4}}); err != nil {
+	if err := AppendTail(path, "gps", [][]float64{{1, 2}, {3, 4}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	preds := []TailPred{
 		{Col: "x", Min: math.Inf(-1), Max: 5},
 		{Col: "speed|odd:name", Min: -0.0, Max: math.Inf(1)},
 	}
-	if err := AppendTailDelete(path, "gps", preds); err != nil {
+	if err := AppendTailDelete(path, "gps", preds, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := AppendTail(path, "gps", [][]float64{{9}, {10}}); err != nil {
+	if err := AppendTail(path, "gps", [][]float64{{9}, {10}}, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := AppendTailDelete(path, "other", nil); err != nil { // delete-everything
+	if err := AppendTailDelete(path, "other", nil, 0); err != nil { // delete-everything
 		t.Fatal(err)
 	}
-	recs, err := LoadTail(path)
+	recs, _, err := LoadTail(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,14 +243,14 @@ func TestTailV1PromotedOnAppend(t *testing.T) {
 				{Table: "gps", Cols: [][]float64{{math.NaN()}, {5}}},
 			})
 			// Sanity: the v1 bytes load as-is.
-			if recs, err := LoadTail(path); err != nil || len(recs) != 2 {
+			if recs, _, err := LoadTail(path); err != nil || len(recs) != 2 {
 				t.Fatalf("v1 load: %d records, err %v", len(recs), err)
 			}
 			var err error
 			if mode == "append" {
-				err = AppendTail(path, "gps", [][]float64{{7}, {8}})
+				err = AppendTail(path, "gps", [][]float64{{7}, {8}}, 0)
 			} else {
-				err = AppendTailDelete(path, "gps", []TailPred{{Col: "x", Min: 0, Max: 1}})
+				err = AppendTailDelete(path, "gps", []TailPred{{Col: "x", Min: 0, Max: 1}}, 0)
 			}
 			if err != nil {
 				t.Fatal(err)
@@ -261,7 +262,7 @@ func TestTailV1PromotedOnAppend(t *testing.T) {
 			if v := binary.LittleEndian.Uint32(raw[4:8]); v != TailFormatVersion {
 				t.Fatalf("log is still v%d after promotion", v)
 			}
-			recs, err := LoadTail(path)
+			recs, _, err := LoadTail(path)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -291,7 +292,7 @@ func TestTailV1PromotedOnAppend(t *testing.T) {
 // matters, so an unreplayable mutation poisons the log.
 func TestTailUnknownKindRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "catalog.tail")
-	if err := AppendTail(path, "gps", [][]float64{{1}, {2}}); err != nil {
+	if err := AppendTail(path, "gps", [][]float64{{1}, {2}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	payload := binary.LittleEndian.AppendUint32(nil, 7) // unknown kind
@@ -305,7 +306,7 @@ func TestTailUnknownKindRejected(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadTail(path); !errors.Is(err, ErrCorrupt) {
+	if _, _, err := LoadTail(path); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("unknown-kind record loaded: err %v, want ErrCorrupt", err)
 	}
 }
@@ -315,14 +316,14 @@ func TestTailUnknownKindRejected(t *testing.T) {
 func TestTailTornDeleteDropped(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "catalog.tail")
-	if err := AppendTail(path, "gps", [][]float64{{1, 2}, {3, 4}}); err != nil {
+	if err := AppendTail(path, "gps", [][]float64{{1, 2}, {3, 4}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	whole, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := AppendTailDelete(path, "gps", []TailPred{{Col: "x", Min: 0, Max: 50}}); err != nil {
+	if err := AppendTailDelete(path, "gps", []TailPred{{Col: "x", Min: 0, Max: 50}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	full, err := os.ReadFile(path)
@@ -334,12 +335,85 @@ func TestTailTornDeleteDropped(t *testing.T) {
 		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		recs, err := LoadTail(torn)
+		recs, _, err := LoadTail(torn)
 		if err != nil {
 			t.Fatalf("cut at %d: %v", cut, err)
 		}
 		if len(recs) != 1 || recs[0].Delete {
 			t.Fatalf("cut at %d: got %d records, want the 1 intact append", cut, len(recs))
+		}
+	}
+}
+
+// TestTailPromotionCrashRecovery crashes the legacy v1→v3 promotion at
+// every mutating file-op site (satellite of the ISSUE 10 torture
+// suite): promotion is temp-write + rename, so whatever site the crash
+// hits, LoadTail afterwards must see either the intact legacy records
+// or the fully promoted log (with the triggering append optionally
+// landed) — never a torn mix, never an error.
+func TestTailPromotionCrashRecovery(t *testing.T) {
+	legacy := []TailRecord{
+		{Table: "gps", Cols: [][]float64{{1, 2}, {3, 4}}},
+		{Table: "gps", Cols: [][]float64{{5}, {6}}},
+	}
+	newCols := [][]float64{{7}, {8}}
+	write := func(path string) { writeV1Tail(t, path, legacy) }
+
+	// Recording pass: count the mutating ops of promote-then-append.
+	recPath := filepath.Join(t.TempDir(), "catalog.tail")
+	write(recPath)
+	rec := fault.NewInjector(nil)
+	restore := SetFS(rec)
+	if err := AppendTail(recPath, "gps", newCols, 9); err != nil {
+		restore()
+		t.Fatal(err)
+	}
+	restore()
+	sites := rec.Log()
+	if len(sites) == 0 {
+		t.Fatal("promotion performed no mutating ops")
+	}
+
+	for k, site := range sites {
+		for _, torn := range []bool{false, true} {
+			if torn && site.Op != fault.OpWrite {
+				continue
+			}
+			dir := t.TempDir()
+			path := filepath.Join(dir, "catalog.tail")
+			write(path)
+			inj := fault.NewInjector(nil)
+			inj.CrashAt(k, torn)
+			restore := SetFS(inj)
+			if err := AppendTail(path, "gps", newCols, 9); err == nil {
+				restore()
+				t.Fatalf("site %d: crash-armed append succeeded", k)
+			}
+			restore()
+			recs, _, err := LoadTail(path)
+			if err != nil {
+				t.Fatalf("site %d (%s, torn=%t): post-crash load: %v", k, site.Op, torn, err)
+			}
+			if len(recs) != 2 && len(recs) != 3 {
+				t.Fatalf("site %d (%s, torn=%t): %d records after crash, want 2 or 3", k, site.Op, torn, len(recs))
+			}
+			for i, want := range legacy {
+				got := recs[i]
+				if got.Table != want.Table || len(got.Cols) != len(want.Cols) {
+					t.Fatalf("site %d: legacy record %d mangled: %+v", k, i, got)
+				}
+				for c := range want.Cols {
+					for r := range want.Cols[c] {
+						if got.Cols[c][r] != want.Cols[c][r] {
+							t.Fatalf("site %d: legacy record %d col %d row %d: %v != %v",
+								k, i, c, r, got.Cols[c][r], want.Cols[c][r])
+						}
+					}
+				}
+			}
+			if len(recs) == 3 && recs[2].Cols[0][0] != 7 {
+				t.Fatalf("site %d: appended record mangled: %+v", k, recs[2])
+			}
 		}
 	}
 }

@@ -84,7 +84,7 @@ func BenchmarkQueryViewportLinear(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d := tb.snapshot()
 		cols := [][]float64{d.cols[0], d.cols[1]}
-		rows := rowSetFromSorted(scanRange(cols, benchPreds, 0, d.n, nil))
+		rows := rowSetFromSorted(scanRange(cols, benchPreds, 0, d.n, nil, nil))
 		pts, err := tb.Points("x", "y", rows)
 		if err != nil {
 			b.Fatal(err)

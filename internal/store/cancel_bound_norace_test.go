@@ -1,0 +1,9 @@
+//go:build !race
+
+package store
+
+import "time"
+
+// cancelLatencyBound is the acceptance bound on how quickly a scan
+// acknowledges cancellation: 50ms on the 1M-row zoomout shape.
+const cancelLatencyBound = 50 * time.Millisecond

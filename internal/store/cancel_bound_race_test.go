@@ -1,0 +1,10 @@
+//go:build race
+
+package store
+
+import "time"
+
+// Race-detector builds run the kernels an order of magnitude slower;
+// the poll cadence is the same, so the bound scales rather than the
+// checks thinning out.
+const cancelLatencyBound = 500 * time.Millisecond

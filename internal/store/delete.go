@@ -83,7 +83,7 @@ func (t *Table) DeleteWhere(preds []Pred) (int, error) {
 			for i, ci := range pi {
 				cols[i] = d.cols[ci]
 			}
-			ids = scanShards(cols, preds, d.n)
+			ids = scanShards(cols, preds, d.n, nil)
 		}
 		ids = filterDeadInts(ids, d.dead)
 		if len(ids) == 0 {

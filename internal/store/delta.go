@@ -159,7 +159,7 @@ func (dx *deltaIndex) absorbRange(cols [][]float64, lo, hi int) {
 // after the (sorted, all-smaller) base ids keeps the whole result
 // sorted — and the watermark up to which appended rows are covered;
 // rows in [watermark, snapN) are the caller's to filter linearly.
-func (dx *deltaIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, snapN int, st *ScanStats, ids []int) ([]int, int) {
+func (dx *deltaIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, snapN int, st *ScanStats, ids []int, cn *canceler) ([]int, int) {
 	dx.mu.RLock()
 	defer dx.mu.RUnlock()
 	covered := dx.base.n + dx.rows
@@ -195,6 +195,11 @@ func (dx *deltaIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []
 		residualCols := make([]int, 0, len(preds))
 		var sel []int32
 		for row := r0; row <= r1; row++ {
+			// One counter-gated poll per touched cell row, like the base
+			// probe; partial ids are discarded by the entry point.
+			if cn.stop() {
+				return ids, covered
+			}
 			base := row * dx.base.nx
 			// Geometric coverage, exactly as the base probe computes it:
 			// cells strictly interior to the touched range whose combined

@@ -59,8 +59,10 @@ type spatialIndex interface {
 	coversAll(r geom.Rect) bool
 	// collect returns the sorted ids of indexed rows inside r that
 	// satisfy every residual predicate; see rectIndex.collect for the
-	// exact contract.
-	collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats) []int
+	// exact contract. cn (nil = never canceled) is polled at cell-row /
+	// leaf boundaries; a canceled collect returns early with a partial
+	// id set, which the caller discards once it sees the context error.
+	collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats, cn *canceler) []int
 	// deltaIdx returns the mutable delta absorbing post-build appends.
 	deltaIdx() *deltaIndex
 }
@@ -312,13 +314,13 @@ type zoneTally struct {
 // geometric containment check) leaves a one-cell margin that absorbs
 // the float rounding slack between a point's binned cell and its true
 // coordinates, keeping collect equivalent to the linear predicate scan.
-func (ix *rectIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats) []int {
+func (ix *rectIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats, cn *canceler) []int {
 	if ix.n == 0 {
 		return nil
 	}
 	var ids []int
 	if r.Intersects(ix.bounds) {
-		ids = ix.collectCells(cols, r, preds, pi, skip, tally, st)
+		ids = ix.collectCells(cols, r, preds, pi, skip, tally, st, cn)
 	}
 	// Non-finite rows live outside the grid; filter them with the same
 	// predicate form the linear scan uses (NaN matches everything, ±Inf
@@ -359,7 +361,7 @@ func matchPreds(cols [][]float64, pi []int, preds []Pred, row int) bool {
 // shards are disjoint contiguous id runs); per-shard buffers are
 // concatenated in cell order and per-shard stats merged, which keeps the
 // parallel probe bit-identical to the serial one.
-func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats) []int {
+func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats, cn *canceler) []int {
 	c0, r0 := ix.cellCoords(r.MinX, r.MinY)
 	c1, r1 := ix.cellCoords(r.MaxX, r.MaxY)
 	// Upper-bound the result size in one pass over the touched cell rows
@@ -380,7 +382,7 @@ func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, p
 	if int(bound) < parallelScanMinRows || workers <= 1 {
 		st.ProbeShards++
 		ids := make([]int, 0, bound)
-		return ix.collectRows(cols, r, preds, pi, skip, r0, r1, c0, c1, r0, r1, tally, st, ids)
+		return ix.collectRows(cols, r, preds, pi, skip, r0, r1, c0, c1, r0, r1, tally, st, ids, cn)
 	}
 	// Partition the touched grid rows into contiguous shards balanced by
 	// their bounded row counts (cell population is skewed, so equal row
@@ -413,11 +415,13 @@ func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, p
 			s.tally.decisive = make([]int64, len(preds))
 		}
 		wg.Add(1)
-		go func() {
+		// Probe-shard boundary: each shard forks the canceler (its tick
+		// counter is unsynchronized) and polls it per grid row.
+		go func(cn *canceler) {
 			defer wg.Done()
 			ids := make([]int, 0, s.bound)
-			s.ids = ix.collectRows(cols, r, preds, pi, skip, s.rlo, s.rhi, c0, c1, r0, r1, &s.tally, &s.st, ids)
-		}()
+			s.ids = ix.collectRows(cols, r, preds, pi, skip, s.rlo, s.rhi, c0, c1, r0, r1, &s.tally, &s.st, ids, cn)
+		}(cn.fork())
 	}
 	wg.Wait()
 	total := 0
@@ -445,7 +449,7 @@ func (ix *rectIndex) collectCells(cols [][]float64, r geom.Rect, preds []Pred, p
 // rows rlo..rhi of the touched cell range, where r0/r1/c0/c1 describe
 // the full touched range (the strict-interior test for geometric span
 // coverage is relative to the whole probe, not the shard).
-func (ix *rectIndex) collectRows(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, rlo, rhi, c0, c1, r0, r1 int, tally *zoneTally, st *ScanStats, ids []int) []int {
+func (ix *rectIndex) collectRows(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, rlo, rhi, c0, c1, r0, r1 int, tally *zoneTally, st *ScanStats, ids []int, cn *canceler) []int {
 	xs, ys := cols[ix.xi], cols[ix.yi]
 	cells := ix.nx * ix.ny
 	// residual collects, per cell, the predicates the zone map could not
@@ -455,6 +459,11 @@ func (ix *rectIndex) collectRows(cols [][]float64, r geom.Rect, preds []Pred, pi
 	residualCols := make([]int, 0, len(preds))
 	var sel []int32
 	for row := rlo; row <= rhi; row++ {
+		// One counter-gated poll per touched grid row; a canceled probe
+		// returns partial ids the entry point will discard.
+		if cn.stop() {
+			return ids
+		}
 		base := row * ix.nx
 		// Geometric coverage of this grid row's strict interior: cells
 		// c0+1..c1-1 emitted without the per-point rectangle test when

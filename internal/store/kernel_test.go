@@ -182,7 +182,7 @@ func TestScanRangeMatchesScalar(t *testing.T) {
 	}
 	for _, w := range windows {
 		for np := 0; np <= len(preds); np++ {
-			got := scanRange(cols[:max(np, 1)], preds[:np], w[0], w[1], nil)
+			got := scanRange(cols[:max(np, 1)], preds[:np], w[0], w[1], nil, nil)
 			var want []int
 			if np == 0 {
 				for r := w[0]; r < w[1]; r++ {
@@ -464,7 +464,7 @@ func BenchmarkKernelSelect(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			out = scanRange(cols, preds, 0, n, out[:0])
+			out = scanRange(cols, preds, 0, n, out[:0], nil)
 		}
 		if len(out) == 0 {
 			b.Fatal("no rows selected")

@@ -40,17 +40,19 @@ var ErrBadNearest = errors.New("store: invalid nearest query")
 // match; ±Inf coordinates are comparable and can match at distance
 // +Inf. The query point itself must be NaN-free.
 func (t *Table) Nearest(xCol, yCol string, x, y float64, k int, preds []Pred) ([]Neighbor, ScanStats, error) {
-	return t.nearest(nil, xCol, yCol, x, y, k, preds)
+	return t.nearest(nil, nil, xCol, yCol, x, y, k, preds)
 }
 
-// NearestCtx is Nearest with stage timing: when ctx carries an
-// obs.Trace the index descent (or brute-force sweep) is recorded as a
-// probe span.
+// NearestCtx is Nearest with stage timing and cooperative cancellation:
+// when ctx carries an obs.Trace the index descent (or brute-force
+// sweep) is recorded as a probe span, and when ctx can be canceled the
+// search polls it at frontier-pop and sweep-block boundaries and
+// unwinds with ctx.Err().
 func (t *Table) NearestCtx(ctx context.Context, xCol, yCol string, x, y float64, k int, preds []Pred) ([]Neighbor, ScanStats, error) {
-	return t.nearest(obs.FromContext(ctx), xCol, yCol, x, y, k, preds)
+	return t.nearest(obs.FromContext(ctx), newCanceler(ctx), xCol, yCol, x, y, k, preds)
 }
 
-func (t *Table) nearest(tr *obs.Trace, xCol, yCol string, x, y float64, k int, preds []Pred) ([]Neighbor, ScanStats, error) {
+func (t *Table) nearest(tr *obs.Trace, cn *canceler, xCol, yCol string, x, y float64, k int, preds []Pred) ([]Neighbor, ScanStats, error) {
 	var st ScanStats
 	if k <= 0 {
 		return nil, st, fmt.Errorf("%w: k = %d", ErrBadNearest, k)
@@ -83,7 +85,7 @@ func (t *Table) nearest(tr *obs.Trace, xCol, yCol string, x, y float64, k int, p
 	covered := 0
 	if tix, isTree := d.indexFor(xi, yi).(*treeIndex); isTree && tix.n > 0 {
 		st.IndexProbe = true
-		tix.nearestInto(d.cols, x, y, &h, preds, pi, d.dead, &st)
+		tix.nearestInto(d.cols, x, y, &h, preds, pi, d.dead, &st, cn)
 		covered = tix.n
 	}
 	// Everything the tree did not cover — the whole table on the grid /
@@ -92,6 +94,9 @@ func (t *Table) nearest(tr *obs.Trace, xCol, yCol string, x, y float64, k int, p
 	// brute force into the same heap, so the answer is exact under every
 	// backend and mid-ingest.
 	for row := covered; row < d.n; row++ {
+		if row&(scanBatchRows-1) == 0 && cn.stop() {
+			break
+		}
 		st.RowsExamined++
 		if d.dead != nil && d.dead.contains(row) {
 			continue
@@ -103,6 +108,12 @@ func (t *Table) nearest(tr *obs.Trace, xCol, yCol string, x, y float64, k int, p
 		h.push(dx*dx+dy*dy, row)
 	}
 	sp.End()
+	// A canceled search has an incomplete heap — not the k nearest, just
+	// the k nearest seen so far. Return the context error, never a wrong
+	// answer.
+	if err := cn.cause(); err != nil {
+		return nil, st, err
+	}
 	out := h.sorted()
 	for i := range out {
 		out[i].X = xs[out[i].Row]
@@ -229,7 +240,7 @@ type knnEntry struct {
 // leaf zone maps additionally prune leaves no row of which can satisfy
 // the predicates. Non-finite extras are swept linearly — they have no
 // MBR to bound.
-func (ix *treeIndex) nearestInto(cols [][]float64, x, y float64, h *knnHeap, preds []Pred, pi []int, dead *rowBitmap, st *ScanStats) {
+func (ix *treeIndex) nearestInto(cols [][]float64, x, y float64, h *knnHeap, preds []Pred, pi []int, dead *rowBitmap, st *ScanStats, cn *canceler) {
 	xs, ys := cols[ix.xi], cols[ix.yi]
 	numLeaves := len(ix.leafMBR)
 	if numLeaves > 0 {
@@ -273,6 +284,12 @@ func (ix *treeIndex) nearestInto(cols [][]float64, x, y float64, h *knnHeap, pre
 		root := int32(len(ix.nodes) - 1)
 		push(knnEntry{d2: mindist2(ix.nodes[root].mbr, x, y), idx: root})
 		for len(frontier) > 0 {
+			// One counter-gated poll per frontier pop; a canceled descent
+			// leaves the heap incomplete, and nearest() returns the
+			// context error instead of its contents.
+			if cn.stop() {
+				return
+			}
 			e := pop()
 			if h.full() && e.d2 > h.worst() {
 				break // every remaining frontier entry is at least this far

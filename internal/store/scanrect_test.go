@@ -658,7 +658,7 @@ func TestParallelScanMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := tb.snapshot()
-	want := scanRange([][]float64{d.cols[0], d.cols[1]}, preds, 0, d.n, nil)
+	want := scanRange([][]float64{d.cols[0], d.cols[1]}, preds, 0, d.n, nil, nil)
 	g := got.Indices()
 	if len(g) != len(want) {
 		t.Fatalf("parallel scan %d rows, sequential %d", len(g), len(want))

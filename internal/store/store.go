@@ -451,7 +451,7 @@ func (t *Table) Scan(preds []Pred) (RowSet, error) {
 	for i, ci := range idx {
 		cols[i] = d.cols[ci]
 	}
-	return rowSetFromSorted(filterDeadInts(scanShards(cols, preds, d.n), d.dead)), nil
+	return rowSetFromSorted(filterDeadInts(scanShards(cols, preds, d.n, nil), d.dead)), nil
 }
 
 // ScanStats describes how one ScanRect/ScanRectWhere call was answered,
@@ -532,16 +532,19 @@ func (t *Table) ScanRect(xCol, yCol string, r geom.Rect) (RowSet, error) {
 //     Scan. ScanRectWhere is row-for-row equivalent to Scan with the
 //     corresponding range predicates.
 func (t *Table) ScanRectWhere(xCol, yCol string, r geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
-	return t.scanRectWhere(nil, xCol, yCol, r, preds)
+	return t.scanRectWhere(nil, nil, xCol, yCol, r, preds)
 }
 
-// ScanRectWhereCtx is ScanRectWhere with stage timing: when ctx
-// carries an obs.Trace, the index/delta probe and the per-row residual
-// work are recorded as probe and residual spans. Without a trace it is
-// byte-for-byte ScanRectWhere — the nil-trace span path neither
-// allocates nor reads the clock.
+// ScanRectWhereCtx is ScanRectWhere with stage timing and cooperative
+// cancellation: when ctx carries an obs.Trace, the index/delta probe
+// and the per-row residual work are recorded as probe and residual
+// spans, and when ctx can be canceled the scan polls it at kernel-block
+// and probe-shard boundaries (counter-gated, see canceler) and unwinds
+// with ctx.Err(). With neither a trace nor a cancelable context it is
+// byte-for-byte ScanRectWhere — the nil-trace, nil-canceler paths
+// neither allocate nor read the clock.
 func (t *Table) ScanRectWhereCtx(ctx context.Context, xCol, yCol string, r geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
-	return t.scanRectWhere(obs.FromContext(ctx), xCol, yCol, r, preds)
+	return t.scanRectWhere(obs.FromContext(ctx), newCanceler(ctx), xCol, yCol, r, preds)
 }
 
 // ScanRects is the OR-of-viewports query mode: it returns the rows
@@ -556,22 +559,29 @@ func (t *Table) ScanRectWhereCtx(ctx context.Context, xCol, yCol string, r geom.
 // may straddle generations, exactly like two back-to-back ScanRectWhere
 // calls would. Rows landing in several rectangles are returned once.
 func (t *Table) ScanRects(xCol, yCol string, rects []geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
-	return t.scanRects(nil, xCol, yCol, rects, preds)
+	return t.scanRects(nil, nil, xCol, yCol, rects, preds)
 }
 
-// ScanRectsCtx is ScanRects with stage timing, like ScanRectWhereCtx.
+// ScanRectsCtx is ScanRects with stage timing and cooperative
+// cancellation, like ScanRectWhereCtx; cancellation is additionally
+// checked between rectangles.
 func (t *Table) ScanRectsCtx(ctx context.Context, xCol, yCol string, rects []geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
-	return t.scanRects(obs.FromContext(ctx), xCol, yCol, rects, preds)
+	return t.scanRects(obs.FromContext(ctx), newCanceler(ctx), xCol, yCol, rects, preds)
 }
 
-func (t *Table) scanRects(tr *obs.Trace, xCol, yCol string, rects []geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
+func (t *Table) scanRects(tr *obs.Trace, cn *canceler, xCol, yCol string, rects []geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
 	if len(rects) == 0 {
-		return t.scanRectWhere(tr, xCol, yCol, geom.Rect{}, preds)
+		return t.scanRectWhere(tr, cn, xCol, yCol, geom.Rect{}, preds)
 	}
 	var union RowSet
 	var total ScanStats
 	for i, r := range rects {
-		rows, st, err := t.scanRectWhere(tr, xCol, yCol, r, preds)
+		// Per-rect boundary: an unconditional poll — rect counts are
+		// small, and each rect below can be an entire probe.
+		if err := cn.cause(); err != nil {
+			return RowSet{}, total, err
+		}
+		rows, st, err := t.scanRectWhere(tr, cn, xCol, yCol, r, preds)
 		if err != nil {
 			return RowSet{}, total, err
 		}
@@ -593,7 +603,7 @@ func (t *Table) scanRects(tr *obs.Trace, xCol, yCol string, rects []geom.Rect, p
 	return union, total, nil
 }
 
-func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
+func (t *Table) scanRectWhere(tr *obs.Trace, cn *canceler, xCol, yCol string, r geom.Rect, preds []Pred) (RowSet, ScanStats, error) {
 	var st ScanStats
 	xi, ok := t.colIdx[xCol]
 	if !ok {
@@ -679,8 +689,11 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 			all = append(all, p)
 		}
 		sp := tr.StartSpan(obs.StageResidual)
-		rs := rowSetFromSorted(filterDeadInts(scanShards(cols, all, d.n), d.dead))
+		rs := rowSetFromSorted(filterDeadInts(scanShards(cols, all, d.n, cn), d.dead))
 		sp.End()
+		if err := cn.cause(); err != nil {
+			return RowSet{}, st, err
+		}
 		if !forceScalarKernels && d.n >= kernelMinRows {
 			st.BatchedRows = d.n
 			t.counters.batchedRows.Add(int64(d.n))
@@ -698,27 +711,40 @@ func (t *Table) scanRectWhere(tr *obs.Trace, xCol, yCol string, r geom.Rect, pre
 		tally.decisive = make([]int64, len(preds))
 	}
 	sp := tr.StartSpan(obs.StageProbe)
-	ids := ix.collect(d.cols, r, preds, pi, skip, &tally, &st)
+	ids := ix.collect(d.cols, r, preds, pi, skip, &tally, &st, cn)
 	// Rows appended after the index was built: the delta holds them
 	// binned under the same grid, so the probe reaches them through
 	// cells (zone-pruned like base cells) instead of walking the tail.
 	// All delta ids exceed every base id, so the result stays sorted.
 	covered := ix.rows()
 	if dx := ix.deltaIdx(); dx != nil {
-		ids, covered = dx.collect(d.cols, r, preds, pi, skip, d.n, &st, ids)
+		ids, covered = dx.collect(d.cols, r, preds, pi, skip, d.n, &st, ids, cn)
 	}
 	sp.End()
+	// A canceled probe returned a partial id set; discard it and unwind
+	// with the context's error before any more work is attributed.
+	if err := cn.cause(); err != nil {
+		return RowSet{}, st, err
+	}
 	// Anything past the delta watermark (pre-delta generations, id
 	// overflow) is filtered linearly with the full predicate list.
 	sp = tr.StartSpan(obs.StageResidual)
 	xs, ys := d.cols[xi], d.cols[yi]
+	canceled := false
 	for row := covered; row < d.n; row++ {
+		if row&(scanBatchRows-1) == 0 && cn.stop() {
+			canceled = true
+			break
+		}
 		st.RowsExamined++
 		if inRect(xs[row], ys[row], r) && matchPreds(d.cols, pi, preds, row) {
 			ids = append(ids, row)
 		}
 	}
 	sp.End()
+	if canceled {
+		return RowSet{}, st, cn.cause()
+	}
 	t.counters.batchedRows.Add(int64(st.BatchedRows))
 	t.counters.probeShards.Add(int64(st.ProbeShards))
 	if len(preds) > 0 {
@@ -788,23 +814,26 @@ func normalizePreds(preds []Pred) []Pred {
 // scanShards evaluates preds over rows [0, n), splitting the row space
 // across CPUs when the table is large. Shards are concatenated in order,
 // so the returned ids are sorted ascending.
-func scanShards(cols [][]float64, preds []Pred, n int) []int {
+func scanShards(cols [][]float64, preds []Pred, n int, cn *canceler) []int {
 	workers := runtime.GOMAXPROCS(0)
 	if maxShards := n / (parallelScanMinRows / 4); workers > maxShards {
 		workers = maxShards
 	}
 	if n < parallelScanMinRows || workers <= 1 {
-		return scanRange(cols, preds, 0, n, nil)
+		return scanRange(cols, preds, 0, n, nil, cn)
 	}
 	parts := make([][]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		// Each shard forks the canceler: the tick counter is
+		// unsynchronized, while the underlying context is shared — all
+		// shards observe the same cancellation.
+		go func(w, lo, hi int, cn *canceler) {
 			defer wg.Done()
-			parts[w] = scanRange(cols, preds, lo, hi, nil)
-		}(w, lo, hi)
+			parts[w] = scanRange(cols, preds, lo, hi, nil, cn)
+		}(w, lo, hi, cn.fork())
 	}
 	wg.Wait()
 	total := 0
@@ -833,7 +862,7 @@ var forceScalarKernels bool
 // predicate seeds a selection from a contiguous column stride, later
 // predicates refine it in place — while tiny ranges and id spaces past
 // the int32 selection domain keep the scalar per-row loop.
-func scanRange(cols [][]float64, preds []Pred, lo, hi int, out []int) []int {
+func scanRange(cols [][]float64, preds []Pred, lo, hi int, out []int, cn *canceler) []int {
 	if len(preds) == 0 {
 		for r := lo; r < hi; r++ {
 			out = append(out, r)
@@ -841,7 +870,18 @@ func scanRange(cols [][]float64, preds []Pred, lo, hi int, out []int) []int {
 		return out
 	}
 	if forceScalarKernels || hi-lo < kernelMinRows || hi > math.MaxInt32 {
-		return scanRangeScalar(cols, preds, lo, hi, out)
+		if cn == nil {
+			return scanRangeScalar(cols, preds, lo, hi, out)
+		}
+		// Chunk the scalar loop at the same block size as the kernels so
+		// cancellation latency does not depend on which path ran.
+		for b := lo; b < hi; b += scanBatchRows {
+			if cn.stop() {
+				return out
+			}
+			out = scanRangeScalar(cols, preds, b, min(b+scanBatchRows, hi), out)
+		}
+		return out
 	}
 	// Two selection buffers, ping-ponged between passes: refining into
 	// the other buffer (selGather) instead of compacting in place keeps
@@ -849,6 +889,12 @@ func scanRange(cols [][]float64, preds []Pred, lo, hi int, out []int) []int {
 	// to load.
 	var selA, selB [scanBatchRows]int32
 	for b := lo; b < hi; b += scanBatchRows {
+		// Kernel-block boundary: one counter-gated poll per 4096-row
+		// block; a canceled scan returns its partial ids, which the
+		// entry point discards when it sees the context error.
+		if cn.stop() {
+			return out
+		}
 		e := min(b+scanBatchRows, hi)
 		src, dst := selA[:], selB[:]
 		k := selRange(src, cols[0][b:e], int32(b), preds[0].Min, preds[0].Max)

@@ -311,13 +311,13 @@ func (ix *treeIndex) coversAll(r geom.Rect) bool {
 // the grid's nominal cell rectangles), r.ContainsRect(mbr) directly
 // proves every member row passes the rectangle test — no strict-interior
 // margin is needed.
-func (ix *treeIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats) []int {
+func (ix *treeIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats, cn *canceler) []int {
 	if ix.n == 0 {
 		return nil
 	}
 	var ids []int
 	if r.Intersects(ix.bounds) {
-		ids = ix.collectTree(cols, r, preds, pi, skip, tally, st)
+		ids = ix.collectTree(cols, r, preds, pi, skip, tally, st, cn)
 	}
 	xs, ys := cols[ix.xi], cols[ix.yi]
 	for _, id := range ix.extra {
@@ -337,7 +337,7 @@ func (ix *treeIndex) collect(cols [][]float64, r geom.Rect, preds []Pred, pi []i
 // entire contiguous rowID run. Leaves that survive are processed
 // exactly like grid cells: zone prune / all-pass per leaf, then the
 // selection-vector kernels over the run.
-func (ix *treeIndex) collectTree(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats) []int {
+func (ix *treeIndex) collectTree(cols [][]float64, r geom.Rect, preds []Pred, pi []int, skip []bool, tally *zoneTally, st *ScanStats, cn *canceler) []int {
 	st.ProbeShards++
 	xs, ys := cols[ix.xi], cols[ix.yi]
 	numLeaves := len(ix.leafMBR)
@@ -349,6 +349,11 @@ func (ix *treeIndex) collectTree(cols [][]float64, r geom.Rect, preds []Pred, pi
 	stack := make([]int32, 0, 64)
 	stack = append(stack, int32(numNodes-1))
 	for len(stack) > 0 {
+		// One counter-gated poll per popped node; a canceled descent
+		// returns partial ids the entry point will discard.
+		if cn.stop() {
+			return ids
+		}
 		ni := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nd := &ix.nodes[ni]

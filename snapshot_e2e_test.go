@@ -9,16 +9,20 @@ package vas_test
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/snapshot"
 
 	vas "repro"
 )
@@ -445,6 +449,141 @@ func TestAppendDurabilityDegradation(t *testing.T) {
 	}
 	if err := cat.Append("gps", []vas.Point{vas.Pt(5, 6)}); err != nil {
 		t.Fatalf("append after healing still failing: %v", err)
+	}
+}
+
+// TestDurabilityFaultMatrix extends TestAppendDurabilityDegradation
+// (which covers one write error against a broken directory) with the
+// scripted fault matrix from internal/fault: sync failure, rename
+// failure, and ENOSPC on both the tail-append and snapshot-save paths.
+// Each fault must surface as a typed, wrapped error, cost zero
+// availability, and heal on the next successful save — with a restart
+// always observing a consistent state.
+func TestDurabilityFaultMatrix(t *testing.T) {
+	tailCases := []struct {
+		name   string
+		arm    func(inj *fault.Injector)
+		target error
+	}{
+		{"tail write ENOSPC", func(i *fault.Injector) { i.FailOnce(fault.OpWrite, "catalog.tail", syscall.ENOSPC) }, syscall.ENOSPC},
+		{"tail sync failure", func(i *fault.Injector) { i.FailOnce(fault.OpSync, "catalog.tail", nil) }, fault.ErrInjected},
+	}
+	for _, tc := range tailCases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 1500, Seed: 29})
+			cat := newSnapshotCatalog(t, d)
+			dir := t.TempDir()
+			if err := cat.SaveSnapshot(dir); err != nil {
+				t.Fatal(err)
+			}
+			inj := fault.NewInjector(nil)
+			tc.arm(inj)
+			restore := snapshot.SetFS(inj)
+			err := cat.Append("gps", []vas.Point{vas.Pt(1, 2)})
+			if err == nil {
+				t.Fatal("append with a faulted tail log reported success")
+			}
+			if !errors.Is(err, tc.target) {
+				t.Fatalf("append error lost the cause: %v, want errors.Is(%v)", err, tc.target)
+			}
+			// The rows are live regardless: degraded durability, full
+			// availability.
+			got, qerr := cat.QueryExact("gps", vas.Rect{MinX: 0.5, MinY: 1.5, MaxX: 1.5, MaxY: 2.5})
+			if qerr != nil {
+				t.Fatal(qerr)
+			}
+			if len(got.Points) != 1 {
+				t.Fatalf("appended row not serving under the fault: %d points", len(got.Points))
+			}
+			// The failed append kicked a background re-save; the one-shot
+			// fault is spent, so it succeeds, folds the live rows in, and
+			// heals the catalog.
+			cat.WaitBackground()
+			restore()
+			if err := cat.SnapshotErr(); err != nil {
+				t.Fatalf("degradation survived the successful re-save: %v", err)
+			}
+			restored := vas.NewCatalog()
+			if err := restored.LoadSnapshot(dir); err != nil {
+				t.Fatal(err)
+			}
+			got2, err := restored.QueryExact("gps", vas.Rect{MinX: 0.5, MinY: 1.5, MaxX: 1.5, MaxY: 2.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got2.Points) != 1 {
+				t.Fatalf("healed snapshot lost the row appended under the fault: %d points", len(got2.Points))
+			}
+		})
+	}
+
+	saveCases := []struct {
+		name   string
+		arm    func(inj *fault.Injector)
+		target error
+	}{
+		{"save write ENOSPC", func(i *fault.Injector) { i.FailOnce(fault.OpWrite, ".snapshot-", syscall.ENOSPC) }, syscall.ENOSPC},
+		{"save sync ENOSPC", func(i *fault.Injector) { i.FailOnce(fault.OpSync, ".snapshot-", syscall.ENOSPC) }, syscall.ENOSPC},
+		{"save rename failure", func(i *fault.Injector) { i.FailOnce(fault.OpRename, vas.SnapshotFile, nil) }, fault.ErrInjected},
+	}
+	for _, tc := range saveCases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := dataset.GeolifeLike(dataset.GeolifeOptions{N: 1500, Seed: 31})
+			cat := newSnapshotCatalog(t, d)
+			dir := t.TempDir()
+			t.Cleanup(cat.WaitBackground)
+			if err := cat.SaveSnapshot(dir); err != nil {
+				t.Fatal(err)
+			}
+			// A durable append before the fault: the failed save must not
+			// disturb the base + tail pair it could not replace.
+			if err := cat.Append("gps", []vas.Point{vas.Pt(1, 2)}); err != nil {
+				t.Fatal(err)
+			}
+			inj := fault.NewInjector(nil)
+			tc.arm(inj)
+			restore := snapshot.SetFS(inj)
+			err := cat.SaveSnapshot(dir)
+			restore()
+			if err == nil {
+				t.Fatal("faulted save reported success")
+			}
+			if !errors.Is(err, tc.target) {
+				t.Fatalf("save error lost the cause: %v, want errors.Is(%v)", err, tc.target)
+			}
+			// Atomicity: the failed save left no temp litter and did not
+			// touch the previous snapshot or the tail.
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 2 {
+				names := make([]string, len(entries))
+				for i, e := range entries {
+					names[i] = e.Name()
+				}
+				t.Fatalf("failed save left the directory as %v", names)
+			}
+			restored := vas.NewCatalog()
+			if err := restored.LoadSnapshot(dir); err != nil {
+				t.Fatalf("snapshot unusable after a failed save: %v", err)
+			}
+			got, err := restored.QueryExact("gps", vas.Rect{MinX: 0.5, MinY: 1.5, MaxX: 1.5, MaxY: 2.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Points) != 1 {
+				t.Fatalf("restart after failed save lost the durable append: %d points", len(got.Points))
+			}
+			// The fault is spent: a retry folds everything and removes the
+			// tail.
+			if err := cat.SaveSnapshot(dir); err != nil {
+				t.Fatalf("save retry after the fault: %v", err)
+			}
+			if _, err := os.Stat(filepath.Join(dir, vas.TailFile)); !os.IsNotExist(err) {
+				t.Fatal("successful retry left the folded tail log behind")
+			}
+		})
 	}
 }
 

@@ -334,6 +334,12 @@ type Catalog struct {
 
 	srvMu sync.Mutex
 	srv   *server.Server
+	// HTTP-layer resilience knobs, applied when the server is created on
+	// the first Handler call (see SetRequestTimeout / SetAdmissionLimits).
+	reqTimeout   time.Duration
+	maxInFlight  int
+	queueDepth   int
+	queueTimeout time.Duration
 
 	// provMu guards prov, the per-base-table provenance the snapshot
 	// subsystem persists (and staleness checks compare against).
@@ -366,6 +372,22 @@ type Catalog struct {
 	snapErr     error
 	lastResave  time.Time
 	resaveEvery time.Duration
+	// resaveBackoff spaces FAILING background re-save retries with
+	// jittered exponential delays (obs.Backoff); a successful save
+	// resets it so the next backlog-triggered save fires immediately.
+	resaveBackoff obs.Backoff
+	// snapEpoch pairs the snapshot base file with its tail log: every
+	// tail record is stamped with the epoch of the save it rides on, and
+	// SaveSnapshot bumps it. A crash between writing the new base file
+	// and truncating the old tail leaves a tail from an earlier epoch on
+	// disk; LoadSnapshot discards it (those records are already folded
+	// into the base) instead of replaying the rows twice.
+	snapEpoch uint64
+	// readOnlyOnDegrade, when set, turns sticky snapshot degradation
+	// (snapErr != nil) into an explicit read-only mode: appends and
+	// deletes are rejected up-front with server.ErrDegraded instead of
+	// mutating memory that can no longer be made durable.
+	readOnlyOnDegrade bool
 
 	// compactFrac is the auto-compaction threshold applied to every
 	// base table the catalog loads (see store.Table.SetAutoCompact).
@@ -387,10 +409,11 @@ const DefaultCompactFraction = 0.10
 func NewCatalog() *Catalog {
 	st := store.New()
 	return &Catalog{
-		st:          st,
-		planner:     query.NewPlanner(st, viztime.Tableau()),
-		prov:        make(map[string]snapshot.Provenance),
-		compactFrac: DefaultCompactFraction,
+		st:            st,
+		planner:       query.NewPlanner(st, viztime.Tableau()),
+		prov:          make(map[string]snapshot.Provenance),
+		compactFrac:   DefaultCompactFraction,
+		resaveBackoff: obs.Backoff{Base: resaveRetryBase, Max: resaveRetryMax},
 	}
 }
 
@@ -606,13 +629,16 @@ func (c *Catalog) Append(table string, pts []Point) error {
 
 // tailResaveFraction is how large the tail log may grow, relative to
 // its table's rows, before a background full re-save folds it into the
-// base snapshot file. resaveRetryInterval bounds how often a FAILING
-// re-save is retried — each attempt encodes the whole catalog under
-// snapMu, so back-to-back retries against a broken directory would
-// stall every append.
+// base snapshot file. resaveRetryBase and resaveRetryMax bound how
+// often a FAILING re-save is retried — each attempt encodes the whole
+// catalog under snapMu, so back-to-back retries against a broken
+// directory would stall every append. Retries back off exponentially
+// with jitter (see obs.Backoff) so a fleet of degraded servers does
+// not hammer shared storage in lockstep.
 const (
-	tailResaveFraction  = 0.25
-	resaveRetryInterval = 30 * time.Second
+	tailResaveFraction = 0.25
+	resaveRetryBase    = 2 * time.Second
+	resaveRetryMax     = 60 * time.Second
 )
 
 // appendCols is the shared append path (Catalog.Append and the HTTP
@@ -633,6 +659,10 @@ func (c *Catalog) appendCols(table string, cols [][]float64) (int, error) {
 	}
 	n := len(cols[0])
 	c.snapMu.Lock()
+	if err := c.rejectIfReadOnly("append"); err != nil {
+		c.snapMu.Unlock()
+		return 0, err
+	}
 	if err := t.AppendRows(cols...); err != nil {
 		c.snapMu.Unlock()
 		return 0, err
@@ -649,7 +679,7 @@ func (c *Catalog) appendCols(table string, cols [][]float64) (int, error) {
 			resave = true
 		default:
 			jt := obs.StartJob("tail_write")
-			err := snapshot.AppendTail(filepath.Join(c.snapDir, TailFile), table, cols)
+			err := snapshot.AppendTail(filepath.Join(c.snapDir, TailFile), table, cols, c.snapEpoch)
 			jt.End()
 			if err != nil {
 				c.snapErr = err
@@ -697,6 +727,10 @@ func (c *Catalog) kickResave() {
 			if err := c.SaveSnapshot(dir); err != nil {
 				c.snapMu.Lock()
 				c.snapErr = err
+				// Stretch the gap before the next retry: the whole
+				// catalog is re-encoded per attempt, and the directory
+				// is still broken.
+				c.resaveBackoff.Advance()
 				c.snapMu.Unlock()
 			}
 		}
@@ -752,6 +786,10 @@ func (c *Catalog) deleteWhere(table string, preds []Pred) (int, error) {
 		return 0, err
 	}
 	c.snapMu.Lock()
+	if err := c.rejectIfReadOnly("delete"); err != nil {
+		c.snapMu.Unlock()
+		return 0, err
+	}
 	n, err := t.DeleteWhere(preds)
 	if err != nil {
 		c.snapMu.Unlock()
@@ -772,7 +810,7 @@ func (c *Catalog) deleteWhere(table string, preds []Pred) (int, error) {
 				tp[i] = snapshot.TailPred{Col: p.Column, Min: p.Min, Max: p.Max}
 			}
 			jt := obs.StartJob("tail_write")
-			err := snapshot.AppendTailDelete(filepath.Join(c.snapDir, TailFile), table, tp)
+			err := snapshot.AppendTailDelete(filepath.Join(c.snapDir, TailFile), table, tp, c.snapEpoch)
 			jt.End()
 			if err != nil {
 				c.snapErr = err
@@ -827,12 +865,40 @@ func (c *Catalog) WaitBackground() {
 }
 
 // resaveInterval returns the minimum gap between background re-save
-// attempts. Caller holds snapMu.
+// attempts: fixed when overridden (tests), otherwise the jittered
+// exponential backoff delay for the current failure streak (zero while
+// healthy — a backlog-triggered save fires immediately). Caller holds
+// snapMu.
 func (c *Catalog) resaveInterval() time.Duration {
 	if c.resaveEvery > 0 {
 		return c.resaveEvery
 	}
-	return resaveRetryInterval
+	return c.resaveBackoff.Current()
+}
+
+// rejectIfReadOnly enforces the opt-in read-only degraded mode: when
+// enabled and snapshot persistence is degraded, mutations are rejected
+// up-front with an error wrapping server.ErrDegraded (the HTTP layer
+// maps it to 503 + Retry-After) instead of growing in-memory state that
+// can no longer be made durable. Caller holds snapMu.
+func (c *Catalog) rejectIfReadOnly(op string) error {
+	if c.readOnlyOnDegrade && c.snapErr != nil {
+		return fmt.Errorf("vas: %s rejected (%w: snapshot persistence degraded): %v", op, server.ErrDegraded, c.snapErr)
+	}
+	return nil
+}
+
+// SetReadOnlyOnDegrade controls the explicit read-only degraded mode:
+// when on, a catalog whose snapshot persistence is degraded
+// (SnapshotErr != nil) rejects Append/Delete with an error wrapping
+// server.ErrDegraded rather than accepting rows it cannot persist.
+// Queries keep serving either way. Off by default, preserving the
+// accept-but-report contract (see docs/RESILIENCE.md for the
+// trade-off).
+func (c *Catalog) SetReadOnlyOnDegrade(on bool) {
+	c.snapMu.Lock()
+	c.readOnlyOnDegrade = on
+	c.snapMu.Unlock()
 }
 
 // SnapshotErr reports whether snapshot persistence is degraded: the
@@ -852,6 +918,33 @@ func (c *Catalog) SnapshotErr() error {
 func buildSpec(sizes []int, withDensity bool, opt Options) string {
 	return fmt.Sprintf("sizes=%v density=%t epsilon=%g kernel=%q variant=%q passes=%d",
 		sizes, withDensity, opt.Epsilon, opt.Kernel, opt.Variant, opt.Passes)
+}
+
+// SetRequestTimeout sets the per-request deadline the HTTP layer
+// applies to heavy routes (query, nearest, tile, append, delete,
+// tables): a request that exceeds it is canceled cooperatively inside
+// the scan kernels and answered 503 with Retry-After. Zero (the
+// default) disables the deadline. Must be called before the first
+// Handler call; later calls have no effect on an already-built server.
+func (c *Catalog) SetRequestTimeout(d time.Duration) {
+	c.srvMu.Lock()
+	c.reqTimeout = d
+	c.srvMu.Unlock()
+}
+
+// SetAdmissionLimits configures HTTP admission control for heavy
+// routes: at most maxInFlight requests execute concurrently per route,
+// up to queueDepth more wait up to queueTimeout for a slot, and
+// everything beyond that is shed immediately (503 "capacity"; a queue
+// wait that times out is 429 "queue_timeout" — both carry Retry-After
+// and count in vasserve_requests_shed_total). maxInFlight <= 0 disables
+// admission control. Must be called before the first Handler call.
+func (c *Catalog) SetAdmissionLimits(maxInFlight, queueDepth int, queueTimeout time.Duration) {
+	c.srvMu.Lock()
+	c.maxInFlight = maxInFlight
+	c.queueDepth = queueDepth
+	c.queueTimeout = queueTimeout
+	c.srvMu.Unlock()
 }
 
 // Handler returns the catalog's HTTP serving layer (created on first use
@@ -876,6 +969,11 @@ func (c *Catalog) Handler() http.Handler {
 			// Per-table tail-log durability for the
 			// vasserve_tail_log_degraded gauge.
 			TailStatus: c.tailStatus,
+			// Resilience knobs (zero values disable each mechanism).
+			RequestTimeout: c.reqTimeout,
+			MaxInFlight:    c.maxInFlight,
+			QueueDepth:     c.queueDepth,
+			QueueTimeout:   c.queueTimeout,
 		})
 		if c.coldSource != "" {
 			c.srv.SetColdStart(c.coldSource, c.coldDur)
@@ -950,17 +1048,25 @@ func (c *Catalog) SaveSnapshot(dir string) error {
 		cat.Provenance = append(cat.Provenance, p)
 	}
 	c.provMu.Unlock()
+	// Stamp the new base file with the next epoch BEFORE touching the
+	// tail: if the process dies between the rename below and RemoveTail,
+	// the surviving tail carries the previous epoch and LoadSnapshot
+	// discards it instead of replaying rows the capture already folded
+	// into the base.
+	cat.Epoch = c.snapEpoch + 1
 	if err := snapshot.Save(filepath.Join(dir, SnapshotFile), cat); err != nil {
 		return err
 	}
+	c.snapEpoch = cat.Epoch
 	if err := snapshot.RemoveTail(filepath.Join(dir, TailFile)); err != nil {
 		return fmt.Errorf("vas: truncating folded tail log: %w", err)
 	}
 	c.snapDir = dir
 	c.tailRows = nil
 	// Everything in memory is now in the base file: any earlier tail or
-	// re-save failure is healed.
+	// re-save failure is healed, and retry pacing starts over.
 	c.snapErr = nil
+	c.resaveBackoff.Reset()
 	return nil
 }
 
@@ -988,9 +1094,28 @@ func (c *Catalog) LoadSnapshot(dir string) error {
 	if err != nil {
 		return err
 	}
-	tail, err := snapshot.LoadTail(filepath.Join(dir, TailFile))
+	tail, tailEpoch, err := snapshot.LoadTail(filepath.Join(dir, TailFile))
 	if err != nil {
 		return fmt.Errorf("vas: snapshot tail %s: %w", filepath.Join(dir, TailFile), err)
+	}
+	// Pair the tail with the base file by epoch. A tail from an EARLIER
+	// save is the footprint of a crash between snapshot.Save and
+	// RemoveTail: its records are already folded into the base, and
+	// replaying them would duplicate every row. Discard it. A tail from
+	// a LATER epoch than the base can only mean the base file was
+	// swapped or rolled back underneath the log — replaying it against
+	// the wrong base would publish rows that were never acknowledged
+	// together, so reject the load. Epoch zero on either side means a
+	// pre-epoch (v≤3 snapshot / v≤2 tail) file: replay unconditionally,
+	// as those formats always did.
+	if tailEpoch != 0 && cat.Epoch != 0 {
+		switch {
+		case tailEpoch < cat.Epoch:
+			tail = nil
+		case tailEpoch > cat.Epoch:
+			return fmt.Errorf("vas: snapshot tail %s: %w: tail epoch %d is newer than snapshot epoch %d",
+				filepath.Join(dir, TailFile), snapshot.ErrCorrupt, tailEpoch, cat.Epoch)
+		}
 	}
 	frac := c.compactFrac
 	mode := c.indexBackend
@@ -1073,6 +1198,7 @@ func (c *Catalog) LoadSnapshot(dir string) error {
 	}
 	c.snapDir = dir
 	c.tailRows = tailRows
+	c.snapEpoch = cat.Epoch
 	c.provMu.Lock()
 	for _, p := range cat.Provenance {
 		c.prov[p.Table] = p
